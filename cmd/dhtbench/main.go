@@ -1,0 +1,164 @@
+// Command dhtbench exercises the Chord substrate on its own: routing hop
+// counts versus network size, key-load balance, and behaviour under churn.
+// The paper treats the DHT as a black box (§V-E: "we do not explicitly
+// study the performance of the P2P substrate"); this harness verifies the
+// substrate provides what the indexing layer assumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dhtindex/internal/dht"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/pastry"
+)
+
+func main() {
+	var (
+		maxNodes  = flag.Int("max-nodes", 1024, "largest network size in the sweep")
+		lookups   = flag.Int("lookups", 2000, "lookups per configuration")
+		churn     = flag.Float64("churn", 0.2, "fraction of nodes failed in the churn test")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		substrate = flag.String("substrate", "chord", "substrate for the hop sweep (chord|pastry)")
+	)
+	flag.Parse()
+	if err := run(*maxNodes, *lookups, *churn, *seed, *substrate); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(maxNodes, lookups int, churn float64, seed int64, substrate string) error {
+	fmt.Printf("substrate: %s\n", substrate)
+	fmt.Printf("%-8s %10s %8s %10s %10s %12s\n",
+		"nodes", "mean hops", "max", "log2(N)", "mean keys", "max/mean keys")
+	for n := 16; n <= maxNodes; n *= 4 {
+		var err error
+		switch substrate {
+		case "chord":
+			err = chordSweep(n, lookups, seed)
+		case "pastry":
+			err = pastrySweep(n, lookups, seed)
+		default:
+			err = fmt.Errorf("unknown substrate %q", substrate)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return churnTest(maxNodes/4, churn, seed)
+}
+
+func chordSweep(n, lookups int, seed int64) error {
+	net := dht.NewNetwork(seed)
+	if _, err := net.Populate(n); err != nil {
+		return err
+	}
+	for i := 0; i < 10*n; i++ {
+		if _, err := net.Put(nil, keyspace.NewKey(fmt.Sprintf("key-%d", i)),
+			dht.Entry{Kind: "data", Value: "x"}); err != nil {
+			return err
+		}
+	}
+	net.ResetMetrics()
+	nodes := net.Nodes()
+	for i := 0; i < lookups; i++ {
+		start := nodes[i%len(nodes)]
+		if _, err := net.Lookup(start, keyspace.NewKey(fmt.Sprintf("probe-%d", i))); err != nil {
+			return err
+		}
+	}
+	m := net.Metrics()
+	load := net.KeyLoad()
+	fmt.Printf("%-8d %10.2f %8d %10.2f %10.1f %12.2f\n",
+		n, float64(m.Hops)/float64(m.Lookups), m.MaxHops, math.Log2(float64(n)),
+		load.MeanKeys, float64(load.MaxKeys)/load.MeanKeys)
+	return nil
+}
+
+func pastrySweep(n, lookups int, seed int64) error {
+	net := pastry.NewNetwork()
+	nodes, err := net.Populate(n)
+	if err != nil {
+		return err
+	}
+	ov := pastry.AsOverlay(net, seed)
+	for i := 0; i < 10*n; i++ {
+		if _, err := ov.Put(keyspace.NewKey(fmt.Sprintf("key-%d", i)),
+			overlay.Entry{Kind: "data", Value: "x"}); err != nil {
+			return err
+		}
+	}
+	keyTotal, keyMax := 0, 0
+	for _, addr := range ov.Addrs() {
+		st, err := ov.StatsOf(addr)
+		if err != nil {
+			return err
+		}
+		keyTotal += st.Keys
+		if st.Keys > keyMax {
+			keyMax = st.Keys
+		}
+	}
+	before := net.Metrics()
+	for i := 0; i < lookups; i++ {
+		start := nodes[i%len(nodes)]
+		if _, err := net.Lookup(start, keyspace.NewKey(fmt.Sprintf("probe-%d", i))); err != nil {
+			return err
+		}
+	}
+	m := net.Metrics()
+	mean := float64(keyTotal) / float64(n)
+	fmt.Printf("%-8d %10.2f %8d %10.2f %10.1f %12.2f\n",
+		n, float64(m.Hops-before.Hops)/float64(m.Lookups-before.Lookups),
+		m.MaxHops, math.Log2(float64(n)), mean, float64(keyMax)/mean)
+	return nil
+}
+
+// churnTest fails a fraction of a replicated network and reports surviving
+// data and post-stabilization routing health.
+func churnTest(n int, frac float64, seed int64) error {
+	fmt.Printf("\nchurn test: %d nodes, replication 2, failing %.0f%%\n", n, 100*frac)
+	net := dht.NewNetwork(seed)
+	net.ReplicationFactor = 2
+	nodes, err := net.Populate(n)
+	if err != nil {
+		return err
+	}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if _, err := net.Put(nil, keyspace.NewKey(fmt.Sprintf("doc-%d", i)),
+			dht.Entry{Kind: "data", Value: fmt.Sprintf("v%d", i)}); err != nil {
+			return err
+		}
+	}
+	fail := int(frac * float64(n))
+	for i := 0; i < fail; i++ {
+		if err := net.FailNode(nodes[i*3%n].Addr); err != nil {
+			// Node may already be gone when the stride wraps; skip.
+			continue
+		}
+	}
+	net.Stabilize()
+	if err := net.VerifyRing(); err != nil {
+		return fmt.Errorf("ring not converged: %w", err)
+	}
+	survived := 0
+	for i := 0; i < keys; i++ {
+		entries, _, err := net.Get(nil, keyspace.NewKey(fmt.Sprintf("doc-%d", i)))
+		if err != nil {
+			return err
+		}
+		if len(entries) > 0 {
+			survived++
+		}
+	}
+	m := net.Metrics()
+	fmt.Printf("data survived: %d/%d (%.1f%%), failover reads: %d\n",
+		survived, keys, 100*float64(survived)/keys, m.FailoverReads)
+	return nil
+}

@@ -1,0 +1,20 @@
+// Command indexctl is an interactive shell over the distributed indexing
+// library: create a network, publish articles, search them the way the
+// paper's user would (automated or step-by-step interactive mode), and
+// inspect storage/cache state. It reads commands from stdin, so it can be
+// driven by scripts:
+//
+//	printf 'network 20\nload 100\nfind /article/author/last/Smith\n' | indexctl
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "indexctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// script runs a command script and returns the combined output.
+func script(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(strings.Join(lines, "\n")), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestScriptPublishAndFind(t *testing.T) {
+	out := script(t,
+		"network 16",
+		"scheme fig4",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"add y.pdf John Smith IPv6 INFOCOM 1996 312352",
+		"find /article/author/last/Smith",
+	)
+	if !strings.Contains(out, "network ready: 16 chord nodes") {
+		t.Fatalf("missing network line:\n%s", out)
+	}
+	if !strings.Contains(out, "2 result(s)") ||
+		!strings.Contains(out, "x.pdf") || !strings.Contains(out, "y.pdf") {
+		t.Fatalf("find output wrong:\n%s", out)
+	}
+}
+
+func TestScriptInteractiveSession(t *testing.T) {
+	out := script(t,
+		"network 16",
+		"scheme fig4",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"ask /article/author/last/Smith",
+		"refine 1",
+		"refine 1",
+		"refine 1",
+	)
+	if !strings.Contains(out, "FILE: x.pdf") {
+		t.Fatalf("interactive walk did not reach the file:\n%s", out)
+	}
+	if !strings.Contains(out, "[4 interactions so far]") {
+		t.Fatalf("interaction count missing:\n%s", out)
+	}
+}
+
+func TestScriptBack(t *testing.T) {
+	out := script(t,
+		"network 16",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"ask /article/author/last/Smith",
+		"back", // nothing to back out of yet -> error line
+	)
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("expected error on premature back:\n%s", out)
+	}
+}
+
+func TestScriptLoadAndStats(t *testing.T) {
+	out := script(t,
+		"network 20 pastry",
+		"load 50 3",
+		"stats",
+	)
+	if !strings.Contains(out, "20 pastry nodes") {
+		t.Fatalf("pastry network missing:\n%s", out)
+	}
+	if !strings.Contains(out, "published 50 synthetic articles") {
+		t.Fatalf("load failed:\n%s", out)
+	}
+	if !strings.Contains(out, "index entries:") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestScriptCacheSwitchRepublishes(t *testing.T) {
+	out := script(t,
+		"network 16",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"cache single",
+		"find /article/title/TCP",
+	)
+	if !strings.Contains(out, "1 articles republished") {
+		t.Fatalf("republish missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x.pdf") {
+		t.Fatalf("article lost after cache switch:\n%s", out)
+	}
+}
+
+func TestScriptPromoteAndRemove(t *testing.T) {
+	out := script(t,
+		"network 16",
+		"scheme complex",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"promote x.pdf",
+		"remove x.pdf",
+		"find /article/title/TCP",
+	)
+	if !strings.Contains(out, "promoted x.pdf") || !strings.Contains(out, "removed x.pdf") {
+		t.Fatalf("promote/remove missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 result(s)") {
+		t.Fatalf("removed article still findable:\n%s", out)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	out := script(t,
+		"bogus",
+		"find /article", // no network yet
+		"network x",
+		"network 4 kademlia",
+		"scheme nope",
+		"network 4",
+		"add onlyonearg",
+		"cache warp",
+		"refine 9",
+		"promote ghost.pdf",
+		"help",
+		"quit",
+		"network 999", // after quit: never executed
+	)
+	for _, want := range []string{
+		"unknown command", "no network", "bad node count", "unknown substrate",
+		"unknown scheme", "usage: add", "unknown policy", "out of range",
+		"unknown file", "commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "network ready: 999") {
+		t.Error("commands after quit executed")
+	}
+}
+
+func TestScriptCommentsAndBlanks(t *testing.T) {
+	out := script(t,
+		"# a comment",
+		"",
+		"network 4",
+	)
+	if !strings.Contains(out, "network ready") {
+		t.Fatalf("comment handling broke execution:\n%s", out)
+	}
+}
+
+func TestScriptUnderscoreTitles(t *testing.T) {
+	out := script(t,
+		"network 8",
+		"add p.pdf Jane Doe Scalable_Lookup ICDCS 2004 100000",
+		"find /article/title/Scalable Lookup",
+	)
+	if !strings.Contains(out, "1 result(s)") {
+		t.Fatalf("spaced title not matched:\n%s", out)
+	}
+}
+
+func TestScriptFuzzy(t *testing.T) {
+	out := script(t,
+		"network 12",
+		"add x.pdf John Smith TCP SIGCOMM 1989 315635",
+		"vocab",
+		"fuzzy /article/author/last/Smih",
+	)
+	if !strings.Contains(out, "corrected to") || !strings.Contains(out, "x.pdf") {
+		t.Fatalf("fuzzy search failed:\n%s", out)
+	}
+}
+
+func TestScriptImport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.xml")
+	xml := `<dblp><article>
+  <author><first>Grace</first><last>Hopper</last></author>
+  <title>Compilers</title><conf>ACM</conf><year>1952</year><size>1000</size>
+</article></dblp>`
+	if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := script(t,
+		"network 8",
+		"scheme fig4",
+		"import "+path,
+		"find /article/author/last/Hopper",
+	)
+	if !strings.Contains(out, "imported 1 articles") || !strings.Contains(out, "1 result(s)") {
+		t.Fatalf("import failed:\n%s", out)
+	}
+	out = script(t, "network 4", "import /nonexistent.xml")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("missing error for bad path:\n%s", out)
+	}
+}

@@ -1,0 +1,35 @@
+// Command indexsim reproduces the evaluation of "Data Indexing in
+// Peer-to-Peer DHT Networks" (§V): every figure and table, on the
+// synthetic bibliographic database.
+//
+// Usage:
+//
+//	indexsim [-experiment all|fig7|fig8|fig9|fig10|storage|fig11|fig12|fig13|fig14|fig15|table1]
+//	         [-nodes 500] [-articles 10000] [-queries 50000] [-seed 1]
+//
+// The default experiment "all" regenerates everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhtindex/internal/simreport"
+)
+
+func main() {
+	var cfg simreport.Config
+	flag.StringVar(&cfg.Experiment, "experiment", "all", "experiment id (all, fig7..fig15, storage, table1, substrate, availability, sensitivity, variance)")
+	flag.IntVar(&cfg.Nodes, "nodes", 500, "number of DHT nodes")
+	flag.IntVar(&cfg.Articles, "articles", 10000, "corpus size")
+	flag.IntVar(&cfg.Queries, "queries", 50000, "workload size")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "deterministic seed")
+	flag.StringVar(&cfg.Substrate, "substrate", "chord", "DHT substrate (chord|pastry)")
+	flag.Parse()
+
+	if err := simreport.Run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "indexsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package dhtindex reproduces "Data Indexing in Peer-to-Peer DHT
+// Networks" (Garcés-Erice, Felber, Biersack, Urvoy-Keller, Ross — ICDCS
+// 2004): distributed hierarchical indexes that map broad queries to more
+// specific queries over a DHT, with an adaptive distributed cache.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/indexsim regenerates every figure and table of the paper's
+// evaluation, and bench_test.go exposes the same experiments as Go
+// benchmarks.
+package dhtindex
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,3 @@
+module dhtindex
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package cache implements the paper's adaptive distributed cache (§IV-C,
+// §V-D): per-node stores of "shortcut" entries that map a generic query
+// directly to the descriptor of a target file, created along the lookup
+// paths of successful queries. With an LRU replacement policy, popular
+// files stay well represented and become reachable in few hops.
+package cache
+
+import (
+	"container/list"
+)
+
+// Policy selects where shortcuts are created after a successful lookup
+// (§V-D).
+type Policy int
+
+const (
+	// None disables caching.
+	None Policy = iota + 1
+	// Multi creates shortcuts on every node along the lookup path;
+	// per-node capacity is unbounded.
+	Multi
+	// Single creates a shortcut only on the first node contacted;
+	// per-node capacity is unbounded.
+	Single
+	// LRU behaves like Single but bounds each node's shortcut count,
+	// evicting the least-recently-used entry when full.
+	LRU
+)
+
+// String returns the label used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "no-cache"
+	case Multi:
+		return "multi-cache"
+	case Single:
+		return "single-cache"
+	case LRU:
+		return "lru"
+	default:
+		return "unknown"
+	}
+}
+
+// Store holds the shortcut entries of one node. A "cached key" in the
+// paper's accounting is one (query → target) pair. The zero Store is not
+// usable; construct with NewStore.
+type Store struct {
+	capacity int // 0 = unbounded
+	order    *list.List
+	byPair   map[pair]*list.Element
+	byQuery  map[string]map[string]bool // query -> set of targets
+}
+
+type pair struct {
+	query, target string
+}
+
+// NewStore creates a shortcut store. capacity 0 means unbounded; the
+// paper's LRU policies use 10, 20 and 30.
+func NewStore(capacity int) *Store {
+	return &Store{
+		capacity: capacity,
+		order:    list.New(),
+		byPair:   make(map[pair]*list.Element),
+		byQuery:  make(map[string]map[string]bool),
+	}
+}
+
+// Add inserts the shortcut (query → target). It reports whether a new
+// entry was created (false when the pair was already cached, in which case
+// it is only freshened). When the store is full, the least-recently-used
+// entry is evicted first.
+func (s *Store) Add(query, target string) bool {
+	p := pair{query: query, target: target}
+	if el, ok := s.byPair[p]; ok {
+		s.order.MoveToFront(el)
+		return false
+	}
+	if s.capacity > 0 && s.order.Len() >= s.capacity {
+		s.evictOldest()
+	}
+	el := s.order.PushFront(p)
+	s.byPair[p] = el
+	targets := s.byQuery[query]
+	if targets == nil {
+		targets = make(map[string]bool)
+		s.byQuery[query] = targets
+	}
+	targets[target] = true
+	return true
+}
+
+func (s *Store) evictOldest() {
+	back := s.order.Back()
+	if back == nil {
+		return
+	}
+	p, ok := back.Value.(pair)
+	if !ok {
+		return
+	}
+	s.order.Remove(back)
+	delete(s.byPair, p)
+	if targets := s.byQuery[p.query]; targets != nil {
+		delete(targets, p.target)
+		if len(targets) == 0 {
+			delete(s.byQuery, p.query)
+		}
+	}
+}
+
+// Targets returns the cached target descriptors for a query (the node's
+// response from its cache). The result order is unspecified; callers that
+// serialize responses should sort. Reading does not refresh recency — only
+// Touch does, when a shortcut is actually followed.
+func (s *Store) Targets(query string) []string {
+	targets := s.byQuery[query]
+	if len(targets) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(targets))
+	for tgt := range targets {
+		out = append(out, tgt)
+	}
+	return out
+}
+
+// Contains reports whether the exact shortcut pair is cached.
+func (s *Store) Contains(query, target string) bool {
+	_, ok := s.byPair[pair{query: query, target: target}]
+	return ok
+}
+
+// Touch freshens the recency of a shortcut that was just followed.
+func (s *Store) Touch(query, target string) {
+	if el, ok := s.byPair[pair{query: query, target: target}]; ok {
+		s.order.MoveToFront(el)
+	}
+}
+
+// Len returns the number of cached shortcut pairs ("cached keys").
+func (s *Store) Len() int { return s.order.Len() }
+
+// Full reports whether a bounded store is at capacity.
+func (s *Store) Full() bool { return s.capacity > 0 && s.order.Len() >= s.capacity }
+
+// Capacity returns the configured bound (0 = unbounded).
+func (s *Store) Capacity() int { return s.capacity }

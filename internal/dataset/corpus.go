@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"dhtindex/internal/descriptor"
+)
+
+// Config parameterizes the synthetic corpus. Zero fields take defaults
+// calibrated against the paper's DBLP statistics (see DESIGN.md).
+type Config struct {
+	// Articles is the corpus size (paper simulation: 10,000).
+	Articles int
+	// Authors is the number of distinct authors. DBLP-like corpora have
+	// roughly one distinct author per 3-4 articles. Default: Articles/4
+	// (min 10).
+	Authors int
+	// Conferences is the number of distinct venues. Default 60.
+	Conferences int
+	// FirstYear and LastYear bound the publication years.
+	// Default 1980..2003 (the archive snapshot predates 2003).
+	FirstYear, LastYear int
+	// MeanFileSize is the average article file size in bytes (paper:
+	// 250 KB estimated from PostScript/PDF collections).
+	MeanFileSize int64
+	// ProlificExponent shapes how unevenly articles are spread over
+	// authors (articles-per-author follows a power law with this
+	// exponent). Default 0.8.
+	ProlificExponent float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Articles == 0 {
+		c.Articles = 10000
+	}
+	if c.Authors == 0 {
+		c.Authors = c.Articles / 4
+		if c.Authors < 10 {
+			c.Authors = 10
+		}
+	}
+	if c.Conferences == 0 {
+		c.Conferences = 60
+	}
+	if c.FirstYear == 0 {
+		c.FirstYear = 1980
+	}
+	if c.LastYear == 0 {
+		c.LastYear = 2003
+	}
+	if c.MeanFileSize == 0 {
+		c.MeanFileSize = 250 << 10
+	}
+	if c.ProlificExponent == 0 {
+		c.ProlificExponent = 0.8
+	}
+	return c
+}
+
+// ErrBadConfig reports an unusable corpus configuration.
+var ErrBadConfig = errors.New("dataset: bad corpus config")
+
+// Corpus is a generated bibliographic database.
+type Corpus struct {
+	Articles []descriptor.Article
+	// AuthorOf[i] is the author index of Articles[i]; Authors lists the
+	// distinct (first, last) pairs.
+	Authors  []Author
+	AuthorOf []int
+}
+
+// Author is a distinct (first, last) author name.
+type Author struct {
+	First, Last string
+}
+
+// Generate builds a deterministic synthetic corpus.
+//
+// Shape calibration (what the evaluation actually depends on):
+//   - many articles share an author, with a power-law number of articles
+//     per author (so author queries return multi-entry result sets whose
+//     sizes are skewed, as with real DBLP author pages);
+//   - titles are unique per (author, title) with high probability, so the
+//     Article index of Fig. 4 usually maps to a single MSD;
+//   - conferences and years are low-cardinality fields, so conference/year
+//     queries return large result sets (the flat scheme's worst case).
+func Generate(cfg Config) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Articles < 1 || cfg.Authors < 1 || cfg.Conferences < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.LastYear < cfg.FirstYear {
+		return nil, fmt.Errorf("%w: year range [%d,%d]", ErrBadConfig, cfg.FirstYear, cfg.LastYear)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	authors := make([]Author, cfg.Authors)
+	seen := make(map[Author]bool, cfg.Authors)
+	for i := range authors {
+		for {
+			a := Author{First: firstName(rng), Last: lastName(rng)}
+			if !seen[a] {
+				seen[a] = true
+				authors[i] = a
+				break
+			}
+		}
+	}
+
+	authorSampler := newPowerSampler(cfg.Authors, cfg.ProlificExponent)
+	confs := make([]string, cfg.Conferences)
+	for i := range confs {
+		confs[i] = confName(i)
+	}
+
+	c := &Corpus{
+		Articles: make([]descriptor.Article, cfg.Articles),
+		Authors:  authors,
+		AuthorOf: make([]int, cfg.Articles),
+	}
+	usedTitle := make(map[string]bool, cfg.Articles)
+	years := cfg.LastYear - cfg.FirstYear + 1
+	titleSeq := 0
+	for i := range c.Articles {
+		ai := authorSampler.sample(rng)
+		// Keep titles globally unique: real titles collide essentially
+		// never, and uniqueness makes result-set audits exact. The word
+		// pools are finite, so after a few random draws fall back to a
+		// deterministic "Part N" suffix.
+		title := titleWords(rng)
+		for attempt := 0; usedTitle[title]; attempt++ {
+			if attempt < 3 {
+				title = titleWords(rng)
+			} else {
+				titleSeq++
+				title = titleWords(rng) + " Part " + strconv.Itoa(titleSeq)
+			}
+		}
+		usedTitle[title] = true
+		size := int64(float64(cfg.MeanFileSize) * math.Exp(rng.NormFloat64()*0.5-0.125))
+		if size < 1024 {
+			size = 1024
+		}
+		c.Articles[i] = descriptor.Article{
+			AuthorFirst: authors[ai].First,
+			AuthorLast:  authors[ai].Last,
+			Title:       title,
+			Conf:        confs[rng.Intn(len(confs))],
+			Year:        cfg.FirstYear + rng.Intn(years),
+			Size:        size,
+		}
+		c.AuthorOf[i] = ai
+	}
+	return c, nil
+}
+
+// ArticlesPerAuthor returns the sorted (descending) count of articles per
+// author, for distribution diagnostics.
+func (c *Corpus) ArticlesPerAuthor() []int {
+	counts := make([]int, len(c.Authors))
+	for _, ai := range c.AuthorOf {
+		counts[ai]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}
+
+// TotalFileBytes sums the article file sizes — the paper's 29.1 GB figure
+// for the full archive, scaled to the corpus.
+func (c *Corpus) TotalFileBytes() int64 {
+	var total int64
+	for _, a := range c.Articles {
+		total += a.Size
+	}
+	return total
+}
+
+// powerSampler draws indexes in [0, n) with P(i) ∝ 1/(i+1)^exp using
+// inverse-CDF sampling over the precomputed cumulative weights.
+type powerSampler struct {
+	cum []float64
+}
+
+func newPowerSampler(n int, exp float64) *powerSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exp)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &powerSampler{cum: cum}
+}
+
+func (s *powerSampler) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(s.cum, u)
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/xpath"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Articles: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Articles: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Articles {
+		if a.Articles[i] != b.Articles[i] {
+			t.Fatalf("article %d differs across same-seed runs", i)
+		}
+	}
+	c, err := Generate(Config{Articles: 200, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Articles {
+		if a.Articles[i] == c.Articles[i] {
+			same++
+		}
+	}
+	if same == len(a.Articles) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Articles) != 10000 {
+		t.Fatalf("default corpus size = %d, want 10000", len(c.Articles))
+	}
+	if len(c.Authors) != 2500 {
+		t.Fatalf("default authors = %d, want 2500", len(c.Authors))
+	}
+}
+
+func TestGenerateBadConfig(t *testing.T) {
+	cases := []Config{
+		{Articles: -5},
+		{Articles: 10, FirstYear: 2000, LastYear: 1990},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestGenerateFieldSanity(t *testing.T) {
+	c, err := Generate(Config{Articles: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles := make(map[string]bool, len(c.Articles))
+	for i, a := range c.Articles {
+		if a.AuthorFirst == "" || a.AuthorLast == "" || a.Title == "" || a.Conf == "" {
+			t.Fatalf("article %d has empty field: %+v", i, a)
+		}
+		if a.Year < 1980 || a.Year > 2003 {
+			t.Fatalf("article %d year %d out of range", i, a.Year)
+		}
+		if a.Size < 1024 {
+			t.Fatalf("article %d size %d too small", i, a.Size)
+		}
+		if titles[a.Title] {
+			t.Fatalf("duplicate title %q", a.Title)
+		}
+		titles[a.Title] = true
+		if got := c.Authors[c.AuthorOf[i]]; got.First != a.AuthorFirst || got.Last != a.AuthorLast {
+			t.Fatalf("AuthorOf mismatch for article %d", i)
+		}
+	}
+}
+
+func TestArticlesPerAuthorSkewed(t *testing.T) {
+	c, err := Generate(Config{Articles: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.ArticlesPerAuthor()
+	if counts[0] < 3*counts[len(counts)/2] && counts[len(counts)/2] > 0 {
+		t.Fatalf("articles-per-author not skewed: top=%d median=%d",
+			counts[0], counts[len(counts)/2])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 5000 {
+		t.Fatalf("counts sum to %d, want 5000", total)
+	}
+}
+
+func TestTotalFileBytesNearMean(t *testing.T) {
+	c, err := Generate(Config{Articles: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(c.TotalFileBytes()) / 2000
+	want := float64(250 << 10)
+	if mean < 0.5*want || mean > 2*want {
+		t.Fatalf("mean file size %.0f too far from %.0f", mean, want)
+	}
+}
+
+func TestQueryBuildersMatchGeneratedArticles(t *testing.T) {
+	c, err := Generate(Config{Articles: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.Articles[:10] {
+		d := a.Descriptor()
+		queries := []xpath.Query{
+			LastNameQuery(a.AuthorLast),
+			AuthorQuery(a.AuthorFirst, a.AuthorLast),
+			TitleQuery(a.Title),
+			ConfQuery(a.Conf),
+			YearQuery(a.Year),
+			AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title),
+			ConfYearQuery(a.Conf, a.Year),
+			AuthorConfQuery(a.AuthorFirst, a.AuthorLast, a.Conf),
+			AuthorConfYearQuery(a.AuthorFirst, a.AuthorLast, a.Conf, a.Year),
+			AuthorYearQuery(a.AuthorFirst, a.AuthorLast, a.Year),
+			TitleYearQuery(a.Title, a.Year),
+			MSD(a),
+			InitialQuery(a.AuthorLast[0]),
+			LastNamePrefixQuery(a.AuthorLast[:2]),
+		}
+		msd := MSD(a)
+		for i, q := range queries {
+			if !q.Matches(d) {
+				t.Errorf("builder %d: %q does not match %+v", i, q, a)
+			}
+			if !q.Covers(msd) {
+				t.Errorf("builder %d: %q does not cover MSD %q", i, q, msd)
+			}
+		}
+	}
+}
+
+func TestParseQueryPaperSyntax(t *testing.T) {
+	got, err := ParseQuery("/article/author/last/Smith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(LastNameQuery("Smith")) {
+		t.Fatalf("ParseQuery = %q, want %q", got, LastNameQuery("Smith"))
+	}
+}
+
+func TestMSDUniquePerArticle(t *testing.T) {
+	c, err := Generate(Config{Articles: 300, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int, len(c.Articles))
+	for i, a := range c.Articles {
+		s := MSD(a).String()
+		if j, dup := seen[s]; dup {
+			t.Fatalf("articles %d and %d share MSD %q", i, j, s)
+		}
+		seen[s] = i
+	}
+}
+
+// Property: every generated article's MSD reconstructs the article.
+func TestGeneratedMSDRoundTripProperty(t *testing.T) {
+	c, err := Generate(Config{Articles: 400, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint16) bool {
+		a := c.Articles[int(idx)%len(c.Articles)]
+		d, err := MSD(a).Descriptor()
+		if err != nil {
+			return false
+		}
+		back, err := descriptor.ArticleFromDescriptor(d)
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerSamplerSkew(t *testing.T) {
+	s := newPowerSampler(100, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[s.sample(rng)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("power sampler not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if counts[0] == 20000 {
+		t.Fatal("power sampler degenerate")
+	}
+}
+
+func TestConfNameUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		name := confName(i)
+		if seen[name] {
+			t.Fatalf("duplicate conference name %q at %d", name, i)
+		}
+		seen[name] = true
+		if strings.ContainsAny(name, "[]/=") {
+			t.Fatalf("conference name %q contains query metacharacters", name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"dhtindex/internal/descriptor"
+)
+
+// ErrNoArticles is returned when the input stream holds no article
+// elements.
+var ErrNoArticles = errors.New("dataset: no articles in input")
+
+// LoadCorpus reads a DBLP-style XML stream — a sequence of <article>
+// elements, optionally wrapped in a container element such as <dblp> —
+// into a Corpus. It is the inverse of cmd/dbgen's output and the entry
+// point for feeding real bibliographic data into the system.
+//
+// Unknown elements are skipped; malformed article elements abort with a
+// positioned error. Author bookkeeping (Corpus.Authors / AuthorOf) is
+// reconstructed from the loaded records.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	dec := xml.NewDecoder(r)
+	c := &Corpus{}
+	authorIdx := make(map[Author]int)
+	for {
+		tok, err := dec.Token()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: load: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != "article" {
+			continue
+		}
+		a, err := decodeArticle(dec, &start)
+		if err != nil {
+			return nil, err
+		}
+		author := Author{First: a.AuthorFirst, Last: a.AuthorLast}
+		idx, seen := authorIdx[author]
+		if !seen {
+			idx = len(c.Authors)
+			authorIdx[author] = idx
+			c.Authors = append(c.Authors, author)
+		}
+		c.Articles = append(c.Articles, a)
+		c.AuthorOf = append(c.AuthorOf, idx)
+	}
+	if len(c.Articles) == 0 {
+		return nil, ErrNoArticles
+	}
+	return c, nil
+}
+
+// LoadCorpusString is LoadCorpus over a string.
+func LoadCorpusString(s string) (*Corpus, error) {
+	return LoadCorpus(strings.NewReader(s))
+}
+
+// decodeArticle parses one <article> subtree through the descriptor
+// layer, inheriting its normalization and validation.
+func decodeArticle(dec *xml.Decoder, start *xml.StartElement) (descriptor.Article, error) {
+	var raw struct {
+		Author struct {
+			First string `xml:"first"`
+			Last  string `xml:"last"`
+		} `xml:"author"`
+		Title string `xml:"title"`
+		Conf  string `xml:"conf"`
+		Year  int    `xml:"year"`
+		Size  int64  `xml:"size"`
+	}
+	if err := dec.DecodeElement(&raw, start); err != nil {
+		return descriptor.Article{}, fmt.Errorf("dataset: article: %w", err)
+	}
+	a := descriptor.Article{
+		AuthorFirst: strings.TrimSpace(raw.Author.First),
+		AuthorLast:  strings.TrimSpace(raw.Author.Last),
+		Title:       strings.TrimSpace(raw.Title),
+		Conf:        strings.TrimSpace(raw.Conf),
+		Year:        raw.Year,
+		Size:        raw.Size,
+	}
+	if a.AuthorLast == "" || a.Title == "" {
+		return descriptor.Article{}, fmt.Errorf("dataset: article missing author/title: %+v", a)
+	}
+	// Round-trip through the descriptor layer to reject records the rest
+	// of the system could not represent.
+	if _, err := descriptor.ArticleFromDescriptor(a.Descriptor()); err != nil {
+		return descriptor.Article{}, fmt.Errorf("dataset: article invalid: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<dblp>
+<article>
+  <author><first>John</first><last>Smith</last></author>
+  <title>TCP</title>
+  <conf>SIGCOMM</conf>
+  <year>1989</year>
+  <size>315635</size>
+</article>
+<article>
+  <author><first>John</first><last>Smith</last></author>
+  <title>IPv6</title>
+  <conf>INFOCOM</conf>
+  <year>1996</year>
+  <size>312352</size>
+</article>
+<article>
+  <author><first>Alan</first><last>Doe</last></author>
+  <title>Wavelets</title>
+  <conf>INFOCOM</conf>
+  <year>1996</year>
+  <size>259827</size>
+</article>
+</dblp>`
+
+func TestLoadCorpus(t *testing.T) {
+	c, err := LoadCorpusString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Articles) != 3 {
+		t.Fatalf("articles = %d", len(c.Articles))
+	}
+	if len(c.Authors) != 2 {
+		t.Fatalf("authors = %v", c.Authors)
+	}
+	if c.AuthorOf[0] != c.AuthorOf[1] || c.AuthorOf[0] == c.AuthorOf[2] {
+		t.Fatalf("author bookkeeping wrong: %v", c.AuthorOf)
+	}
+	if c.Articles[0].Title != "TCP" || c.Articles[0].Size != 315635 {
+		t.Fatalf("first article = %+v", c.Articles[0])
+	}
+}
+
+func TestLoadCorpusWithoutWrapper(t *testing.T) {
+	one := `<article>
+  <author><first>A</first><last>B</last></author>
+  <title>T</title><conf>C</conf><year>2000</year><size>1</size>
+</article>`
+	c, err := LoadCorpusString(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Articles) != 1 {
+		t.Fatalf("articles = %d", len(c.Articles))
+	}
+}
+
+func TestLoadCorpusSkipsUnknownElements(t *testing.T) {
+	mixed := `<dblp>
+<proceedings><title>ignored</title></proceedings>
+<article>
+  <author><first>A</first><last>B</last></author>
+  <title>T</title><conf>C</conf><year>2000</year><size>1</size>
+  <note>extra field is fine</note>
+</article>
+</dblp>`
+	c, err := LoadCorpusString(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Articles) != 1 {
+		t.Fatalf("articles = %d", len(c.Articles))
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no-articles":  "<dblp><misc>x</misc></dblp>",
+		"missing-last": "<article><title>T</title><conf>C</conf><year>2000</year><size>1</size></article>",
+		"bad-xml":      "<dblp><article><title>T</dblp>",
+	}
+	for name, in := range cases {
+		if _, err := LoadCorpusString(in); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadCorpusString("<dblp></dblp>"); !errors.Is(err, ErrNoArticles) {
+		t.Errorf("want ErrNoArticles, got %v", err)
+	}
+}
+
+// TestLoadCorpusRoundTripsGenerator: dbgen's XML output reloads into the
+// identical article list.
+func TestLoadCorpusRoundTripsGenerator(t *testing.T) {
+	gen, err := Generate(Config{Articles: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("<dblp>\n")
+	for _, a := range gen.Articles {
+		sb.WriteString(a.Descriptor().XML())
+	}
+	sb.WriteString("</dblp>\n")
+	loaded, err := LoadCorpusString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Articles) != len(gen.Articles) {
+		t.Fatalf("loaded %d, want %d", len(loaded.Articles), len(gen.Articles))
+	}
+	// The descriptor layer normalizes element order, so compare as sets
+	// of canonical MSDs.
+	want := map[string]bool{}
+	for _, a := range gen.Articles {
+		want[MSD(a).String()] = true
+	}
+	for _, a := range loaded.Articles {
+		if !want[MSD(a).String()] {
+			t.Fatalf("loaded article not in generated set: %+v", a)
+		}
+	}
+}

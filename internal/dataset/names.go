@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// Name material for the synthetic corpus. The pools are large enough that
+// (first, last) pairs rarely collide before the generator's uniqueness
+// loop intervenes, and string lengths resemble real bibliographic data so
+// that the byte-level traffic and storage measurements are realistic.
+
+var firstNames = []string{
+	"John", "Alan", "Mary", "Susan", "David", "Peter", "Laura", "James",
+	"Linda", "Robert", "Karen", "Thomas", "Nancy", "Daniel", "Carol",
+	"Mark", "Ruth", "Paul", "Anna", "Steven", "Li", "Wei", "Jun", "Yan",
+	"Akira", "Yuki", "Hans", "Greta", "Pierre", "Marie", "Luigi", "Sofia",
+	"Pablo", "Lucia", "Ivan", "Olga", "Lars", "Ingrid", "Miguel", "Elena",
+}
+
+var lastNames = []string{
+	"Smith", "Doe", "Johnson", "Williams", "Brown", "Jones", "Miller",
+	"Davis", "Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson",
+	"Taylor", "Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson",
+	"White", "Harris", "Clark", "Lewis", "Robinson", "Walker", "Young",
+	"Allen", "King", "Wright", "Chen", "Wang", "Zhang", "Liu", "Yang",
+	"Tanaka", "Suzuki", "Sato", "Mueller", "Schmidt", "Schneider",
+	"Fischer", "Weber", "Rossi", "Ferrari", "Dubois", "Moreau", "Ivanov",
+	"Petrov", "Andersson",
+}
+
+var titleAdjectives = []string{
+	"Scalable", "Distributed", "Adaptive", "Efficient", "Robust",
+	"Dynamic", "Optimal", "Parallel", "Secure", "Reliable", "Fast",
+	"Hierarchical", "Decentralized", "Incremental", "Approximate",
+	"Lightweight", "Fault-Tolerant", "Self-Organizing", "Hybrid",
+	"Probabilistic",
+}
+
+var titleNouns = []string{
+	"Routing", "Indexing", "Caching", "Lookup", "Storage", "Replication",
+	"Scheduling", "Consensus", "Multicast", "Aggregation", "Search",
+	"Naming", "Clustering", "Recovery", "Placement", "Balancing",
+	"Streaming", "Coding", "Sampling", "Filtering",
+}
+
+var titleDomains = []string{
+	"Peer-to-Peer Systems", "Overlay Networks", "Sensor Networks",
+	"Wide-Area Networks", "Content Networks", "Mobile Systems",
+	"Web Services", "Grid Computing", "Ad-Hoc Networks",
+	"Distributed Databases", "File Systems", "the Internet",
+	"Wireless Networks", "Cluster Computing", "Storage Systems",
+	"Multimedia Systems", "Pervasive Computing", "Data Centers",
+	"Publish-Subscribe Systems", "Hash Tables",
+}
+
+var confStems = []string{
+	"SIGCOMM", "INFOCOM", "ICDCS", "SOSP", "OSDI", "NSDI", "PODC",
+	"SPAA", "ICNP", "IPTPS", "MIDDLEWARE", "EUROSYS", "USENIX", "VLDB",
+	"SIGMOD", "ICDE", "WWW", "HPDC", "ICPP", "IPDPS",
+}
+
+func firstName(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))]
+}
+
+// lastName draws a base surname and, with some probability, appends a
+// deterministic suffix so that the surname pool is effectively unbounded
+// while staying homonym-rich (many authors share a surname, exercising the
+// Last-name index of Fig. 4).
+func lastName(rng *rand.Rand) string {
+	base := lastNames[rng.Intn(len(lastNames))]
+	if rng.Float64() < 0.3 {
+		return base + "-" + lastNames[rng.Intn(len(lastNames))]
+	}
+	return base
+}
+
+func titleWords(rng *rand.Rand) string {
+	return titleAdjectives[rng.Intn(len(titleAdjectives))] + " " +
+		titleNouns[rng.Intn(len(titleNouns))] + " in " +
+		titleDomains[rng.Intn(len(titleDomains))]
+}
+
+// confName deterministically names the i-th venue: the first venues get
+// real-looking stems, later ones numbered variants.
+func confName(i int) string {
+	if i < len(confStems) {
+		return confStems[i]
+	}
+	return confStems[i%len(confStems)] + "-W" + strconv.Itoa(i/len(confStems))
+}

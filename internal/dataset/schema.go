@@ -1,0 +1,175 @@
+// Package dataset provides the bibliographic application domain of the
+// paper's evaluation (§V-A): the descriptor schema of Figure 1, query
+// builders for every field combination the indexing schemes and the
+// workload use, and a deterministic synthetic corpus generator standing in
+// for the DBLP archive (see DESIGN.md, substitution table).
+package dataset
+
+import (
+	"strconv"
+	"strings"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/xpath"
+)
+
+// IsLeaf reports whether an element name is a leaf in the bibliographic
+// schema; it is the "human input" (§IV-C) that lets the paper-style query
+// syntax distinguish values from element names.
+func IsLeaf(name string) bool {
+	switch name {
+	case "first", "last", "title", "conf", "year", "size":
+		return true
+	}
+	return false
+}
+
+// ParseQuery parses a paper-style bibliographic query such as
+// /article/author/last/Smith or /article[author[first/John][last/Smith]].
+func ParseQuery(s string) (xpath.Query, error) {
+	return xpath.ParseWithSchema(s, IsLeaf)
+}
+
+// LastNameQuery matches all articles whose author has the given last name
+// (the paper's q6 shape, and the key of the "Last name" index of Fig. 4).
+func LastNameQuery(last string) xpath.Query {
+	return xpath.NewBuilder("article").Equal(last, "author", "last").Build()
+}
+
+// AuthorQuery matches all articles by the given author (q3 shape; the
+// "Author" index key of Fig. 4).
+func AuthorQuery(first, last string) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(first, "author", "first").
+		Equal(last, "author", "last").
+		Build()
+}
+
+// TitleQuery matches all articles with the given title (q4 shape).
+func TitleQuery(title string) xpath.Query {
+	return xpath.NewBuilder("article").Equal(title, "title").Build()
+}
+
+// ConfQuery matches all articles published at the given conference (q5).
+func ConfQuery(conf string) xpath.Query {
+	return xpath.NewBuilder("article").Equal(conf, "conf").Build()
+}
+
+// YearQuery matches all articles published in the given year.
+func YearQuery(year int) xpath.Query {
+	return xpath.NewBuilder("article").Equal(strconv.Itoa(year), "year").Build()
+}
+
+// AuthorTitleQuery matches articles by author and title (the "Article"
+// index key of Fig. 4).
+func AuthorTitleQuery(first, last, title string) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(first, "author", "first").
+		Equal(last, "author", "last").
+		Equal(title, "title").
+		Build()
+}
+
+// ConfYearQuery matches the proceedings of a conference edition (the
+// "Proceedings" index key of Fig. 4).
+func ConfYearQuery(conf string, year int) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(conf, "conf").
+		Equal(strconv.Itoa(year), "year").
+		Build()
+}
+
+// AuthorConfQuery matches articles by an author at a conference (used by
+// the complex scheme's split, §V-B).
+func AuthorConfQuery(first, last, conf string) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(first, "author", "first").
+		Equal(last, "author", "last").
+		Equal(conf, "conf").
+		Build()
+}
+
+// AuthorConfYearQuery matches articles by an author at one conference
+// edition (the deepest level of the complex scheme).
+func AuthorConfYearQuery(first, last, conf string, year int) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(first, "author", "first").
+		Equal(last, "author", "last").
+		Equal(conf, "conf").
+		Equal(strconv.Itoa(year), "year").
+		Build()
+}
+
+// AuthorYearQuery matches articles by author and year. No indexing scheme
+// indexes this combination, making it the workload's "non-indexed data"
+// case (Table I).
+func AuthorYearQuery(first, last string, year int) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(first, "author", "first").
+		Equal(last, "author", "last").
+		Equal(strconv.Itoa(year), "year").
+		Build()
+}
+
+// TitleYearQuery matches articles by title and year (present in the
+// BibFinder log's tail, Fig. 7).
+func TitleYearQuery(title string, year int) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(title, "title").
+		Equal(strconv.Itoa(year), "year").
+		Build()
+}
+
+// MSD returns the most specific query for an article.
+func MSD(a descriptor.Article) xpath.Query {
+	return xpath.MostSpecific(a.Descriptor())
+}
+
+// InitialQuery matches all articles whose author's last name starts with
+// the given letter — the first-letter substring index of §IV-C ("an index
+// with all the files of an author that start with the letter A, B, ...").
+// It relies on the dialect's value-prefix constraints ("S*" covers
+// "Smith").
+func InitialQuery(initial byte) xpath.Query {
+	return LastNamePrefixQuery(string(initial))
+}
+
+// LastNamePrefixQuery matches articles whose author's last name starts
+// with the given prefix (§IV-C substring matching).
+func LastNamePrefixQuery(prefix string) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal(prefix+"*", "author", "last").
+		Build()
+}
+
+// TitleKeywordQuery matches articles whose title contains the given word
+// — the "words in title" search of the BibFinder/NetBib interfaces
+// (§V-B), expressed as a contains-constraint.
+func TitleKeywordQuery(word string) xpath.Query {
+	return xpath.NewBuilder("article").
+		Equal("*"+word+"*", "title").
+		Build()
+}
+
+// TitleWords splits a title into the keywords worth indexing: words of at
+// least minLen letters, stopwords dropped, original casing kept (the
+// descriptor model matches values verbatim).
+func TitleWords(title string, minLen int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, w := range strings.FieldsFunc(title, func(r rune) bool {
+		return r == ' ' || r == '-' || r == ',' || r == ':'
+	}) {
+		if len(w) < minLen || stopwords[strings.ToLower(w)] || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+var stopwords = map[string]bool{
+	"the": true, "and": true, "for": true, "with": true, "from": true,
+	"into": true, "over": true, "under": true, "towards": true,
+}

@@ -1,0 +1,104 @@
+package descriptor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Article is the bibliographic record type used throughout the paper's
+// evaluation (Figure 1): an author (first/last), a title, a conference,
+// a publication year and the file size in bytes.
+type Article struct {
+	AuthorFirst string
+	AuthorLast  string
+	Title       string
+	Conf        string
+	Year        int
+	Size        int64
+}
+
+// ErrNotArticle is returned when a descriptor does not have the
+// bibliographic shape of Figure 1.
+var ErrNotArticle = errors.New("descriptor: not an article descriptor")
+
+// Descriptor builds the article's descriptor tree, matching Figure 1:
+//
+//	<article>
+//	  <author><first>John</first><last>Smith</last></author>
+//	  <title>TCP</title> <conf>SIGCOMM</conf> <year>1989</year> <size>...</size>
+//	</article>
+func (a Article) Descriptor() Descriptor {
+	root := NewNode("article",
+		NewNode("author",
+			NewLeaf("first", a.AuthorFirst),
+			NewLeaf("last", a.AuthorLast),
+		),
+		NewLeaf("title", a.Title),
+		NewLeaf("conf", a.Conf),
+		NewLeaf("year", strconv.Itoa(a.Year)),
+		NewLeaf("size", strconv.FormatInt(a.Size, 10)),
+	)
+	return New(root)
+}
+
+// Author returns "First Last".
+func (a Article) Author() string {
+	return a.AuthorFirst + " " + a.AuthorLast
+}
+
+// ArticleFromDescriptor reconstructs an Article from a descriptor produced
+// by Article.Descriptor (or any descriptor with the same shape).
+func ArticleFromDescriptor(d Descriptor) (Article, error) {
+	if d.Root == nil || d.Root.Name != "article" {
+		return Article{}, ErrNotArticle
+	}
+	get := func(names ...string) (string, error) {
+		el := d.Root.Path(names...)
+		if el == nil || !el.IsLeaf() {
+			return "", fmt.Errorf("%w: missing %v", ErrNotArticle, names)
+		}
+		return el.Value, nil
+	}
+	var (
+		a   Article
+		err error
+	)
+	if a.AuthorFirst, err = get("author", "first"); err != nil {
+		return Article{}, err
+	}
+	if a.AuthorLast, err = get("author", "last"); err != nil {
+		return Article{}, err
+	}
+	if a.Title, err = get("title"); err != nil {
+		return Article{}, err
+	}
+	if a.Conf, err = get("conf"); err != nil {
+		return Article{}, err
+	}
+	yearStr, err := get("year")
+	if err != nil {
+		return Article{}, err
+	}
+	if a.Year, err = strconv.Atoi(yearStr); err != nil {
+		return Article{}, fmt.Errorf("%w: bad year %q", ErrNotArticle, yearStr)
+	}
+	sizeStr, err := get("size")
+	if err != nil {
+		return Article{}, err
+	}
+	if a.Size, err = strconv.ParseInt(sizeStr, 10, 64); err != nil {
+		return Article{}, fmt.Errorf("%w: bad size %q", ErrNotArticle, sizeStr)
+	}
+	return a, nil
+}
+
+// Fig1Articles returns the three sample articles of the paper's Figure 1
+// (d1, d2, d3), used by tests and the quickstart example.
+func Fig1Articles() []Article {
+	return []Article{
+		{AuthorFirst: "John", AuthorLast: "Smith", Title: "TCP", Conf: "SIGCOMM", Year: 1989, Size: 315635},
+		{AuthorFirst: "John", AuthorLast: "Smith", Title: "IPv6", Conf: "INFOCOM", Year: 1996, Size: 312352},
+		{AuthorFirst: "Alan", AuthorLast: "Doe", Title: "Wavelets", Conf: "INFOCOM", Year: 1996, Size: 259827},
+	}
+}

@@ -1,0 +1,194 @@
+package descriptor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const d1XML = `<article>
+  <author><first>John</first><last>Smith</last></author>
+  <title>TCP</title>
+  <conf>SIGCOMM</conf>
+  <year>1989</year>
+  <size>315635</size>
+</article>`
+
+func TestParseFig1(t *testing.T) {
+	d, err := ParseString(d1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Name != "article" {
+		t.Fatalf("root = %q", d.Root.Name)
+	}
+	if got := d.Root.Path("author", "last"); got == nil || got.Value != "Smith" {
+		t.Fatalf("author/last = %v", got)
+	}
+	if got := d.Root.Path("title"); got == nil || got.Value != "TCP" {
+		t.Fatalf("title = %v", got)
+	}
+	if d.Root.Path("nope") != nil {
+		t.Fatal("Path on missing element must be nil")
+	}
+}
+
+func TestParseNormalizationOrderIndependent(t *testing.T) {
+	reordered := `<article>
+  <year>1989</year>
+  <size>315635</size>
+  <title>TCP</title>
+  <conf>SIGCOMM</conf>
+  <author><last>Smith</last><first>John</first></author>
+</article>`
+	a, err := ParseString(d1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseString(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("reordered document not normalized:\n%s\n%s", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":    "",
+		"mixed":    "<a>text<b>x</b></a>",
+		"tworoots": "<a>1</a><b>2</b>",
+		"bad":      "<a><b></a>",
+	}
+	for name, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("%s: ParseString(%q) succeeded, want error", name, in)
+		}
+	}
+	if _, err := ParseString(""); !errors.Is(err, ErrEmptyDocument) {
+		t.Error("empty input must return ErrEmptyDocument")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	for _, a := range Fig1Articles() {
+		d := a.Descriptor()
+		parsed, err := ParseString(d.XML())
+		if err != nil {
+			t.Fatalf("re-parse XML of %v: %v", a, err)
+		}
+		if !parsed.Equal(d) {
+			t.Fatalf("XML round trip changed descriptor:\n%s\n%s", d, parsed)
+		}
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	d := New(NewNode("doc", NewLeaf("title", `Tags <&> "quoted"`)))
+	parsed, err := ParseString(d.XML())
+	if err != nil {
+		t.Fatalf("re-parse escaped XML: %v", err)
+	}
+	if !parsed.Equal(d) {
+		t.Fatalf("escaping round trip failed:\n%s\n%s", d.XML(), parsed.XML())
+	}
+}
+
+func TestArticleDescriptorRoundTrip(t *testing.T) {
+	for _, a := range Fig1Articles() {
+		got, err := ArticleFromDescriptor(a.Descriptor())
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("round trip: got %+v, want %+v", got, a)
+		}
+	}
+}
+
+func TestArticleFromDescriptorErrors(t *testing.T) {
+	cases := []Descriptor{
+		{},
+		New(NewNode("book", NewLeaf("title", "x"))),
+		New(NewNode("article", NewLeaf("title", "x"))),
+		New(NewNode("article",
+			NewNode("author", NewLeaf("first", "A"), NewLeaf("last", "B")),
+			NewLeaf("title", "T"), NewLeaf("conf", "C"),
+			NewLeaf("year", "not-a-year"), NewLeaf("size", "1"))),
+	}
+	for i, d := range cases {
+		if _, err := ArticleFromDescriptor(d); !errors.Is(err, ErrNotArticle) {
+			t.Errorf("case %d: err = %v, want ErrNotArticle", i, err)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Fig1Articles()[0].Descriptor()
+	clone := d.Root.Clone()
+	clone.Path("author", "last").Value = "Changed"
+	if d.Root.Path("author", "last").Value != "Smith" {
+		t.Fatal("Clone is shallow: mutation leaked into original")
+	}
+}
+
+func TestChildAndIsLeaf(t *testing.T) {
+	e := NewNode("a", NewLeaf("b", "1"), NewLeaf("c", "2"))
+	if e.IsLeaf() {
+		t.Fatal("interior node reported as leaf")
+	}
+	if c := e.Child("c"); c == nil || c.Value != "2" {
+		t.Fatalf("Child(c) = %v", c)
+	}
+	if e.Child("z") != nil {
+		t.Fatal("Child on missing name must be nil")
+	}
+}
+
+func TestFig1ArticlesMatchPaper(t *testing.T) {
+	arts := Fig1Articles()
+	if len(arts) != 3 {
+		t.Fatalf("want 3 articles, got %d", len(arts))
+	}
+	if arts[0].Size != 315635 || arts[0].Conf != "SIGCOMM" || arts[0].Year != 1989 {
+		t.Fatalf("d1 mismatch: %+v", arts[0])
+	}
+	if arts[2].AuthorLast != "Doe" || arts[2].Title != "Wavelets" {
+		t.Fatalf("d3 mismatch: %+v", arts[2])
+	}
+}
+
+// Property: Article -> Descriptor -> Article is the identity for sane
+// field values.
+func TestArticleRoundTripProperty(t *testing.T) {
+	f := func(first, last, title, conf string, year uint16, size uint32) bool {
+		a := Article{
+			AuthorFirst: sanitize(first), AuthorLast: sanitize(last),
+			Title: sanitize(title), Conf: sanitize(conf),
+			Year: int(year), Size: int64(size),
+		}
+		got, err := ArticleFromDescriptor(a.Descriptor())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize maps arbitrary fuzz strings into the token alphabet the data
+// model uses (no XML metacharacters inside canonical forms; values are
+// trimmed by the parser, so avoid leading/trailing space).
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() == 0 {
+		return "x"
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+func TestOverlayPutGetRemove(t *testing.T) {
+	n, _ := mustNetwork(t, 16)
+	ov := AsOverlay(n, 1)
+	key := keyspace.NewKey("doc")
+	e := overlay.Entry{Kind: "data", Value: "v1"}
+	route, err := ov.Put(key, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := n.OwnerOf(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Node != oracle.Addr {
+		t.Fatalf("put landed on %s, oracle %s", route.Node, oracle.Addr)
+	}
+	entries, route2, err := ov.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != e || route2.Node != route.Node {
+		t.Fatalf("get = %v @ %s", entries, route2.Node)
+	}
+	removed, err := ov.Remove(key, e)
+	if err != nil || !removed {
+		t.Fatalf("remove = %v, %v", removed, err)
+	}
+	entries, _, err = ov.Get(key)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("after remove: %v, %v", entries, err)
+	}
+}
+
+func TestOverlayAddrsAndSize(t *testing.T) {
+	n, _ := mustNetwork(t, 8)
+	ov := AsOverlay(n, 1)
+	addrs := ov.Addrs()
+	if len(addrs) != 8 || ov.Size() != 8 {
+		t.Fatalf("addrs = %v, size = %d", addrs, ov.Size())
+	}
+	// Ring order: addresses sorted by their key position, all distinct.
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate addr %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestOverlayStatsOf(t *testing.T) {
+	n, _ := mustNetwork(t, 4)
+	ov := AsOverlay(n, 1)
+	key := keyspace.NewKey("k")
+	if _, err := ov.Put(key, overlay.Entry{Kind: "index", Value: "abcd"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Put(key, overlay.Entry{Kind: "data", Value: "ef"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := n.OwnerOf(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ov.StatsOf(owner.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keys != 1 || stats.EntriesByKind["index"] != 1 || stats.EntriesByKind["data"] != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Per-kind bytes include the per-key overhead once per kind.
+	if stats.BytesByKind["index"] != int64(4+keyspace.Size) {
+		t.Fatalf("index bytes = %d", stats.BytesByKind["index"])
+	}
+	if stats.BytesByKind["data"] != int64(2+keyspace.Size) {
+		t.Fatalf("data bytes = %d", stats.BytesByKind["data"])
+	}
+	if _, err := ov.StatsOf("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverlayEmptyNetwork(t *testing.T) {
+	ov := AsOverlay(NewNetwork(1), 1)
+	if _, err := ov.Put(keyspace.NewKey("x"), overlay.Entry{Kind: "d", Value: "v"}); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ov.Get(keyspace.NewKey("x")); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ov.Remove(keyspace.NewKey("x"), overlay.Entry{}); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverlayString(t *testing.T) {
+	n, _ := mustNetwork(t, 3)
+	ov := AsOverlay(n, 1)
+	if got := ov.String(); !strings.Contains(got, "chord") || !strings.Contains(got, "3") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOverlayDeterministicStarts(t *testing.T) {
+	n, _ := mustNetwork(t, 16)
+	a := AsOverlay(n, 7)
+	b := AsOverlay(n, 7)
+	// Same seed: the same sequence of contact nodes, hence identical hops.
+	for i := 0; i < 20; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("k%d", i))
+		_, ra, err := a.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rb, err := b.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra != rb {
+			t.Fatalf("routes diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestNodeKeyCount(t *testing.T) {
+	nd := newNode("n")
+	if nd.KeyCount() != 0 {
+		t.Fatal("fresh node has keys")
+	}
+	nd.putLocal(keyspace.NewKey("a"), Entry{Kind: "d", Value: "1"})
+	nd.putLocal(keyspace.NewKey("b"), Entry{Kind: "d", Value: "2"})
+	if nd.KeyCount() != 2 {
+		t.Fatalf("KeyCount = %d", nd.KeyCount())
+	}
+}
+
+func TestNetworkNodesSortedCopy(t *testing.T) {
+	n, _ := mustNetwork(t, 6)
+	nodes := n.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID.Cmp(nodes[i].ID) >= 0 {
+			t.Fatal("Nodes not in ring order")
+		}
+	}
+	// Mutating the returned slice must not corrupt the network.
+	nodes[0] = nil
+	if n.Nodes()[0] == nil {
+		t.Fatal("Nodes returned internal slice")
+	}
+}

@@ -1,0 +1,68 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+)
+
+// TestConcurrentAccess exercises the documented concurrency contract:
+// parallel puts, gets, lookups and membership changes must be safe (run
+// under -race to validate).
+func TestConcurrentAccess(t *testing.T) {
+	n, nodes := mustNetwork(t, 16)
+	var wg sync.WaitGroup
+	const workers = 8
+	const opsPerWorker = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				key := keyspace.NewKey(fmt.Sprintf("w%d-k%d", w, i%37))
+				switch i % 4 {
+				case 0:
+					if _, err := n.Put(nodes[w%len(nodes)], key, Entry{Kind: "d", Value: "v"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := n.Get(nodes[(w+1)%len(nodes)], key); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := n.Lookup(nodes[(w+2)%len(nodes)], key); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					_ = n.KeyLoad()
+				}
+			}
+		}(w)
+	}
+	// Concurrent membership churn: add and remove nodes while traffic
+	// flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			addr := fmt.Sprintf("churny-%d", i)
+			if _, err := n.AddNode(addr); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := n.RemoveNode(addr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := n.VerifyRing(); err != nil {
+		t.Fatalf("ring invariants after concurrent access: %v", err)
+	}
+}

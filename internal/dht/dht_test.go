@@ -1,0 +1,360 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dhtindex/internal/keyspace"
+)
+
+func mustNetwork(t *testing.T, size int) (*Network, []*Node) {
+	t.Helper()
+	n := NewNetwork(1)
+	nodes, err := n.Populate(size)
+	if err != nil {
+		t.Fatalf("Populate(%d): %v", size, err)
+	}
+	return n, nodes
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := NewNetwork(1)
+	if _, err := n.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("a"); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate add: err=%v, want ErrNodeExists", err)
+	}
+}
+
+func TestLookupEmptyNetwork(t *testing.T) {
+	n := NewNetwork(1)
+	if _, err := n.Lookup(nil, keyspace.NewKey("x")); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("err=%v, want ErrEmptyNetwork", err)
+	}
+	if _, err := n.OwnerOf(keyspace.NewKey("x")); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("err=%v, want ErrEmptyNetwork", err)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	n, nodes := mustNetwork(t, 1)
+	for _, s := range []string{"a", "b", "c"} {
+		res, err := n.Lookup(nodes[0], keyspace.NewKey(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Owner != nodes[0] {
+			t.Fatalf("key %q owned by %s, want the only node", s, res.Owner.Addr)
+		}
+		if res.Hops != 0 {
+			t.Fatalf("single-node lookup took %d hops", res.Hops)
+		}
+	}
+}
+
+func TestLookupMatchesOracleFromEveryStart(t *testing.T) {
+	n, nodes := mustNetwork(t, 32)
+	keys := make([]keyspace.Key, 0, 50)
+	for i := 0; i < 50; i++ {
+		keys = append(keys, keyspace.NewKey(fmt.Sprintf("key-%d", i)))
+	}
+	for _, k := range keys {
+		oracle, err := n.OwnerOf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, start := range nodes {
+			res, err := n.Lookup(start, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Owner != oracle {
+				t.Fatalf("key %s from %s: routed to %s, oracle says %s",
+					k.Short(), start.Addr, res.Owner.Addr, oracle.Addr)
+			}
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	n, nodes := mustNetwork(t, 128)
+	n.ResetMetrics()
+	for i := 0; i < 500; i++ {
+		start := nodes[i%len(nodes)]
+		if _, err := n.Lookup(start, keyspace.NewKey(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := n.Metrics()
+	mean := float64(m.Hops) / float64(m.Lookups)
+	bound := 2 * math.Log2(128)
+	if mean > bound {
+		t.Fatalf("mean hops %.2f exceeds 2*log2(N)=%.2f", mean, bound)
+	}
+	if m.MaxHops > 3*int(math.Log2(128))+3 {
+		t.Fatalf("max hops %d too large for 128 nodes", m.MaxHops)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	n, nodes := mustNetwork(t, 16)
+	key := keyspace.NewKey("/article/author/last/Smith")
+	want := Entry{Kind: "index", Value: "/article/author[first/John][last/Smith]"}
+	if _, err := n.Put(nodes[3], key, want); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := n.Get(nodes[9], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != want {
+		t.Fatalf("Get = %v, want [%v]", entries, want)
+	}
+}
+
+func TestPutIdempotentAndMultiEntry(t *testing.T) {
+	n, nodes := mustNetwork(t, 8)
+	key := keyspace.NewKey("k")
+	a := Entry{Kind: "index", Value: "a"}
+	b := Entry{Kind: "index", Value: "b"}
+	for i := 0; i < 3; i++ {
+		if _, err := n.Put(nodes[0], key, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Put(nodes[0], key, b); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := n.Get(nodes[1], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (dedup + multi-entry)", len(entries))
+	}
+}
+
+func TestRemoveEntry(t *testing.T) {
+	n, nodes := mustNetwork(t, 8)
+	key := keyspace.NewKey("k")
+	e := Entry{Kind: "index", Value: "v"}
+	if _, err := n.Put(nodes[0], key, e); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := n.Remove(nodes[2], key, e)
+	if err != nil || !removed {
+		t.Fatalf("Remove = (%v, %v), want (true, nil)", removed, err)
+	}
+	entries, _, err := n.Get(nodes[2], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("entries after remove: %v", entries)
+	}
+	removed, err = n.Remove(nodes[2], key, e)
+	if err != nil || removed {
+		t.Fatalf("second Remove = (%v, %v), want (false, nil)", removed, err)
+	}
+}
+
+func TestGracefulLeaveKeepsData(t *testing.T) {
+	n, nodes := mustNetwork(t, 16)
+	keys := make([]keyspace.Key, 0, 40)
+	for i := 0; i < 40; i++ {
+		k := keyspace.NewKey(fmt.Sprintf("doc-%d", i))
+		keys = append(keys, k)
+		if _, err := n.Put(nodes[0], k, Entry{Kind: "data", Value: fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove half the nodes gracefully.
+	for i := 0; i < 8; i++ {
+		if err := n.RemoveNode(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.VerifyRing(); err != nil {
+		t.Fatalf("ring invariant after leaves: %v", err)
+	}
+	for i, k := range keys {
+		entries, _, err := n.Get(nil, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			t.Fatalf("key %d lost after graceful leaves: %v", i, entries)
+		}
+	}
+}
+
+func TestJoinMigratesKeys(t *testing.T) {
+	n, _ := mustNetwork(t, 4)
+	for i := 0; i < 60; i++ {
+		k := keyspace.NewKey(fmt.Sprintf("doc-%d", i))
+		if _, err := n.Put(nil, k, Entry{Kind: "data", Value: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := n.AddNode(fmt.Sprintf("late-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.VerifyRing(); err != nil {
+		t.Fatalf("ring invariant after joins: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		k := keyspace.NewKey(fmt.Sprintf("doc-%d", i))
+		entries, _, err := n.Get(nil, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			t.Fatalf("key %d not found after joins", i)
+		}
+	}
+}
+
+func TestReplicationSurvivesCrash(t *testing.T) {
+	n := NewNetwork(7)
+	n.ReplicationFactor = 2
+	if _, err := n.Populate(12); err != nil {
+		t.Fatal(err)
+	}
+	key := keyspace.NewKey("precious")
+	if _, err := n.Put(nil, key, Entry{Kind: "data", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := n.OwnerOf(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailNode(owner.Addr); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := n.Get(nil, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entry lost despite replication factor 2")
+	}
+}
+
+func TestCrashWithoutReplicationLosesData(t *testing.T) {
+	n, _ := mustNetwork(t, 12)
+	key := keyspace.NewKey("fragile")
+	if _, err := n.Put(nil, key, Entry{Kind: "data", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := n.OwnerOf(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailNode(owner.Addr); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := n.Get(nil, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("entry survived crash without replication: %v", entries)
+	}
+}
+
+func TestStabilizeAfterChurn(t *testing.T) {
+	n, _ := mustNetwork(t, 30)
+	for i := 0; i < 10; i++ {
+		if err := n.FailNode(fmt.Sprintf("node-%04d", i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Stabilize()
+	if err := n.VerifyRing(); err != nil {
+		t.Fatalf("ring not converged after Stabilize: %v", err)
+	}
+	if n.Size() != 20 {
+		t.Fatalf("size = %d, want 20", n.Size())
+	}
+}
+
+func TestKeyLoadBalance(t *testing.T) {
+	n, _ := mustNetwork(t, 64)
+	for i := 0; i < 6400; i++ {
+		if _, err := n.Put(nil, keyspace.NewKey(fmt.Sprintf("k%d", i)), Entry{Kind: "d", Value: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := n.KeyLoad()
+	if stats.TotalKeys != 6400 {
+		t.Fatalf("TotalKeys = %d, want 6400", stats.TotalKeys)
+	}
+	if stats.MeanKeys != 100 {
+		t.Fatalf("MeanKeys = %.1f, want 100", stats.MeanKeys)
+	}
+	// Consistent hashing spreads keys; the max should be within a small
+	// constant factor of the mean for 64 nodes / 6400 keys.
+	if float64(stats.MaxKeys) > 8*stats.MeanKeys {
+		t.Fatalf("max load %d implausibly skewed vs mean %.1f", stats.MaxKeys, stats.MeanKeys)
+	}
+}
+
+func TestNodeStoredBytes(t *testing.T) {
+	nd := newNode("n")
+	key := keyspace.NewKey("k")
+	nd.putLocal(key, Entry{Kind: "index", Value: "abcd"})
+	nd.putLocal(key, Entry{Kind: "cache", Value: "ef"})
+	if got := nd.StoredBytes("index"); got != int64(4+keyspace.Size) {
+		t.Fatalf("StoredBytes(index) = %d", got)
+	}
+	if got := nd.StoredBytes(""); got != int64(6+keyspace.Size) {
+		t.Fatalf("StoredBytes(all) = %d", got)
+	}
+	if got := nd.EntryCount(""); got != 2 {
+		t.Fatalf("EntryCount = %d, want 2", got)
+	}
+	if got := nd.EntryCount("cache"); got != 1 {
+		t.Fatalf("EntryCount(cache) = %d, want 1", got)
+	}
+}
+
+// Property: routed lookup agrees with the oracle owner for random keys and
+// random start nodes, on a fixed medium-size ring.
+func TestLookupOracleProperty(t *testing.T) {
+	n, nodes := mustNetwork(t, 48)
+	f := func(seed uint32, startIdx uint8) bool {
+		k := keyspace.NewKey(fmt.Sprintf("prop-%d", seed))
+		start := nodes[int(startIdx)%len(nodes)]
+		res, err := n.Lookup(start, k)
+		if err != nil {
+			return false
+		}
+		oracle, err := n.OwnerOf(k)
+		if err != nil {
+			return false
+		}
+		return res.Owner == oracle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeAtUnknown(t *testing.T) {
+	n, _ := mustNetwork(t, 2)
+	if _, err := n.NodeAt("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("err = %v, want ErrNodeUnknown", err)
+	}
+	if err := n.RemoveNode("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("RemoveNode err = %v, want ErrNodeUnknown", err)
+	}
+	if err := n.FailNode("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("FailNode err = %v, want ErrNodeUnknown", err)
+	}
+}

@@ -1,0 +1,156 @@
+package dht
+
+import (
+	"dhtindex/internal/keyspace"
+)
+
+// LookupResult reports the outcome of a routed key lookup.
+type LookupResult struct {
+	// Owner is the node responsible for the key.
+	Owner *Node
+	// Hops is the number of inter-node routing messages used to reach it.
+	Hops int
+}
+
+// Lookup routes from an arbitrary live start node to the owner of key using
+// Chord's iterative finger-table routing and returns the owner with the hop
+// count. If start is nil a deterministic first node is used.
+func (n *Network) Lookup(start *Node, key keyspace.Key) (LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lookupLocked(start, key)
+}
+
+// OwnerOf returns the node responsible for key without routing (oracle
+// view); it is what the paper assumes the substrate provides, and is used
+// by tests to validate routed lookups.
+func (n *Network) OwnerOf(key keyspace.Key) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.sorted) == 0 {
+		return nil, ErrEmptyNetwork
+	}
+	return n.ownerOfLocked(key), nil
+}
+
+// lookupLocked implements routed lookup. Callers hold n.mu.
+func (n *Network) lookupLocked(start *Node, key keyspace.Key) (LookupResult, error) {
+	if len(n.sorted) == 0 {
+		return LookupResult{}, ErrEmptyNetwork
+	}
+	if start == nil {
+		start = n.sorted[0]
+	}
+	current := start
+	hops := 0
+	// Bound the walk defensively: a correct finger-table walk takes
+	// O(log N) hops; 2*Bits steps can only be exceeded by a routing bug.
+	for step := 0; step < 2*keyspace.Bits; step++ {
+		succ := current.successor
+		if succ == nil || key.Between(current.ID, succ.ID) {
+			owner := succ
+			if owner == nil { // single-node ring
+				owner = current
+			}
+			if owner != current {
+				hops++
+			}
+			n.metrics.Lookups++
+			n.metrics.Hops += hops
+			if hops > n.metrics.MaxHops {
+				n.metrics.MaxHops = hops
+			}
+			return LookupResult{Owner: owner, Hops: hops}, nil
+		}
+		next := n.closestPrecedingLocked(current, key)
+		if next == current {
+			next = succ
+		}
+		current = next
+		hops++
+	}
+	// Routing failed to converge; fall back to the oracle view so that the
+	// simulation keeps functioning, but record the worst case.
+	n.metrics.Lookups++
+	n.metrics.Hops += hops
+	return LookupResult{Owner: n.ownerOfLocked(key), Hops: hops}, nil
+}
+
+// closestPrecedingLocked returns the finger of node that most closely
+// precedes key, per the Chord routing rule. Callers hold n.mu.
+func (n *Network) closestPrecedingLocked(node *Node, key keyspace.Key) *Node {
+	fingers := n.fingersOf(node)
+	for i := keyspace.Bits - 1; i >= 0; i-- {
+		f := fingers[i]
+		if f == nil || f == node {
+			continue
+		}
+		if f.ID.BetweenOpen(node.ID, key) {
+			return f
+		}
+	}
+	return node
+}
+
+// Put stores an entry under key on the owner node (and on
+// ReplicationFactor successors when replication is enabled), routing from
+// start. It returns the owner and the hop count of the routing step.
+func (n *Network) Put(start *Node, key keyspace.Key, e Entry) (LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	res, err := n.lookupLocked(start, key)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	res.Owner.putLocal(key, e)
+	n.metrics.StoreOps++
+	n.metrics.BytesShipped += int64(len(e.Value))
+	for i := 0; i < n.ReplicationFactor && i < len(res.Owner.succList); i++ {
+		res.Owner.succList[i].putLocal(key, e)
+		n.metrics.BytesShipped += int64(len(e.Value))
+	}
+	return res, nil
+}
+
+// Get retrieves the entries stored under key, routing from start. When the
+// owner has no entries but replication is enabled, the successor replicas
+// are consulted (failover read).
+func (n *Network) Get(start *Node, key keyspace.Key) ([]Entry, LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	res, err := n.lookupLocked(start, key)
+	if err != nil {
+		return nil, LookupResult{}, err
+	}
+	n.metrics.RetrieveOps++
+	entries := res.Owner.getLocal(key)
+	if entries == nil && n.ReplicationFactor > 0 {
+		for i := 0; i < n.ReplicationFactor && i < len(res.Owner.succList); i++ {
+			if entries = res.Owner.succList[i].getLocal(key); entries != nil {
+				res.Hops++
+				n.metrics.FailoverReads++
+				break
+			}
+		}
+	}
+	for _, e := range entries {
+		n.metrics.BytesShipped += int64(len(e.Value))
+	}
+	return entries, res, nil
+}
+
+// Remove deletes the exact entry under key from the owner (and replicas).
+// It reports whether the entry existed on the owner.
+func (n *Network) Remove(start *Node, key keyspace.Key, e Entry) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	res, err := n.lookupLocked(start, key)
+	if err != nil {
+		return false, err
+	}
+	removed := res.Owner.removeLocal(key, e)
+	for i := 0; i < n.ReplicationFactor && i < len(res.Owner.succList); i++ {
+		res.Owner.succList[i].removeLocal(key, e)
+	}
+	return removed, nil
+}

@@ -1,0 +1,115 @@
+package dht
+
+import (
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// Entry is one value stored under a key — the substrate-neutral entry
+// type of the overlay contract. The paper's only requirement on the
+// storage substrate is "the registration of multiple entries using the
+// same key" (§II).
+type Entry = overlay.Entry
+
+// Node is a single DHT peer. Exported fields are immutable after creation;
+// the mutable routing and storage state is owned by the Network's lock.
+type Node struct {
+	// Addr is the node's network address (unique within the overlay).
+	Addr string
+	// ID is the node's position on the ring: SHA-1 of its address.
+	ID keyspace.Key
+
+	successor   *Node
+	predecessor *Node
+	succList    []*Node
+	fingers     [keyspace.Bits]*Node
+	fingerEpoch uint64
+
+	store map[keyspace.Key][]Entry
+}
+
+func newNode(addr string) *Node {
+	return &Node{
+		Addr:  addr,
+		ID:    keyspace.NewKey(addr),
+		store: make(map[keyspace.Key][]Entry),
+	}
+}
+
+// putLocal appends an entry under key in this node's local store, deduping
+// exact (Kind, Value) repeats so re-inserting an index mapping is idempotent.
+func (nd *Node) putLocal(key keyspace.Key, e Entry) bool {
+	for _, have := range nd.store[key] {
+		if have == e {
+			return false
+		}
+	}
+	nd.store[key] = append(nd.store[key], e)
+	return true
+}
+
+// getLocal returns a copy of the entries stored under key.
+func (nd *Node) getLocal(key keyspace.Key) []Entry {
+	entries := nd.store[key]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// removeLocal deletes the exact (Kind, Value) entry under key, returning
+// whether it was present.
+func (nd *Node) removeLocal(key keyspace.Key, e Entry) bool {
+	entries := nd.store[key]
+	for i, have := range entries {
+		if have == e {
+			entries = append(entries[:i], entries[i+1:]...)
+			if len(entries) == 0 {
+				delete(nd.store, key)
+			} else {
+				nd.store[key] = entries
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// KeyCount returns the number of distinct keys stored locally.
+func (nd *Node) KeyCount() int { return len(nd.store) }
+
+// EntryCount returns the number of entries of the given kind stored locally
+// (all kinds when kind is empty).
+func (nd *Node) EntryCount(kind string) int {
+	total := 0
+	for _, entries := range nd.store {
+		for _, e := range entries {
+			if kind == "" || e.Kind == kind {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// StoredBytes returns the total payload bytes of entries of the given kind
+// (all kinds when kind is empty), including the key overhead per distinct
+// key, approximating the storage accounting of §V-B.
+func (nd *Node) StoredBytes(kind string) int64 {
+	var total int64
+	for _, entries := range nd.store {
+		counted := false
+		for _, e := range entries {
+			if kind == "" || e.Kind == kind {
+				total += int64(len(e.Value))
+				if !counted {
+					total += keyspace.Size
+					counted = true
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,108 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stabilize eagerly refreshes every node's routing state (successor,
+// predecessor, successor list, finger table) against current membership.
+// Joins and leaves already repair pointers lazily; calling Stabilize after
+// heavy churn pre-pays the finger rebuilds so that subsequent lookup hop
+// counts reflect a converged ring, matching steady-state Chord.
+func (n *Network) Stabilize() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rebuildPointers()
+	for _, node := range n.sorted {
+		n.fillFingers(node)
+	}
+}
+
+// VerifyRing checks the structural invariants of the overlay and returns a
+// descriptive error on the first violation. It is used by tests and can be
+// used by operators as a health check.
+//
+// Invariants: the successor/predecessor pointers form a single cycle in ID
+// order; every node's successor list is a prefix of the ring walk from that
+// node; every stored key lies in its holder's ownership interval
+// (predecessor.ID, node.ID] unless replication is enabled.
+func (n *Network) VerifyRing() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := len(n.sorted)
+	if count == 0 {
+		return nil
+	}
+	for i, node := range n.sorted {
+		wantSucc := n.sorted[(i+1)%count]
+		if node.successor != wantSucc {
+			return fmt.Errorf("dht: node %s successor is %s, want %s",
+				node.Addr, addrOf(node.successor), wantSucc.Addr)
+		}
+		wantPred := n.sorted[(i-1+count)%count]
+		if node.predecessor != wantPred {
+			return fmt.Errorf("dht: node %s predecessor is %s, want %s",
+				node.Addr, addrOf(node.predecessor), wantPred.Addr)
+		}
+		for j, s := range node.succList {
+			want := n.sorted[(i+j+1)%count]
+			if s != want {
+				return fmt.Errorf("dht: node %s succList[%d] is %s, want %s",
+					node.Addr, j, addrOf(s), want.Addr)
+			}
+		}
+		if n.ReplicationFactor == 0 && count > 1 {
+			for k := range node.store {
+				if !k.Between(node.predecessor.ID, node.ID) {
+					return fmt.Errorf("dht: node %s stores foreign key %s", node.Addr, k.Short())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func addrOf(nd *Node) string {
+	if nd == nil {
+		return "<nil>"
+	}
+	return nd.Addr
+}
+
+// LoadStats describes how keys are spread across nodes.
+type LoadStats struct {
+	Nodes     int
+	TotalKeys int
+	MinKeys   int
+	MaxKeys   int
+	MeanKeys  float64
+	// P99Keys is the 99th-percentile per-node key count.
+	P99Keys int
+}
+
+// KeyLoad computes the distribution of distinct keys per node.
+func (n *Network) KeyLoad() LoadStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	stats := LoadStats{Nodes: len(n.sorted)}
+	if stats.Nodes == 0 {
+		return stats
+	}
+	counts := make([]int, 0, stats.Nodes)
+	for _, node := range n.sorted {
+		c := len(node.store)
+		counts = append(counts, c)
+		stats.TotalKeys += c
+	}
+	sort.Ints(counts)
+	stats.MinKeys = counts[0]
+	stats.MaxKeys = counts[len(counts)-1]
+	stats.MeanKeys = float64(stats.TotalKeys) / float64(stats.Nodes)
+	idx := (99*len(counts) - 1) / 100
+	if idx >= len(counts) {
+		idx = len(counts) - 1
+	}
+	stats.P99Keys = counts[idx]
+	return stats
+}

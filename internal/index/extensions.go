@@ -1,0 +1,143 @@
+package index
+
+import (
+	"fmt"
+
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/xpath"
+)
+
+// PromoteArticle installs short-circuit entries for a popular article
+// (§IV-C: "a very popular file can be linked to deep in the hierarchy to
+// short-circuit some indexes and speed up lookups", e.g. the (q6; d1)
+// entry for the author's most popular publication). Every non-terminal
+// query of the scheme's chains gets a direct mapping to the article's
+// MSD, so any entry point reaches the file in two interactions.
+func (s *Service) PromoteArticle(a descriptor.Article, scheme Scheme) error {
+	msd := dataset.MSD(a)
+	seen := map[string]bool{}
+	for _, chain := range scheme.Chains(a) {
+		// Skip the final element (the MSD) and the second-to-last (whose
+		// mapping to the MSD already exists).
+		for i := 0; i+2 < len(chain); i++ {
+			q := chain[i]
+			if seen[q.String()] {
+				continue
+			}
+			seen[q.String()] = true
+			if err := s.InsertMapping(q, msd); err != nil {
+				return fmt.Errorf("index: promote: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// DemoteArticle removes the short-circuit entries PromoteArticle created.
+func (s *Service) DemoteArticle(a descriptor.Article, scheme Scheme) error {
+	msd := dataset.MSD(a)
+	seen := map[string]bool{}
+	for _, chain := range scheme.Chains(a) {
+		for i := 0; i+2 < len(chain); i++ {
+			q := chain[i]
+			if seen[q.String()] {
+				continue
+			}
+			seen[q.String()] = true
+			if _, err := s.RemoveMapping(q, msd); err != nil {
+				return fmt.Errorf("index: demote: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// keywordsScheme decorates a base scheme with per-word title indexing:
+// each significant word of the title gets a contains-constraint query
+// that chains into the base scheme's title path — the "words in title"
+// search that the BibFinder/NetBib interfaces offer (§V-B).
+type keywordsScheme struct {
+	base   Scheme
+	minLen int
+}
+
+// WithKeywords wraps a scheme, adding
+// title-keyword → title → (base title path) chains for every title word
+// of at least minLen letters (4 is a sensible default).
+func WithKeywords(base Scheme, minLen int) Scheme {
+	if minLen < 1 {
+		minLen = 4
+	}
+	return keywordsScheme{base: base, minLen: minLen}
+}
+
+// Name implements Scheme.
+func (s keywordsScheme) Name() string { return s.base.Name() + "+keywords" }
+
+// Chains implements Scheme.
+func (s keywordsScheme) Chains(a descriptor.Article) [][]xpath.Query {
+	chains := s.base.Chains(a)
+	title := dataset.TitleQuery(a.Title)
+	// Find the base scheme's title chain to splice into.
+	var continuation []xpath.Query
+	for _, chain := range chains {
+		if len(chain) > 1 && chain[0].Equal(title) {
+			continuation = chain[1:]
+			break
+		}
+	}
+	if continuation == nil {
+		continuation = []xpath.Query{dataset.MSD(a)}
+	}
+	for _, word := range dataset.TitleWords(a.Title, s.minLen) {
+		kw := dataset.TitleKeywordQuery(word)
+		if !kw.Covers(title) {
+			continue // defensive: metacharacters in the word
+		}
+		chain := append([]xpath.Query{kw, title}, continuation...)
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+// initialsScheme decorates a base scheme with the first-letter substring
+// index of §IV-C: "one can create an index with all the files of an
+// author that start with the letter A, the letter B, etc." A user knowing
+// only an initial can enumerate last names, then authors, then articles.
+type initialsScheme struct {
+	base Scheme
+}
+
+// WithInitials wraps a scheme, adding the chain
+// lastname-initial → last name → author → (base scheme's author path).
+func WithInitials(base Scheme) Scheme {
+	return initialsScheme{base: base}
+}
+
+// Name implements Scheme.
+func (s initialsScheme) Name() string { return s.base.Name() + "+initials" }
+
+// Chains implements Scheme.
+func (s initialsScheme) Chains(a descriptor.Article) [][]xpath.Query {
+	chains := s.base.Chains(a)
+	if a.AuthorLast == "" {
+		return chains
+	}
+	author := dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast)
+	extra := []xpath.Query{
+		dataset.InitialQuery(a.AuthorLast[0]),
+		dataset.LastNameQuery(a.AuthorLast),
+		author,
+	}
+	// Splice onto the base scheme's author chain so that the walk
+	// continues past the author query (base chains start at the author
+	// query for every scheme in this package).
+	for _, chain := range chains {
+		if len(chain) > 1 && chain[0].Equal(author) {
+			return append(chains, append(extra, chain[1:]...))
+		}
+	}
+	// Base scheme has no author entry point: terminate at the MSD.
+	return append(chains, append(extra, dataset.MSD(a)))
+}

@@ -1,0 +1,309 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/xpath"
+)
+
+// KindDict marks vocabulary entries: known values of a descriptor field,
+// stored in the DHT so that misspelled queries can be validated and
+// corrected — the paper's §VI future-work direction ("misspellings can
+// often be taken care of by validating descriptors and queries against
+// databases that store known file descriptors, such as CDDB").
+const KindDict = "dict"
+
+// VocabularyEnabled turns on vocabulary registration during
+// PublishArticle/Publish. It is off by default because the evaluation of
+// §V does not include it.
+func (s *Service) EnableVocabulary() { s.vocabulary = true }
+
+// dictKey buckets a field's values by lowercased first rune: one DHT key
+// per (field path, initial) pair keeps buckets small enough to scan.
+func dictKey(path []string, value string) keyspace.Key {
+	return keyspace.NewKey("dict:" + strings.Join(path, "/") + ":" + bucketOf(value))
+}
+
+// bucketOf returns the dictionary bucket label for a value.
+func bucketOf(value string) string {
+	for _, r := range value {
+		return string(unicode.ToLower(r))
+	}
+	return "_"
+}
+
+// buckets enumerates every bucket label the suggester may scan.
+func buckets() []string {
+	out := make([]string, 0, 37)
+	for r := 'a'; r <= 'z'; r++ {
+		out = append(out, string(r))
+	}
+	for r := '0'; r <= '9'; r++ {
+		out = append(out, string(r))
+	}
+	return append(out, "_")
+}
+
+// RegisterVocabulary stores every leaf value of the descriptor in the
+// field dictionaries.
+func (s *Service) RegisterVocabulary(d descriptor.Descriptor) error {
+	if d.Root == nil {
+		return xpath.ErrEmptyQuery
+	}
+	msd := xpath.MostSpecific(d)
+	for _, vc := range msd.ValueConstraints() {
+		key := dictKey(vc.Path, vc.Value)
+		if _, err := s.net.Put(key, overlay.Entry{Kind: KindDict, Value: vc.Value}); err != nil {
+			return fmt.Errorf("index: register vocabulary: %w", err)
+		}
+	}
+	return nil
+}
+
+// SuggestValues returns known values of the field at path within the
+// given edit distance of the (possibly misspelled) value, ordered by
+// distance then lexicographically. It first scans the value's own bucket;
+// if nothing matches (e.g. the typo is in the first letter), it widens to
+// all buckets. lookups reports how many dictionary fetches were issued.
+func (s *Service) SuggestValues(path []string, value string, maxDist int) (suggestions []string, lookups int, err error) {
+	scan := func(bucket string) error {
+		lookups++
+		entries, _, err := s.net.Get(keyspace.NewKey("dict:" + strings.Join(path, "/") + ":" + bucket))
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Kind != KindDict {
+				continue
+			}
+			if d := editDistance(value, e.Value, maxDist); d >= 0 && d <= maxDist {
+				suggestions = append(suggestions, e.Value)
+			}
+		}
+		return nil
+	}
+	if err := scan(bucketOf(value)); err != nil {
+		return nil, lookups, err
+	}
+	if len(suggestions) == 0 {
+		for _, b := range buckets() {
+			if b == bucketOf(value) {
+				continue
+			}
+			if err := scan(b); err != nil {
+				return nil, lookups, err
+			}
+		}
+	}
+	sortSuggestions(value, maxDist, suggestions)
+	return dedupeStrings(suggestions), lookups, nil
+}
+
+func sortSuggestions(value string, maxDist int, suggestions []string) {
+	sort.Slice(suggestions, func(i, j int) bool {
+		di := editDistance(value, suggestions[i], maxDist)
+		dj := editDistance(value, suggestions[j], maxDist)
+		if di != dj {
+			return di < dj
+		}
+		return suggestions[i] < suggestions[j]
+	})
+}
+
+func dedupeStrings(in []string) []string {
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// FindFuzzy behaves like Find, but when the exact query cannot reach the
+// target it consults the field dictionaries, corrects misspelled values
+// (up to maxDist edits per value), and retries with the corrected query.
+// The combined trace charges one interaction per dictionary fetch. The
+// returned query is the one that succeeded (the original, or a
+// correction).
+func (s *Searcher) FindFuzzy(q, target xpath.Query, maxDist int) (Trace, xpath.Query, error) {
+	trace, err := s.Find(q, target)
+	if err == nil {
+		return trace, q, nil
+	}
+	combined := trace
+
+	// Gather correction candidates for every value constraint once.
+	type correction struct {
+		vc          xpath.ValueConstraint
+		suggestions []string
+	}
+	var corrections []correction
+	for _, vc := range q.ValueConstraints() {
+		suggestions, lookups, serr := s.svc.SuggestValues(vc.Path, vc.Value, maxDist)
+		combined.Interactions += lookups
+		if serr != nil {
+			return combined, q, serr
+		}
+		corrections = append(corrections, correction{vc: vc, suggestions: suggestions})
+	}
+
+	attemptFind := func(candidate xpath.Query) (bool, error) {
+		attempt, aerr := s.Find(candidate, target)
+		combined.Interactions += attempt.Interactions
+		combined.ResponseBytes += attempt.ResponseBytes
+		combined.CacheBytes += attempt.CacheBytes
+		combined.Visited = append(combined.Visited, attempt.Visited...)
+		if aerr != nil {
+			return false, nil
+		}
+		combined.Found = attempt.Found
+		combined.File = attempt.File
+		combined.CacheHit = combined.CacheHit || attempt.CacheHit
+		return true, nil
+	}
+
+	// Phase 1: single-value corrections (the common one-typo case).
+	for _, c := range corrections {
+		for _, candidate := range c.suggestions {
+			if candidate == c.vc.Value {
+				continue
+			}
+			corrected := q.WithValue(c.vc.Path, candidate)
+			if corrected.Equal(q) {
+				continue
+			}
+			ok, err := attemptFind(corrected)
+			if err != nil {
+				return combined, q, err
+			}
+			if ok {
+				return combined, corrected, nil
+			}
+		}
+	}
+
+	// Phase 2: correct every misspelled value to its best suggestion at
+	// once (multiple simultaneous typos).
+	corrected := q
+	changed := false
+	for _, c := range corrections {
+		if len(c.suggestions) == 0 || c.suggestions[0] == c.vc.Value {
+			continue
+		}
+		next := corrected.WithValue(c.vc.Path, c.suggestions[0])
+		if !next.Equal(corrected) {
+			corrected, changed = next, true
+		}
+	}
+	if changed {
+		ok, err := attemptFind(corrected)
+		if err != nil {
+			return combined, q, err
+		}
+		if ok {
+			return combined, corrected, nil
+		}
+	}
+	return combined, q, fmt.Errorf("%w (after fuzzy correction)", ErrNotFound)
+}
+
+// SearchAllFuzzy is the automated-mode counterpart of FindFuzzy: when the
+// exact query matches nothing, it corrects misspelled values against the
+// field dictionaries and re-runs the exhaustive search. It returns the
+// results, the query that produced them, and the aggregate trace.
+func (s *Searcher) SearchAllFuzzy(q xpath.Query, maxDist int) ([]Result, xpath.Query, Trace, error) {
+	results, trace, err := s.SearchAll(q)
+	if err != nil {
+		return nil, q, trace, err
+	}
+	if len(results) > 0 {
+		return results, q, trace, nil
+	}
+	corrected := q
+	changed := false
+	for _, vc := range q.ValueConstraints() {
+		suggestions, lookups, serr := s.svc.SuggestValues(vc.Path, vc.Value, maxDist)
+		trace.Interactions += lookups
+		if serr != nil {
+			return nil, q, trace, serr
+		}
+		if len(suggestions) == 0 || suggestions[0] == vc.Value {
+			continue
+		}
+		next := corrected.WithValue(vc.Path, suggestions[0])
+		if !next.Equal(corrected) {
+			corrected, changed = next, true
+		}
+	}
+	if !changed {
+		return nil, q, trace, nil
+	}
+	results, retry, err := s.SearchAll(corrected)
+	trace.Interactions += retry.Interactions
+	trace.ResponseBytes += retry.ResponseBytes
+	trace.Found = trace.Found || retry.Found
+	return results, corrected, trace, err
+}
+
+// editDistance computes the Levenshtein distance between a and b, bailing
+// out with -1 once it provably exceeds maxDist (band optimization).
+func editDistance(a, b string, maxDist int) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if abs(la-lb) > maxDist {
+		return -1
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > maxDist {
+			return -1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > maxDist {
+		return -1
+	}
+	return prev[lb]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,202 @@
+package index
+
+import (
+	"fmt"
+
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/xpath"
+)
+
+// Scheme decides under which queries an article is indexed. Chains returns
+// index chains — sequences q₁ ⊒ q₂ ⊒ … ⊒ MSD (§V-B) — whose consecutive
+// pairs become the index entries. The choice of chains is the
+// application-level "human input" of §IV-C.
+type Scheme interface {
+	// Name returns the scheme's label in the paper's figures.
+	Name() string
+	// Chains builds the index chains for one article. Every chain ends
+	// with the article's most specific query.
+	Chains(a descriptor.Article) [][]xpath.Query
+}
+
+// The three schemes of the evaluation (Fig. 8) plus the deeper
+// hierarchical example of Fig. 4.
+var (
+	Simple  Scheme = simpleScheme{}
+	Flat    Scheme = flatScheme{}
+	Complex Scheme = complexScheme{}
+	Fig4    Scheme = fig4Scheme{}
+)
+
+// Schemes lists the evaluation schemes in the paper's S/F/C order.
+func Schemes() []Scheme { return []Scheme{Simple, Flat, Complex} }
+
+// SchemeByName resolves a scheme label (simple|flat|complex|fig4).
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "simple":
+		return Simple, nil
+	case "flat":
+		return Flat, nil
+	case "complex":
+		return Complex, nil
+	case "fig4":
+		return Fig4, nil
+	default:
+		return nil, fmt.Errorf("index: unknown scheme %q", name)
+	}
+}
+
+// simpleScheme (Fig. 8 left): author and title funnel through the
+// author+title pair; conference and year funnel through the
+// conference+year pair.
+type simpleScheme struct{}
+
+func (simpleScheme) Name() string { return "simple" }
+
+func (simpleScheme) Chains(a descriptor.Article) [][]xpath.Query {
+	msd := dataset.MSD(a)
+	author := dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast)
+	title := dataset.TitleQuery(a.Title)
+	at := dataset.AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title)
+	conf := dataset.ConfQuery(a.Conf)
+	year := dataset.YearQuery(a.Year)
+	cy := dataset.ConfYearQuery(a.Conf, a.Year)
+	return [][]xpath.Query{
+		{author, at, msd},
+		{title, at, msd},
+		{conf, cy, msd},
+		{year, cy, msd},
+	}
+}
+
+// flatScheme (Fig. 8 center): every query points directly at the MSD, so
+// the index query length is always 2.
+type flatScheme struct{}
+
+func (flatScheme) Name() string { return "flat" }
+
+func (flatScheme) Chains(a descriptor.Article) [][]xpath.Query {
+	msd := dataset.MSD(a)
+	return [][]xpath.Query{
+		{dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast), msd},
+		{dataset.TitleQuery(a.Title), msd},
+		{dataset.AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title), msd},
+		{dataset.ConfQuery(a.Conf), msd},
+		{dataset.YearQuery(a.Year), msd},
+		{dataset.ConfYearQuery(a.Conf, a.Year), msd},
+	}
+}
+
+// complexScheme (Fig. 8 right): like simple, but the author path is split
+// one level deeper — "a query specifying an author and a conference
+// returns a list of queries that further indicate all the publication
+// years for the given author and conference" (§V-B).
+type complexScheme struct{}
+
+func (complexScheme) Name() string { return "complex" }
+
+func (complexScheme) Chains(a descriptor.Article) [][]xpath.Query {
+	msd := dataset.MSD(a)
+	author := dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast)
+	ac := dataset.AuthorConfQuery(a.AuthorFirst, a.AuthorLast, a.Conf)
+	acy := dataset.AuthorConfYearQuery(a.AuthorFirst, a.AuthorLast, a.Conf, a.Year)
+	title := dataset.TitleQuery(a.Title)
+	at := dataset.AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title)
+	conf := dataset.ConfQuery(a.Conf)
+	year := dataset.YearQuery(a.Year)
+	cy := dataset.ConfYearQuery(a.Conf, a.Year)
+	return [][]xpath.Query{
+		{author, ac, acy, msd},
+		{title, at, msd},
+		{conf, cy, msd},
+		{year, cy, msd},
+	}
+}
+
+// fig4Scheme is the hierarchical example of Fig. 4/5: a Last-name index
+// above the Author index, the Article index keyed by author+title, and the
+// Proceedings index keyed by conference+year.
+type fig4Scheme struct{}
+
+func (fig4Scheme) Name() string { return "fig4" }
+
+func (fig4Scheme) Chains(a descriptor.Article) [][]xpath.Query {
+	msd := dataset.MSD(a)
+	last := dataset.LastNameQuery(a.AuthorLast)
+	author := dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast)
+	at := dataset.AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title)
+	title := dataset.TitleQuery(a.Title)
+	conf := dataset.ConfQuery(a.Conf)
+	year := dataset.YearQuery(a.Year)
+	cy := dataset.ConfYearQuery(a.Conf, a.Year)
+	return [][]xpath.Query{
+		{last, author, at, msd},
+		{title, at, msd},
+		{conf, cy, msd},
+		{year, cy, msd},
+	}
+}
+
+// PublishArticle stores the article's file reference and inserts every
+// index entry the scheme prescribes. file is the opaque content reference
+// (e.g. "x.pdf").
+func (s *Service) PublishArticle(file string, a descriptor.Article, scheme Scheme) error {
+	if _, err := s.Publish(file, a.Descriptor()); err != nil {
+		return err
+	}
+	return s.IndexArticle(a, scheme)
+}
+
+// IndexArticle inserts the scheme's index entries for an article that is
+// already published.
+func (s *Service) IndexArticle(a descriptor.Article, scheme Scheme) error {
+	for _, chain := range scheme.Chains(a) {
+		for i := 0; i+1 < len(chain); i++ {
+			if err := s.InsertMapping(chain[i], chain[i+1]); err != nil {
+				return fmt.Errorf("index: scheme %s: %w", scheme.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// UnpublishArticle removes the article's data and cleans up the scheme's
+// index entries bottom-up, deleting a mapping (q; qi) only when qi no
+// longer leads anywhere — the recursive cleanup of §IV-C for read/write
+// systems.
+func (s *Service) UnpublishArticle(file string, a descriptor.Article, scheme Scheme) error {
+	msd := dataset.MSD(a)
+	if _, err := s.net.Remove(msd.Key(), overlay.Entry{Kind: KindData, Value: file}); err != nil {
+		return fmt.Errorf("index: unpublish %q: %w", file, err)
+	}
+	for _, chain := range scheme.Chains(a) {
+		// Walk bottom-up: drop (q_i ; q_{i+1}) only if q_{i+1} is now
+		// empty (no data, no outgoing mappings).
+		for i := len(chain) - 2; i >= 0; i-- {
+			empty, err := s.keyEmpty(chain[i+1])
+			if err != nil {
+				return err
+			}
+			if !empty {
+				break
+			}
+			if _, err := s.RemoveMapping(chain[i], chain[i+1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// keyEmpty reports whether a query's key holds neither data nor index
+// entries.
+func (s *Service) keyEmpty(q xpath.Query) (bool, error) {
+	entries, _, err := s.net.Get(q.Key())
+	if err != nil {
+		return false, fmt.Errorf("index: probe %s: %w", q, err)
+	}
+	return len(entries) == 0, nil
+}

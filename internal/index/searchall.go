@@ -1,0 +1,99 @@
+package index
+
+import (
+	"sort"
+
+	"dhtindex/internal/xpath"
+)
+
+// Result is one file discovered by the automated search mode.
+type Result struct {
+	// File is the stored file reference.
+	File string
+	// MSD is the most specific query under which the file is published.
+	MSD xpath.Query
+}
+
+// SearchAll implements the paper's automated mode (§IV-B): "the system
+// recursively explores the indexes and returns all the file descriptors
+// that match the original query". It walks the index DAG breadth-first
+// from q, pruning branches that are incompatible with q, and — when q
+// itself is not indexed — first generalizes q and then filters the results
+// (the generalization/specialization approach).
+//
+// The returned Trace aggregates the exploration cost exactly like a
+// directed Find.
+func (s *Searcher) SearchAll(q xpath.Query) ([]Result, Trace, error) {
+	var trace Trace
+	if q.IsZero() {
+		return nil, trace, xpath.ErrEmptyQuery
+	}
+	var results []Result
+	seen := map[string]bool{}
+	frontier := []xpath.Query{q}
+	seen[q.String()] = true
+	explored := 0
+
+	for len(frontier) > 0 && explored < s.maxFanout() {
+		current := frontier[0]
+		frontier = frontier[1:]
+		explored++
+		resp, err := s.svc.Lookup(current)
+		if err != nil {
+			return nil, trace, err
+		}
+		s.account(&trace, current, resp, resp.Bytes)
+
+		for _, file := range resp.Files {
+			if q.Covers(current) {
+				results = append(results, Result{File: file, MSD: current})
+				trace.Found = true
+			}
+		}
+		next := make([]xpath.Query, 0, len(resp.Index)+len(resp.Cached))
+		next = append(next, resp.Index...)
+		next = append(next, resp.Cached...)
+		if explored == 1 && len(next) == 0 && len(resp.Files) == 0 {
+			// Original query not indexed: generalize, keep filtering by q.
+			trace.NonIndexed = true
+			for _, g := range q.Generalizations() {
+				if !seen[g.String()] {
+					seen[g.String()] = true
+					frontier = append(frontier, g)
+				}
+			}
+			continue
+		}
+		for _, cand := range next {
+			if seen[cand.String()] {
+				continue
+			}
+			if !xpath.Compatible(q, cand) {
+				continue // definite conflict: nothing below matches q
+			}
+			seen[cand.String()] = true
+			frontier = append(frontier, cand)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].File < results[j].File })
+	return dedupeResults(results), trace, nil
+}
+
+// maxFanout bounds the number of index nodes the automated mode visits.
+func (s *Searcher) maxFanout() int {
+	const defaultFanout = 100000
+	return defaultFanout
+}
+
+func dedupeResults(in []Result) []Result {
+	out := in[:0]
+	var prev string
+	for i, r := range in {
+		key := r.File + "\x00" + r.MSD.String()
+		if i == 0 || key != prev {
+			out = append(out, r)
+		}
+		prev = key
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"dhtindex/internal/xpath"
+)
+
+// Session is the interactive search mode of §IV-B: "the user directs the
+// search and restricts its query at each step". A session keeps the
+// current position in the covering partial order, the options the last
+// response offered, and the path walked so far (so the user can back up).
+type Session struct {
+	svc  *Service
+	path []sessionStep
+}
+
+type sessionStep struct {
+	query xpath.Query
+	resp  Response
+}
+
+// NewSession starts an interactive search over the service.
+func NewSession(svc *Service) *Session {
+	return &Session{svc: svc}
+}
+
+// Options are the refinements the system offered at the current step.
+type Options struct {
+	// Queries lists more specific queries (index entries and cache
+	// shortcuts, deduplicated, sorted by canonical form).
+	Queries []xpath.Query
+	// Files lists retrievable file references at the current query.
+	Files []string
+	// Interactions is the total number of interactions this session has
+	// used so far.
+	Interactions int
+}
+
+// Ask submits a fresh query, resetting the session position (a user
+// starting over with different information).
+func (s *Session) Ask(q xpath.Query) (Options, error) {
+	s.path = s.path[:0]
+	return s.step(q)
+}
+
+// Refine follows one of the options returned by the previous step. It
+// rejects refinements the previous response did not offer, mirroring a
+// user who can only click on presented results.
+func (s *Session) Refine(q xpath.Query) (Options, error) {
+	if len(s.path) == 0 {
+		return Options{}, fmt.Errorf("index: session: Refine before Ask")
+	}
+	last := s.path[len(s.path)-1].resp
+	if !responseOffers(last, q) {
+		return Options{}, fmt.Errorf("index: session: %s was not offered", q)
+	}
+	return s.step(q)
+}
+
+// Back undoes the last refinement, returning the previous step's options
+// without a new interaction (the user re-reads an old response).
+func (s *Session) Back() (Options, error) {
+	if len(s.path) < 2 {
+		return Options{}, fmt.Errorf("index: session: nothing to back out of")
+	}
+	s.path = s.path[:len(s.path)-1]
+	return s.optionsOf(s.path[len(s.path)-1].resp), nil
+}
+
+// Position returns the query the session currently sits on.
+func (s *Session) Position() (xpath.Query, bool) {
+	if len(s.path) == 0 {
+		return xpath.Query{}, false
+	}
+	return s.path[len(s.path)-1].query, true
+}
+
+// Interactions returns the interactions consumed so far.
+func (s *Session) Interactions() int { return len(s.path) }
+
+func (s *Session) step(q xpath.Query) (Options, error) {
+	if q.IsZero() {
+		return Options{}, xpath.ErrEmptyQuery
+	}
+	resp, err := s.svc.Lookup(q)
+	if err != nil {
+		return Options{}, err
+	}
+	s.path = append(s.path, sessionStep{query: q, resp: resp})
+	return s.optionsOf(resp), nil
+}
+
+func (s *Session) optionsOf(resp Response) Options {
+	seen := map[string]bool{}
+	opts := Options{Interactions: len(s.path)}
+	for _, list := range [][]xpath.Query{resp.Index, resp.Cached} {
+		for _, q := range list {
+			if !seen[q.String()] {
+				seen[q.String()] = true
+				opts.Queries = append(opts.Queries, q)
+			}
+		}
+	}
+	sort.Slice(opts.Queries, func(i, j int) bool {
+		return opts.Queries[i].String() < opts.Queries[j].String()
+	})
+	opts.Files = append(opts.Files, resp.Files...)
+	return opts
+}
+
+func responseOffers(resp Response, q xpath.Query) bool {
+	for _, list := range [][]xpath.Query{resp.Index, resp.Cached} {
+		for _, have := range list {
+			if have.Equal(q) {
+				return true
+			}
+		}
+	}
+	return false
+}

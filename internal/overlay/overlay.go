@@ -1,0 +1,60 @@
+// Package overlay defines the substrate contract between the indexing
+// layer and the underlying P2P DHT. The paper's techniques "can be
+// layered on top of an arbitrary P2P DHT infrastructure" (§I); this
+// interface is that boundary. Two substrates implement it: Chord
+// (internal/dht) and Pastry (internal/pastry).
+package overlay
+
+import (
+	"dhtindex/internal/keyspace"
+)
+
+// Entry is one value stored under a key. The substrate must support
+// multiple entries per key (§II: "we only require the underlying
+// distributed data storage system to allow for the registration of
+// multiple entries using the same key").
+type Entry struct {
+	// Kind partitions a node's store (e.g. "index", "data").
+	Kind string
+	// Value is the opaque payload.
+	Value string
+}
+
+// Route reports where a routed operation landed and what it cost.
+type Route struct {
+	// Node is the address of the node responsible for the key.
+	Node string
+	// Hops is the number of inter-node routing messages used.
+	Hops int
+}
+
+// NodeStats is the per-node storage accounting the evaluation reads.
+type NodeStats struct {
+	// Keys is the number of distinct keys stored.
+	Keys int
+	// EntriesByKind counts stored entries per kind.
+	EntriesByKind map[string]int
+	// BytesByKind sums payload bytes (plus per-key overhead) per kind.
+	BytesByKind map[string]int64
+}
+
+// Network is the key-to-node substrate the index layer runs on.
+// Implementations route from an arbitrary live node and are free to pick
+// the contact point (the paper's user contacts "the node n responsible
+// for h(q)" through whatever entry point the overlay provides).
+type Network interface {
+	// Put stores an entry on the node responsible for key. Storing the
+	// same (Kind, Value) twice under one key is idempotent.
+	Put(key keyspace.Key, e Entry) (Route, error)
+	// Get returns all entries stored under key.
+	Get(key keyspace.Key) ([]Entry, Route, error)
+	// Remove deletes the exact entry under key, reporting whether it
+	// existed.
+	Remove(key keyspace.Key, e Entry) (bool, error)
+	// Addrs lists the live node addresses in a stable order.
+	Addrs() []string
+	// StatsOf returns the storage accounting of one node.
+	StatsOf(addr string) (NodeStats, error)
+	// Size returns the number of live nodes.
+	Size() int
+}

@@ -1,0 +1,172 @@
+package pastry
+
+import (
+	"dhtindex/internal/keyspace"
+)
+
+// digit returns the i-th base-16 digit (most significant first) of a key.
+func digit(k keyspace.Key, i int) int {
+	b := k[i/2]
+	if i%2 == 0 {
+		return int(b >> 4)
+	}
+	return int(b & 0x0F)
+}
+
+// sharedPrefix returns the number of leading base-16 digits two keys share.
+func sharedPrefix(a, b keyspace.Key) int {
+	for i := 0; i < keyspace.Size; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		if a[i]>>4 == b[i]>>4 {
+			return 2*i + 1
+		}
+		return 2 * i
+	}
+	return digits
+}
+
+// absDistance is the shorter circular distance between two keys,
+// computed without allocation (routing hot path).
+func absDistance(a, b keyspace.Key) keyspace.Key {
+	d1 := a.ClockwiseTo(b)
+	d2 := b.ClockwiseTo(a)
+	if d1.Cmp(d2) <= 0 {
+		return d1
+	}
+	return d2
+}
+
+// refresh rebuilds a node's leaf set and routing table if membership
+// changed. Callers hold n.mu.
+func (n *Network) refresh(node *Node) {
+	if node.epoch == n.epoch {
+		return
+	}
+	node.epoch = n.epoch
+	count := len(n.sorted)
+	idx := n.indexOf(node)
+
+	node.leaves = node.leaves[:0]
+	for j := 1; j <= leafHalf && j < count; j++ {
+		node.leaves = append(node.leaves, n.sorted[(idx+j)%count])
+		if (idx-j+count)%count != (idx+j)%count {
+			node.leaves = append(node.leaves, n.sorted[(idx-j+count)%count])
+		}
+	}
+
+	node.routing = [digits][16]*Node{}
+	for _, m := range n.sorted {
+		if m == node {
+			continue
+		}
+		l := sharedPrefix(node.ID, m.ID)
+		if l >= digits {
+			continue
+		}
+		d := digit(m.ID, l)
+		if node.routing[l][d] == nil {
+			node.routing[l][d] = m
+		}
+	}
+}
+
+// LookupResult reports a routed lookup.
+type LookupResult struct {
+	Owner *Node
+	Hops  int
+}
+
+// Lookup routes from start (or a deterministic first node when nil) to
+// the node numerically closest to key, using Pastry's prefix routing with
+// leaf-set delivery.
+func (n *Network) Lookup(start *Node, key keyspace.Key) (LookupResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lookupLocked(start, key)
+}
+
+func (n *Network) lookupLocked(start *Node, key keyspace.Key) (LookupResult, error) {
+	if len(n.sorted) == 0 {
+		return LookupResult{}, ErrEmptyNetwork
+	}
+	if start == nil {
+		start = n.sorted[0]
+	}
+	owner := n.ownerLocked(key)
+	current := start
+	hops := 0
+	for step := 0; step < 2*digits; step++ {
+		if current == owner {
+			n.record(hops)
+			return LookupResult{Owner: current, Hops: hops}, nil
+		}
+		n.refresh(current)
+		next := n.nextHop(current, key)
+		if next == nil || next == current {
+			// Routing dead end (cannot improve): deliver via oracle and
+			// charge one hop, as a real Pastry would fall back to its
+			// leaf-set repair.
+			n.record(hops + 1)
+			return LookupResult{Owner: owner, Hops: hops + 1}, nil
+		}
+		current = next
+		hops++
+	}
+	n.record(hops)
+	return LookupResult{Owner: owner, Hops: hops}, nil
+}
+
+// nextHop applies the Pastry routing rule at current for key. Callers
+// hold n.mu and have refreshed current.
+func (n *Network) nextHop(current *Node, key keyspace.Key) *Node {
+	// 1. Leaf-set delivery: if any leaf (or current) is the closest of
+	// the leaf neighbourhood, hop straight to the numerically closest.
+	best := current
+	bestDist := absDistance(current.ID, key)
+	inLeafRange := false
+	for _, leaf := range current.leaves {
+		d := absDistance(leaf.ID, key)
+		if d.Cmp(bestDist) < 0 {
+			best, bestDist = leaf, d
+		}
+		if leaf == n.ownerLocked(key) {
+			inLeafRange = true
+		}
+	}
+	if inLeafRange {
+		return n.ownerLocked(key)
+	}
+	// 2. Prefix routing: a node sharing one more digit with the key.
+	l := sharedPrefix(current.ID, key)
+	if l < digits {
+		if next := current.routing[l][digit(key, l)]; next != nil {
+			return next
+		}
+	}
+	// 3. Rare case: any known node numerically closer with no shorter
+	// prefix (best already tracks the leaf set; also scan the table row).
+	if l < digits {
+		for _, cand := range current.routing[l] {
+			if cand == nil {
+				continue
+			}
+			if d := absDistance(cand.ID, key); d.Cmp(bestDist) < 0 {
+				best, bestDist = cand, d
+			}
+		}
+	}
+	if best != current {
+		return best
+	}
+	return nil
+}
+
+func (n *Network) record(hops int) {
+	n.metrics.Lookups++
+	n.metrics.Hops += hops
+	if hops > n.metrics.MaxHops {
+		n.metrics.MaxHops = hops
+	}
+}

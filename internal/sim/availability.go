@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/dht"
+	"dhtindex/internal/index"
+	"dhtindex/internal/workload"
+)
+
+// AvailabilityResult reports how the indexed database behaves after a
+// mass node failure (§IV-D: "since indexes are stored as regular data
+// items, they can benefit from the mechanisms implemented by the DHT
+// substrate for increasing availability ... such as data replication").
+type AvailabilityResult struct {
+	// Replication is the successor-replication factor used.
+	Replication int
+	// FailedFraction is the fraction of nodes crashed (no hand-off).
+	FailedFraction float64
+	// SuccessRate is the fraction of post-failure queries that still
+	// retrieved their target.
+	SuccessRate float64
+	// EntriesSurviving is the fraction of stored entry COPIES still
+	// present after the failures (replication multiplies copies, so with
+	// any fail fraction f this is ≈ 1-f regardless of replication; the
+	// logical-survival signal is SuccessRate).
+	EntriesSurviving float64
+	// InteractionsPerQuery is the mean cost of the successful queries.
+	InteractionsPerQuery float64
+}
+
+// Availability crashes failFraction of the nodes of a freshly built
+// indexed network (with the given replication factor) and measures query
+// success afterwards.
+func Availability(opts Options, failFraction float64, replication int) (AvailabilityResult, error) {
+	opts = opts.withDefaults()
+	if failFraction < 0 || failFraction >= 1 {
+		return AvailabilityResult{}, fmt.Errorf("sim: bad fail fraction %v", failFraction)
+	}
+	corpus := opts.Corpus
+	if corpus == nil {
+		var err error
+		corpus, err = dataset.Generate(dataset.Config{Articles: opts.Articles, Seed: opts.Seed})
+		if err != nil {
+			return AvailabilityResult{}, fmt.Errorf("sim: corpus: %w", err)
+		}
+	}
+	net := dht.NewNetwork(opts.Seed)
+	net.ReplicationFactor = replication
+	nodes, err := net.Populate(opts.Nodes)
+	if err != nil {
+		return AvailabilityResult{}, fmt.Errorf("sim: populate: %w", err)
+	}
+	svc := index.New(dht.AsOverlay(net, opts.Seed+2), opts.Policy, opts.LRUCapacity)
+	for i, a := range corpus.Articles {
+		if err := svc.PublishArticle(fmt.Sprintf("article-%05d.pdf", i), a, opts.Scheme); err != nil {
+			return AvailabilityResult{}, fmt.Errorf("sim: publish: %w", err)
+		}
+	}
+	before := svc.StorageStats()
+
+	// Crash a deterministic, spread-out subset.
+	toFail := int(failFraction * float64(opts.Nodes))
+	failed := 0
+	for i := 0; failed < toFail && i < len(nodes); i++ {
+		idx := (i * 7) % len(nodes) // stride to avoid failing one arc
+		if err := net.FailNode(nodes[idx].Addr); err != nil {
+			continue // already failed via stride collision
+		}
+		failed++
+	}
+	net.Stabilize()
+	after := svc.StorageStats()
+
+	gen, err := workload.NewGenerator(corpus.Articles, workload.PaperStructureModel(), opts.Seed+1)
+	if err != nil {
+		return AvailabilityResult{}, fmt.Errorf("sim: generator: %w", err)
+	}
+	searcher := index.NewSearcher(svc)
+	ok, fail := 0, 0
+	var interactions int
+	for i := 0; i < opts.Queries; i++ {
+		wq := gen.Next()
+		trace, err := searcher.Find(wq.Query, dataset.MSD(wq.Target))
+		if err != nil || !trace.Found {
+			fail++
+			continue
+		}
+		ok++
+		interactions += trace.Interactions
+	}
+	res := AvailabilityResult{
+		Replication:    replication,
+		FailedFraction: failFraction,
+	}
+	if ok+fail > 0 {
+		res.SuccessRate = float64(ok) / float64(ok+fail)
+	}
+	if ok > 0 {
+		res.InteractionsPerQuery = float64(interactions) / float64(ok)
+	}
+	if total := before.IndexEntries + before.DataEntries; total > 0 {
+		res.EntriesSurviving = float64(after.IndexEntries+after.DataEntries) / float64(total)
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: least-squares power-law fitting in log-log space (used by the
+// paper to model popularity, §V-C), empirical CCDFs, and distribution
+// summaries.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a fit has fewer than two usable
+// points.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// PowerLaw is the model p(i) = K · i^(-Alpha).
+type PowerLaw struct {
+	K     float64
+	Alpha float64
+	// R2 is the coefficient of determination of the log-log regression.
+	R2 float64
+}
+
+// Eval returns K · x^(-Alpha).
+func (p PowerLaw) Eval(x float64) float64 {
+	return p.K * math.Pow(x, -p.Alpha)
+}
+
+// FitPowerLaw fits p(i) = K·i^-α to the positive (rank, value) pairs by
+// linear least squares on (log rank, log value) — "we have computed (using
+// the minimum square method) ... the line that best fits the distribution"
+// (§V-C).
+func FitPowerLaw(ranks, values []float64) (PowerLaw, error) {
+	if len(ranks) != len(values) {
+		return PowerLaw{}, ErrInsufficientData
+	}
+	var xs, ys []float64
+	for i := range ranks {
+		if ranks[i] > 0 && values[i] > 0 {
+			xs = append(xs, math.Log(ranks[i]))
+			ys = append(ys, math.Log(values[i]))
+		}
+	}
+	if len(xs) < 2 {
+		return PowerLaw{}, ErrInsufficientData
+	}
+	slope, intercept, r2 := linearFit(xs, ys)
+	return PowerLaw{K: math.Exp(intercept), Alpha: -slope, R2: r2}, nil
+}
+
+// linearFit returns the least-squares slope, intercept and R² of y ~ x.
+func linearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// CCDF returns the complementary cumulative distribution of the sample
+// counts indexed by rank: ccdf[i] = P(rank > i) when the counts are read
+// as frequencies (Fig. 10's view of the popularity model).
+func CCDF(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		out[i] = 1 - float64(cum)/float64(total)
+	}
+	return out
+}
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Min, Max   float64
+	P50, P90, P99    float64
+	Sum              float64
+	StdDev, Variance float64
+}
+
+// Summarize computes the summary of a sample. An empty sample returns the
+// zero Summary.
+func Summarize(sample []float64) Summary {
+	s := Summary{N: len(sample)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for _, v := range sorted {
+		s.Sum += v
+	}
+	s.Mean = s.Sum / float64(s.N)
+	for _, v := range sorted {
+		d := v - s.Mean
+		s.Variance += d * d
+	}
+	s.Variance /= float64(s.N)
+	s.StdDev = math.Sqrt(s.Variance)
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RankDescending returns the sample sorted from largest to smallest —
+// the "ordered by decreasing rank of popularity" view of Figs. 9 and 15.
+func RankDescending(sample []float64) []float64 {
+	out := make([]float64, len(sample))
+	copy(out, sample)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPowerLawRecovers(t *testing.T) {
+	// Exact power law p(i) = 0.063 * i^{-0.7}: the fit must recover the
+	// parameters almost perfectly.
+	var ranks, values []float64
+	for i := 1; i <= 1000; i++ {
+		ranks = append(ranks, float64(i))
+		values = append(values, 0.063*math.Pow(float64(i), -0.7))
+	}
+	fit, err := FitPowerLaw(ranks, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-0.7) > 1e-9 {
+		t.Fatalf("alpha = %v, want 0.7", fit.Alpha)
+	}
+	if math.Abs(fit.K-0.063) > 1e-9 {
+		t.Fatalf("k = %v, want 0.063", fit.K)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("r2 = %v, want ~1", fit.R2)
+	}
+	if got := fit.Eval(10); math.Abs(got-0.063*math.Pow(10, -0.7)) > 1e-12 {
+		t.Fatalf("Eval(10) = %v", got)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	var ranks, values []float64
+	for i := 1; i <= 200; i++ {
+		ranks = append(ranks, float64(i))
+		noise := 1 + 0.1*math.Sin(float64(i))
+		values = append(values, 2*math.Pow(float64(i), -1.2)*noise)
+	}
+	fit, err := FitPowerLaw(ranks, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-1.2) > 0.05 {
+		t.Fatalf("alpha = %v, want ≈1.2", fit.Alpha)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("r2 = %v", fit.R2)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	cases := [][2][]float64{
+		{{}, {}},
+		{{1}, {1}},
+		{{1, 2}, {1}},            // length mismatch
+		{{0, -1}, {1, 1}},        // no positive ranks
+		{{1, 2}, {0, 0}},         // no positive values
+		{{1, 1, 0}, {5, 5, -10}}, // only one usable point after filtering? (1,5) twice is 2 points
+	}
+	for i, c := range cases[:5] {
+		if _, err := FitPowerLaw(c[0], c[1]); !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("case %d: err = %v, want ErrInsufficientData", i, err)
+		}
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	counts := []int{5, 3, 2}
+	ccdf := CCDF(counts)
+	want := []float64{0.5, 0.2, 0}
+	for i := range want {
+		if math.Abs(ccdf[i]-want[i]) > 1e-12 {
+			t.Fatalf("ccdf = %v, want %v", ccdf, want)
+		}
+	}
+	if got := CCDF(nil); len(got) != 0 {
+		t.Fatalf("CCDF(nil) = %v", got)
+	}
+	zero := CCDF([]int{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("CCDF of zero counts = %v", zero)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Sum != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.P50-2.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 2.5", s.P50)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("variance = %v, want 1.25", s.Variance)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.P99 != 7 || one.StdDev != 0 {
+		t.Fatalf("singleton summary = %+v", one)
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	in := []float64{1, 3, 2}
+	out := RankDescending(in)
+	if out[0] != 3 || out[1] != 2 || out[2] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if in[0] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: CCDF is non-increasing and within [0, 1].
+func TestCCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		ccdf := CCDF(counts)
+		prev := 1.0
+		for _, v := range ccdf {
+			if v < -1e-12 || v > 1+1e-12 || v > prev+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize bounds — Min ≤ P50 ≤ P90 ≤ P99 ≤ Max and
+// Min ≤ Mean ≤ Max.
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		s := Summarize(sample)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

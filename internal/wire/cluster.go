@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// Cluster adapts a set of live wire nodes to the overlay contract, so the
+// indexing layer runs unchanged over a real message-passing network. The
+// cluster tracks member addresses (the deployment's bootstrap knowledge);
+// requests enter the ring through a pseudo-randomly chosen member and are
+// routed by the Chord protocol itself.
+type Cluster struct {
+	transport Transport
+	ttl       int
+
+	mu    sync.Mutex
+	addrs []string
+	rng   *rand.Rand
+}
+
+var _ overlay.Network = (*Cluster)(nil)
+
+// NewCluster creates a cluster handle over the transport.
+func NewCluster(transport Transport, seed int64) *Cluster {
+	return &Cluster{
+		transport: transport,
+		ttl:       64,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Track adds a member address to the entry-point set.
+func (c *Cluster) Track(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.addrs {
+		if a == addr {
+			return
+		}
+	}
+	c.addrs = append(c.addrs, addr)
+	sort.Slice(c.addrs, func(i, j int) bool {
+		a, b := idOf(c.addrs[i]), idOf(c.addrs[j])
+		return a.Cmp(b) < 0
+	})
+}
+
+// Untrack removes a member address.
+func (c *Cluster) Untrack(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, a := range c.addrs {
+		if a == addr {
+			c.addrs = append(c.addrs[:i], c.addrs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Cluster) entry() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.addrs) == 0 {
+		return "", fmt.Errorf("wire: cluster has no members")
+	}
+	return c.addrs[c.rng.Intn(len(c.addrs))], nil
+}
+
+// FindOwner routes to the node responsible for key.
+func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
+	via, err := c.entry()
+	if err != nil {
+		return overlay.Route{}, err
+	}
+	resp, err := c.transport.Call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
+	if err != nil {
+		return overlay.Route{}, err
+	}
+	if err := remoteError(resp); err != nil {
+		return overlay.Route{}, err
+	}
+	return overlay.Route{Node: resp.Addr, Hops: resp.Hops}, nil
+}
+
+// Put implements overlay.Network.
+func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) {
+	route, err := c.FindOwner(key)
+	if err != nil {
+		return overlay.Route{}, err
+	}
+	resp, err := c.transport.Call(route.Node, Message{Op: OpPut, Key: key, Entry: e})
+	if err != nil {
+		return overlay.Route{}, err
+	}
+	return route, remoteError(resp)
+}
+
+// Get implements overlay.Network.
+func (c *Cluster) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
+	route, err := c.FindOwner(key)
+	if err != nil {
+		return nil, overlay.Route{}, err
+	}
+	resp, err := c.transport.Call(route.Node, Message{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, overlay.Route{}, err
+	}
+	if err := remoteError(resp); err != nil {
+		return nil, overlay.Route{}, err
+	}
+	entries := resp.Entries
+	if len(entries) == 0 {
+		entries = nil
+	}
+	return entries, route, nil
+}
+
+// Remove implements overlay.Network.
+func (c *Cluster) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
+	route, err := c.FindOwner(key)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.transport.Call(route.Node, Message{Op: OpRemove, Key: key, Entry: e})
+	if err != nil {
+		return false, err
+	}
+	return resp.Ok, remoteError(resp)
+}
+
+// Addrs implements overlay.Network (tracked members in ring order).
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.addrs))
+	copy(out, c.addrs)
+	return out
+}
+
+// StatsOf implements overlay.Network via the OpStats RPC.
+func (c *Cluster) StatsOf(addr string) (overlay.NodeStats, error) {
+	resp, err := c.transport.Call(addr, Message{Op: OpStats})
+	if err != nil {
+		return overlay.NodeStats{}, err
+	}
+	if err := remoteError(resp); err != nil {
+		return overlay.NodeStats{}, err
+	}
+	return overlay.NodeStats{
+		Keys:          resp.Keys,
+		EntriesByKind: resp.EntriesByKind,
+		BytesByKind:   resp.BytesByKind,
+	}, nil
+}
+
+// Size implements overlay.Network.
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.addrs)
+}
+
+// WaitConverged polls until every tracked node's successor pointer equals
+// its ideal ring neighbour, or the timeout elapses. It returns an error
+// describing the first unconverged node on timeout.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.converged()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: not converged after %v: %w", timeout, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) converged() error {
+	addrs := c.Addrs() // ring order
+	count := len(addrs)
+	if count == 0 {
+		return fmt.Errorf("no members")
+	}
+	for i, addr := range addrs {
+		want := addrs[(i+1)%count]
+		resp, err := c.transport.Call(addr, Message{Op: OpGetSuccessor})
+		if err != nil {
+			return fmt.Errorf("%s unreachable: %v", addr, err)
+		}
+		if resp.Addr != want {
+			return fmt.Errorf("%s successor = %s, want %s", addr, resp.Addr, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// handle dispatches one incoming protocol request. It runs on the
+// transport's serving goroutine.
+func (n *Node) handle(req Message) Message {
+	switch req.Op {
+	case OpPing:
+		return Message{Op: OpPing, Ok: true, Addr: n.addr}
+	case OpFindSuccessor:
+		return n.handleFindSuccessor(req)
+	case OpGetPredecessor:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return Message{Op: req.Op, Addr: n.pred}
+	case OpGetSuccessor:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		out := make([]string, len(n.succs))
+		copy(out, n.succs)
+		return Message{Op: req.Op, Addr: n.succs[0], Addrs: out}
+	case OpNotify:
+		return n.handleNotify(req)
+	case OpPut:
+		n.mu.Lock()
+		n.putLocked(req.Key, req.Entry)
+		n.mu.Unlock()
+		n.replicateEntry(req.Key, req.Entry, OpPutReplica)
+		return Message{Op: req.Op, Ok: true}
+	case OpGet:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		entries := n.store[req.Key]
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		return Message{Op: req.Op, Entries: out, Ok: true}
+	case OpRemove:
+		return n.handleRemove(req)
+	case OpTransfer, OpPutReplica:
+		n.adoptKeys(req.KV)
+		return Message{Op: req.Op, Ok: true}
+	case OpRemoveReplica:
+		return n.handleRemove(req)
+	case OpStats:
+		return n.handleStats(req)
+	default:
+		return Message{Op: req.Op, Err: "unknown operation"}
+	}
+}
+
+// handleFindSuccessor implements recursive Chord routing: answer directly
+// when the key falls between this node and its successor, otherwise
+// forward to the closest preceding finger.
+func (n *Node) handleFindSuccessor(req Message) Message {
+	n.mu.Lock()
+	succ := n.succs[0]
+	n.mu.Unlock()
+
+	if succ == n.addr || req.Key.Between(n.id, idOf(succ)) {
+		return Message{Op: req.Op, Addr: succ, Hops: req.Hops}
+	}
+	if req.TTL <= 0 {
+		return Message{Op: req.Op, Err: ErrTTLExceeded.Error()}
+	}
+	next := n.closestPreceding(req.Key)
+	if next == n.addr {
+		next = succ
+	}
+	resp, err := n.cfg.Transport.Call(next, Message{
+		Op: OpFindSuccessor, Key: req.Key, TTL: req.TTL - 1, Hops: req.Hops + 1,
+	})
+	if err != nil {
+		// The chosen hop is dead; fall back to the successor chain, which
+		// stabilization keeps live.
+		if next != succ {
+			resp, err = n.cfg.Transport.Call(succ, Message{
+				Op: OpFindSuccessor, Key: req.Key, TTL: req.TTL - 1, Hops: req.Hops + 1,
+			})
+		}
+		if err != nil {
+			return Message{Op: req.Op, Err: err.Error()}
+		}
+	}
+	return resp
+}
+
+// closestPreceding picks the finger (or successor-list entry) that most
+// closely precedes key.
+func (n *Node) closestPreceding(key keyspace.Key) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := keyspace.Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f == "" || f == n.addr {
+			continue
+		}
+		if idOf(f).BetweenOpen(n.id, key) {
+			return f
+		}
+	}
+	for i := len(n.succs) - 1; i >= 0; i-- {
+		s := n.succs[i]
+		if s != n.addr && idOf(s).BetweenOpen(n.id, key) {
+			return s
+		}
+	}
+	return n.addr
+}
+
+// handleNotify learns about a possible new predecessor and hands over the
+// keys that now belong to it (everything outside (pred, self]).
+func (n *Node) handleNotify(req Message) Message {
+	cand := req.Addr
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cand == "" || cand == n.addr {
+		return Message{Op: req.Op, Ok: false}
+	}
+	if n.pred == "" || idOf(cand).BetweenOpen(idOf(n.pred), n.id) {
+		n.pred = cand
+	}
+	if n.pred != cand {
+		return Message{Op: req.Op, Ok: false}
+	}
+	// Hand over keys the new predecessor is responsible for. Keys that
+	// belong even further back migrate hop by hop across stabilization
+	// rounds. With replication enabled the local copies are RETAINED —
+	// this node is within the new owner's replica set, and deleting them
+	// here would strip the replicas faster than the repair loop restores
+	// them.
+	var kv []KeyEntries
+	predID := idOf(cand)
+	for k, entries := range n.store {
+		if !k.Between(predID, n.id) {
+			kv = append(kv, KeyEntries{Key: k, Entries: entries})
+		}
+	}
+	if n.cfg.ReplicationFactor == 0 {
+		for _, item := range kv {
+			delete(n.store, item.Key)
+		}
+	}
+	return Message{Op: req.Op, Ok: true, KV: kv}
+}
+
+// replicateEntry forwards one entry operation to the successor replicas.
+func (n *Node) replicateEntry(key keyspace.Key, e overlay.Entry, op Op) {
+	if n.cfg.ReplicationFactor == 0 {
+		return
+	}
+	n.mu.Lock()
+	succs := make([]string, len(n.succs))
+	copy(succs, n.succs)
+	n.mu.Unlock()
+	sent := 0
+	for _, succ := range succs {
+		if succ == n.addr {
+			continue
+		}
+		if sent >= n.cfg.ReplicationFactor {
+			break
+		}
+		msg := Message{Op: op, Key: key, Entry: e}
+		if op == OpPutReplica {
+			msg = Message{Op: op, KV: []KeyEntries{{Key: key, Entries: []overlay.Entry{e}}}}
+		}
+		_, _ = n.cfg.Transport.Call(succ, msg)
+		sent++
+	}
+}
+
+func (n *Node) handleRemove(req Message) Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entries := n.store[req.Key]
+	removed := false
+	for i, have := range entries {
+		if have == req.Entry {
+			entries = append(entries[:i], entries[i+1:]...)
+			if len(entries) == 0 {
+				delete(n.store, req.Key)
+			} else {
+				n.store[req.Key] = entries
+			}
+			removed = true
+			break
+		}
+	}
+	if removed && req.Op == OpRemove {
+		// Propagate the deletion to replicas outside the lock.
+		n.mu.Unlock()
+		n.replicateEntry(req.Key, req.Entry, OpRemoveReplica)
+		n.mu.Lock()
+	}
+	return Message{Op: req.Op, Ok: removed}
+}
+
+func (n *Node) handleStats(req Message) Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := Message{
+		Op:            req.Op,
+		Ok:            true,
+		Keys:          len(n.store),
+		EntriesByKind: make(map[string]int),
+		BytesByKind:   make(map[string]int64),
+	}
+	for _, entries := range n.store {
+		kinds := make(map[string]bool, 2)
+		for _, e := range entries {
+			resp.EntriesByKind[e.Kind]++
+			resp.BytesByKind[e.Kind] += int64(len(e.Value))
+			kinds[e.Kind] = true
+		}
+		for k := range kinds {
+			resp.BytesByKind[k] += keyspace.Size
+		}
+	}
+	return resp
+}

@@ -1,0 +1,378 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Transport moves messages (required).
+	Transport Transport
+	// Addr is the listen address; "mem:0" / "127.0.0.1:0" pick fresh ones.
+	Addr string
+	// StabilizeInterval is the period of the stabilize / fix-fingers /
+	// check-predecessor loops. Default 25ms (tests); production would use
+	// seconds.
+	StabilizeInterval time.Duration
+	// SuccListLen bounds the successor list (default 4).
+	SuccListLen int
+	// TTL bounds recursive routing (default 64).
+	TTL int
+	// ReplicationFactor is the number of successor replicas that receive
+	// copies of each stored entry (0 disables replication). Replicas are
+	// refreshed periodically by the maintenance loop, so data survives
+	// crashes once the ring re-stabilizes.
+	ReplicationFactor int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StabilizeInterval == 0 {
+		c.StabilizeInterval = 25 * time.Millisecond
+	}
+	if c.SuccListLen == 0 {
+		c.SuccListLen = 4
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+	return c
+}
+
+// Node is a live Chord peer: it serves protocol requests and runs
+// background stabilization until stopped.
+type Node struct {
+	cfg  Config
+	addr string
+	id   keyspace.Key
+
+	mu        sync.Mutex
+	pred      string
+	succs     []string // succs[0] is the immediate successor (never empty)
+	fingers   [keyspace.Bits]string
+	fingerIdx int
+	store     map[keyspace.Key][]overlay.Entry
+	stopped   bool
+
+	listener io.Closer
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+// idOf derives a peer's ring position from its address (SHA-1), so
+// identifiers never need to travel on the wire.
+func idOf(addr string) keyspace.Key { return keyspace.NewKey(addr) }
+
+// Start listens and begins the maintenance loops. The node starts as a
+// one-node ring; call Join to enter an existing one.
+func Start(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("wire: nil transport")
+	}
+	n := &Node{
+		cfg:   cfg,
+		store: make(map[keyspace.Key][]overlay.Entry),
+		stop:  make(chan struct{}),
+	}
+	addr, closer, err := cfg.Transport.Listen(cfg.Addr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.addr = addr
+	n.id = idOf(addr)
+	n.listener = closer
+	n.succs = []string{addr}
+	n.done.Add(1)
+	go n.maintenanceLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() keyspace.Key { return n.id }
+
+// Join enters the ring that bootstrap belongs to.
+func (n *Node) Join(bootstrap string) error {
+	resp, err := n.cfg.Transport.Call(bootstrap, Message{
+		Op: OpFindSuccessor, Key: n.id, TTL: n.cfg.TTL,
+	})
+	if err != nil {
+		return fmt.Errorf("wire: join via %s: %w", bootstrap, err)
+	}
+	if err := remoteError(resp); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.succs = []string{resp.Addr}
+	n.mu.Unlock()
+	n.stabilizeOnce() // prompt: notify successor, adopt keys
+	return nil
+}
+
+// Stop halts the maintenance loops and the listener. The node's keys stay
+// wherever they are; use Leave for a graceful departure.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.done.Wait()
+	_ = n.listener.Close()
+}
+
+// Leave transfers this node's keys to its successor and stops. The ring
+// self-heals around the departure via successor lists.
+//
+// The maintenance loop is halted BEFORE the hand-off: a stabilize round
+// racing with the transfer could receive the just-transferred keys back
+// in a Notify response and take them to the grave.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.done.Wait()
+
+	n.mu.Lock()
+	succ := n.succs[0]
+	var kv []KeyEntries
+	for k, entries := range n.store {
+		kv = append(kv, KeyEntries{Key: k, Entries: entries})
+	}
+	n.mu.Unlock()
+	var handoffErr error
+	if succ != n.addr && len(kv) > 0 {
+		resp, err := n.cfg.Transport.Call(succ, Message{Op: OpTransfer, KV: kv})
+		if err != nil {
+			handoffErr = fmt.Errorf("wire: leave handoff: %w", err)
+		} else if rerr := remoteError(resp); rerr != nil {
+			handoffErr = rerr
+		}
+	}
+	_ = n.listener.Close()
+	return handoffErr
+}
+
+// maintenanceLoop drives stabilization until stopped.
+func (n *Node) maintenanceLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.StabilizeInterval)
+	defer ticker.Stop()
+	round := 0
+	for {
+		select {
+		case <-ticker.C:
+			n.stabilizeOnce()
+			n.checkPredecessor()
+			n.fixFingers(16)
+			round++
+			if n.cfg.ReplicationFactor > 0 && round%4 == 0 {
+				n.replicateOnce()
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// replicateOnce pushes copies of the locally-OWNED keys (those in the
+// node's ownership interval) to the current successors, repairing replica
+// sets after churn. Replica copies held for other owners are not pushed
+// onward — re-replicating replicas would cascade copies around the ring.
+// Puts are idempotent, so repeated rounds converge.
+func (n *Node) replicateOnce() {
+	n.mu.Lock()
+	succs := make([]string, len(n.succs))
+	copy(succs, n.succs)
+	pred := n.pred
+	kv := make([]KeyEntries, 0, len(n.store))
+	for k, entries := range n.store {
+		if pred != "" && !k.Between(idOf(pred), n.id) {
+			continue // a replica we hold for another owner
+		}
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		kv = append(kv, KeyEntries{Key: k, Entries: out})
+	}
+	n.mu.Unlock()
+	if len(kv) == 0 {
+		return
+	}
+	sent := 0
+	for _, succ := range succs {
+		if succ == n.addr {
+			continue
+		}
+		if sent >= n.cfg.ReplicationFactor {
+			break
+		}
+		// Best effort: a dead successor is healed by stabilization.
+		_, _ = n.cfg.Transport.Call(succ, Message{Op: OpPutReplica, KV: kv})
+		sent++
+	}
+}
+
+// stabilizeOnce runs one round of the Chord stabilize protocol: verify the
+// successor, adopt a closer one if its predecessor is between us, notify
+// it, and refresh the successor list.
+func (n *Node) stabilizeOnce() {
+	n.mu.Lock()
+	succ := n.succs[0]
+	pred := n.pred
+	n.mu.Unlock()
+
+	if succ == n.addr {
+		// Single-node ring; if someone notified us, they become our
+		// successor too, closing a two-node ring.
+		if pred != "" && pred != n.addr {
+			n.mu.Lock()
+			n.succs[0] = pred
+			n.mu.Unlock()
+		}
+		return
+	}
+
+	resp, err := n.cfg.Transport.Call(succ, Message{Op: OpGetPredecessor})
+	if err != nil {
+		n.advanceSuccessor()
+		return
+	}
+	if x := resp.Addr; x != "" && x != n.addr && idOf(x).BetweenOpen(n.id, idOf(succ)) {
+		// A node slipped in between us and our successor.
+		n.mu.Lock()
+		n.succs[0] = x
+		succ = x
+		n.mu.Unlock()
+	}
+
+	// Notify the successor; it may hand us keys we now own.
+	nresp, err := n.cfg.Transport.Call(succ, Message{Op: OpNotify, Addr: n.addr})
+	if err != nil {
+		n.advanceSuccessor()
+		return
+	}
+	if len(nresp.KV) > 0 {
+		n.adoptKeys(nresp.KV)
+	}
+
+	// Refresh the successor list from the successor's view.
+	sresp, err := n.cfg.Transport.Call(succ, Message{Op: OpGetSuccessor})
+	if err != nil {
+		return
+	}
+	list := append([]string{succ}, sresp.Addrs...)
+	if len(list) > n.cfg.SuccListLen {
+		list = list[:n.cfg.SuccListLen]
+	}
+	n.mu.Lock()
+	n.succs = list
+	n.mu.Unlock()
+}
+
+// advanceSuccessor promotes the next live entry of the successor list
+// after the immediate successor failed.
+func (n *Node) advanceSuccessor() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) > 1 {
+		n.succs = n.succs[1:]
+		return
+	}
+	// Out of successors: fall back to a one-node ring; the predecessor
+	// (if alive) will re-link us via its stabilization.
+	n.succs = []string{n.addr}
+}
+
+// checkPredecessor clears a dead predecessor so Notify can replace it.
+func (n *Node) checkPredecessor() {
+	n.mu.Lock()
+	pred := n.pred
+	n.mu.Unlock()
+	if pred == "" {
+		return
+	}
+	if _, err := n.cfg.Transport.Call(pred, Message{Op: OpPing}); err != nil {
+		n.mu.Lock()
+		if n.pred == pred {
+			n.pred = ""
+		}
+		n.mu.Unlock()
+	}
+}
+
+// fixFingers repairs count finger-table entries per round, round-robin.
+func (n *Node) fixFingers(count int) {
+	for i := 0; i < count; i++ {
+		n.mu.Lock()
+		idx := n.fingerIdx
+		n.fingerIdx = (n.fingerIdx + 1) % keyspace.Bits
+		n.mu.Unlock()
+		target := n.id.Add(uint(idx))
+		resp := n.handleFindSuccessor(Message{Op: OpFindSuccessor, Key: target, TTL: n.cfg.TTL})
+		if resp.Err != "" {
+			continue
+		}
+		n.mu.Lock()
+		n.fingers[idx] = resp.Addr
+		n.mu.Unlock()
+	}
+}
+
+// adoptKeys stores transferred entries locally.
+func (n *Node) adoptKeys(kv []KeyEntries) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, item := range kv {
+		for _, e := range item.Entries {
+			n.putLocked(item.Key, e)
+		}
+	}
+}
+
+func (n *Node) putLocked(key keyspace.Key, e overlay.Entry) {
+	for _, have := range n.store[key] {
+		if have == e {
+			return
+		}
+	}
+	n.store[key] = append(n.store[key], e)
+}
+
+// Snapshot support for tests and diagnostics.
+
+// Successor returns the node's current immediate successor.
+func (n *Node) Successor() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succs[0]
+}
+
+// Predecessor returns the node's current predecessor ("" if unknown).
+func (n *Node) Predecessor() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred
+}
+
+// KeyCount returns the number of distinct keys stored locally.
+func (n *Node) KeyCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// TestTCPRingEndToEnd boots a real TCP ring on loopback and exercises the
+// full protocol: join, converge, put/get, graceful leave.
+func TestTCPRingEndToEnd(t *testing.T) {
+	transport := NewTCPTransport()
+	cluster := NewCluster(transport, 1)
+	const count = 5
+	nodes := make([]*Node, 0, count)
+	var bootstrap string
+	for i := 0; i < count; i++ {
+		n, err := Start(Config{Transport: transport, Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		t.Cleanup(n.Stop)
+		if !strings.HasPrefix(n.Addr(), "127.0.0.1:") {
+			t.Fatalf("unexpected bound addr %s", n.Addr())
+		}
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		cluster.Track(n.Addr())
+		nodes = append(nodes, n)
+	}
+	if err := cluster.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("tcp-doc-%d", i))
+		if _, err := cluster.Put(key, overlay.Entry{Kind: "data", Value: fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("tcp-doc-%d", i))
+		entries, _, err := cluster.Get(key)
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("doc %d: %v %v", i, entries, err)
+		}
+	}
+	// One node leaves gracefully; data survives.
+	if err := nodes[2].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Untrack(nodes[2].Addr())
+	if err := cluster.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("tcp-doc-%d", i))
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			entries, _, err := cluster.Get(key)
+			if err == nil && len(entries) == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("doc %d lost after TCP leave", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestTCPCallErrors(t *testing.T) {
+	transport := NewTCPTransport()
+	transport.DialTimeout = 200 * time.Millisecond
+	if _, err := transport.Call("127.0.0.1:1", Message{Op: OpPing}); err == nil {
+		t.Fatal("call to closed port succeeded")
+	}
+	// Listener close makes the address unreachable.
+	addr, closer, err := transport.Listen("127.0.0.1:0", func(m Message) Message {
+		return Message{Op: m.Op, Ok: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := transport.Call(addr, Message{Op: OpPing})
+	if err != nil || !resp.Ok {
+		t.Fatalf("ping: %+v, %v", resp, err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.Call(addr, Message{Op: OpPing}); err == nil {
+		t.Fatal("closed listener still reachable")
+	}
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport carries one gob-encoded request/response pair per TCP
+// connection. Simple and robust: no connection pooling or framing state
+// to corrupt, at the price of a dial per call (acceptable for control
+// traffic; bulk transfers batch many keys into one message).
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a full request/response exchange (default 5s).
+	CallTimeout time.Duration
+}
+
+// NewTCPTransport returns a transport with default timeouts.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second}
+}
+
+// Listen implements Transport: it binds a TCP listener (use "127.0.0.1:0"
+// to pick a free port) and serves requests until closed.
+func (t *TCPTransport) Listen(addr string, handler Handler) (string, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	srv := &tcpServer{ln: ln, handler: handler, callTimeout: t.callTimeout()}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return ln.Addr().String(), srv, nil
+}
+
+func (t *TCPTransport) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return 2 * time.Second
+}
+
+func (t *TCPTransport) callTimeout() time.Duration {
+	if t.CallTimeout > 0 {
+		return t.CallTimeout
+	}
+	return 5 * time.Second
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(t.callTimeout())
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Message{}, fmt.Errorf("wire: deadline: %w", err)
+	}
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return Message{}, fmt.Errorf("wire: encode to %s: %w", addr, err)
+	}
+	var resp Message
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return Message{}, fmt.Errorf("wire: decode from %s: %w", addr, err)
+	}
+	return resp, nil
+}
+
+type tcpServer struct {
+	ln          net.Listener
+	handler     Handler
+	callTimeout time.Duration
+	wg          sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(s.callTimeout)); err != nil {
+		return
+	}
+	var req Message
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := s.handler(req)
+	_ = gob.NewEncoder(conn).Encode(&resp)
+}
+
+// Close implements io.Closer: stops accepting and waits for in-flight
+// requests to finish.
+func (s *tcpServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.ln.Close()
+		s.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,131 @@
+// Package wire implements a live, message-passing Chord node: the same
+// protocol the simulation computes instantaneously (internal/dht), but as
+// long-running peers that join, stabilize, repair fingers and transfer
+// keys by exchanging messages over a pluggable transport. Two transports
+// are provided — an in-memory one for deterministic tests and a TCP/gob
+// one for real deployments — and a Cluster handle adapts a set of live
+// nodes to the overlay contract so the paper's indexing layer runs
+// unchanged on top of a real network.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// Op enumerates the protocol operations.
+type Op int
+
+// Protocol operations.
+const (
+	OpPing Op = iota + 1
+	OpFindSuccessor
+	OpGetPredecessor
+	OpGetSuccessor
+	OpNotify
+	OpPut
+	OpGet
+	OpRemove
+	OpTransfer
+	OpStats
+	OpLeave
+	OpPutReplica
+	OpRemoveReplica
+)
+
+// String returns the wire name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpFindSuccessor:
+		return "find-successor"
+	case OpGetPredecessor:
+		return "get-predecessor"
+	case OpGetSuccessor:
+		return "get-successor"
+	case OpNotify:
+		return "notify"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpRemove:
+		return "remove"
+	case OpTransfer:
+		return "transfer"
+	case OpStats:
+		return "stats"
+	case OpLeave:
+		return "leave"
+	case OpPutReplica:
+		return "put-replica"
+	case OpRemoveReplica:
+		return "remove-replica"
+	default:
+		return "unknown"
+	}
+}
+
+// KeyEntries carries one key's entries in a transfer.
+type KeyEntries struct {
+	Key     keyspace.Key
+	Entries []overlay.Entry
+}
+
+// Message is the single request/response envelope (flat for gob).
+type Message struct {
+	Op   Op
+	Key  keyspace.Key
+	Addr string
+	// TTL bounds recursive FindSuccessor forwarding.
+	TTL int
+	// Hops counts forwarding steps, echoed back in responses.
+	Hops    int
+	Entry   overlay.Entry
+	Entries []overlay.Entry
+	KV      []KeyEntries
+	// Addrs carries successor lists.
+	Addrs []string
+	Ok    bool
+	Err   string
+	// Stats payload (OpStats responses).
+	Keys          int
+	EntriesByKind map[string]int
+	BytesByKind   map[string]int64
+}
+
+// Handler processes one request and produces one response.
+type Handler func(req Message) Message
+
+// Transport moves messages between addresses.
+type Transport interface {
+	// Listen registers a handler for an address and returns a closer that
+	// unregisters it. For the TCP transport, addr "host:0" picks a free
+	// port; the chosen address is returned.
+	Listen(addr string, handler Handler) (actual string, closer io.Closer, err error)
+	// Call sends a request to addr and waits for the response.
+	Call(addr string, req Message) (Message, error)
+}
+
+// Errors of the wire layer.
+var (
+	// ErrUnreachable is returned when a peer cannot be contacted.
+	ErrUnreachable = errors.New("wire: peer unreachable")
+	// ErrStopped is returned by operations on a stopped node.
+	ErrStopped = errors.New("wire: node stopped")
+	// ErrTTLExceeded is returned when routing fails to converge.
+	ErrTTLExceeded = errors.New("wire: routing TTL exceeded")
+)
+
+// remoteError converts an error carried in a response into a Go error.
+func remoteError(m Message) error {
+	if m.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("wire: remote: %s", m.Err)
+}

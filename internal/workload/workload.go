@@ -1,0 +1,279 @@
+// Package workload implements the paper's realistic user model (§V-C): a
+// query generator that combines the query-structure distribution extracted
+// from the BibFinder log (Fig. 7) with the power-law article-popularity
+// model fitted from BibFinder/NetBib/CiteSeer data (Figs. 9 and 10):
+//
+//	F̄(i) = 1 − F(i) = 1 − 0.063 · i^0.3
+//
+// "When constructing the query workload ... we first choose an article
+// according to the popularity distribution. Then, we select the structure
+// of the query and assign the corresponding fields."
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/xpath"
+)
+
+// Structure is the shape of a user query — which descriptor fields it
+// constrains.
+type Structure int
+
+// The structures of the paper's workload, in the order of §V-C's
+// probability list.
+const (
+	AuthorOnly Structure = iota + 1
+	TitleOnly
+	YearOnly
+	AuthorTitle
+	AuthorYear
+)
+
+// String returns the Fig. 7 label.
+func (s Structure) String() string {
+	switch s {
+	case AuthorOnly:
+		return "/author"
+	case TitleOnly:
+		return "/title"
+	case YearOnly:
+		return "/year"
+	case AuthorTitle:
+		return "/author/title"
+	case AuthorYear:
+		return "/author/year"
+	default:
+		return "/unknown"
+	}
+}
+
+// StructureModel is a categorical distribution over query structures.
+type StructureModel struct {
+	structures []Structure
+	cum        []float64
+}
+
+// PaperStructureModel returns the distribution of §V-C: author only 0.60,
+// title only 0.20, year only 0.10, author+title 0.05, author+year 0.05.
+func PaperStructureModel() StructureModel {
+	m, err := NewStructureModel(map[Structure]float64{
+		AuthorOnly:  0.60,
+		TitleOnly:   0.20,
+		YearOnly:    0.10,
+		AuthorTitle: 0.05,
+		AuthorYear:  0.05,
+	})
+	if err != nil {
+		// The literal above sums to 1; this cannot happen.
+		panic(err)
+	}
+	return m
+}
+
+// ErrBadModel reports invalid model probabilities.
+var ErrBadModel = errors.New("workload: probabilities must be positive and sum to 1")
+
+// NewStructureModel builds a categorical structure distribution. The
+// probabilities must be positive and sum to 1 (±1e-9).
+func NewStructureModel(probs map[Structure]float64) (StructureModel, error) {
+	structures := make([]Structure, 0, len(probs))
+	for s := range probs {
+		structures = append(structures, s)
+	}
+	sort.Slice(structures, func(i, j int) bool { return structures[i] < structures[j] })
+	var m StructureModel
+	total := 0.0
+	for _, s := range structures {
+		p := probs[s]
+		if p <= 0 {
+			return StructureModel{}, fmt.Errorf("%w: P(%s)=%v", ErrBadModel, s, p)
+		}
+		total += p
+		m.structures = append(m.structures, s)
+		m.cum = append(m.cum, total)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return StructureModel{}, fmt.Errorf("%w: sum=%v", ErrBadModel, total)
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m, nil
+}
+
+// Sample draws a structure.
+func (m StructureModel) Sample(rng *rand.Rand) Structure {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.structures) {
+		i = len(m.structures) - 1
+	}
+	return m.structures[i]
+}
+
+// Probability returns the probability of a structure (0 if absent).
+func (m StructureModel) Probability(s Structure) float64 {
+	prev := 0.0
+	for i, st := range m.structures {
+		if st == s {
+			return m.cum[i] - prev
+		}
+		prev = m.cum[i]
+	}
+	return 0
+}
+
+// Structures lists the modeled structures in sampling order.
+func (m StructureModel) Structures() []Structure {
+	out := make([]Structure, len(m.structures))
+	copy(out, m.structures)
+	return out
+}
+
+// PaperCCDF is the paper's fitted complementary CDF of article popularity
+// for a 10,000-article collection: F̄(i) = 1 − 0.063·i^0.3 (Fig. 10),
+// clamped to [0, 1]. i is the 1-based popularity rank.
+func PaperCCDF(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	v := 1 - 0.063*math.Pow(float64(i), 0.3)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Popularity is a sampler over article ranks 0..n-1 (rank 0 most popular)
+// whose CDF follows the paper's F(i) = 0.063·i^0.3 family, renormalized to
+// the collection size.
+type Popularity struct {
+	cum []float64
+}
+
+// NewPopularity builds the popularity distribution for n articles using
+// the paper's constants (k=0.063, exponent 0.3 — calibrated for n=10,000
+// and renormalized otherwise).
+func NewPopularity(n int) (*Popularity, error) {
+	return NewPopularityWith(n, 0.063, 0.3)
+}
+
+// NewPopularityWith builds a popularity distribution with CDF k·i^exp,
+// renormalized so that F(n) = 1.
+func NewPopularityWith(n int, k, exp float64) (*Popularity, error) {
+	if n < 1 || k <= 0 || exp <= 0 {
+		return nil, fmt.Errorf("%w: n=%d k=%v exp=%v", ErrBadModel, n, k, exp)
+	}
+	cum := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		cum[i-1] = k * math.Pow(float64(i), exp)
+	}
+	norm := cum[n-1]
+	for i := range cum {
+		cum[i] /= norm
+	}
+	return &Popularity{cum: cum}, nil
+}
+
+// Sample draws an article rank (0-based; 0 is the most popular).
+func (p *Popularity) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(p.cum, u)
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	return i
+}
+
+// P returns the probability mass of the 0-based rank.
+func (p *Popularity) P(rank int) float64 {
+	if rank < 0 || rank >= len(p.cum) {
+		return 0
+	}
+	if rank == 0 {
+		return p.cum[0]
+	}
+	return p.cum[rank] - p.cum[rank-1]
+}
+
+// N returns the collection size.
+func (p *Popularity) N() int { return len(p.cum) }
+
+// Query is one generated workload item: the query the user submits and the
+// article the user is actually after.
+type Query struct {
+	Structure Structure
+	Query     xpath.Query
+	Target    descriptor.Article
+	// Rank is the target's popularity rank (0-based).
+	Rank int
+}
+
+// Generator produces the simulation's query stream.
+type Generator struct {
+	articles  []descriptor.Article
+	pop       *Popularity
+	structure StructureModel
+	rng       *rand.Rand
+}
+
+// NewGenerator builds a generator over the corpus articles; article i is
+// popularity rank i. Generation is deterministic in the seed.
+func NewGenerator(articles []descriptor.Article, model StructureModel, seed int64) (*Generator, error) {
+	return NewGeneratorWith(articles, model, seed, 0.063, 0.3)
+}
+
+// NewGeneratorWith builds a generator with an explicit popularity family
+// F(i) = k·i^exp (the paper's fit uses k=0.063, exp=0.3). Sensitivity
+// analyses sweep exp to study how popularity skew drives cache behaviour.
+func NewGeneratorWith(articles []descriptor.Article, model StructureModel, seed int64, k, exp float64) (*Generator, error) {
+	if len(articles) == 0 {
+		return nil, fmt.Errorf("%w: empty corpus", ErrBadModel)
+	}
+	pop, err := NewPopularityWith(len(articles), k, exp)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		articles:  articles,
+		pop:       pop,
+		structure: model,
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next generates one workload query.
+func (g *Generator) Next() Query {
+	rank := g.pop.Sample(g.rng)
+	a := g.articles[rank]
+	s := g.structure.Sample(g.rng)
+	return Query{
+		Structure: s,
+		Query:     BuildQuery(s, a),
+		Target:    a,
+		Rank:      rank,
+	}
+}
+
+// BuildQuery materializes a structure against an article's fields.
+func BuildQuery(s Structure, a descriptor.Article) xpath.Query {
+	switch s {
+	case AuthorOnly:
+		return dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast)
+	case TitleOnly:
+		return dataset.TitleQuery(a.Title)
+	case YearOnly:
+		return dataset.YearQuery(a.Year)
+	case AuthorTitle:
+		return dataset.AuthorTitleQuery(a.AuthorFirst, a.AuthorLast, a.Title)
+	case AuthorYear:
+		return dataset.AuthorYearQuery(a.AuthorFirst, a.AuthorLast, a.Year)
+	default:
+		return dataset.MSD(a)
+	}
+}

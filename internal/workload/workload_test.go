@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/stats"
+)
+
+func TestPaperStructureModelProbabilities(t *testing.T) {
+	m := PaperStructureModel()
+	want := map[Structure]float64{
+		AuthorOnly: 0.60, TitleOnly: 0.20, YearOnly: 0.10,
+		AuthorTitle: 0.05, AuthorYear: 0.05,
+	}
+	for s, p := range want {
+		if got := m.Probability(s); math.Abs(got-p) > 1e-9 {
+			t.Errorf("P(%s) = %v, want %v", s, got, p)
+		}
+	}
+	if got := m.Probability(Structure(99)); got != 0 {
+		t.Errorf("P(unknown) = %v", got)
+	}
+	if len(m.Structures()) != 5 {
+		t.Errorf("structures = %v", m.Structures())
+	}
+}
+
+func TestStructureModelSamplingFrequencies(t *testing.T) {
+	m := PaperStructureModel()
+	rng := rand.New(rand.NewSource(1))
+	counts := map[Structure]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng)]++
+	}
+	for _, s := range m.Structures() {
+		got := float64(counts[s]) / n
+		want := m.Probability(s)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("freq(%s) = %.3f, want %.2f", s, got, want)
+		}
+	}
+}
+
+func TestNewStructureModelErrors(t *testing.T) {
+	cases := []map[Structure]float64{
+		{AuthorOnly: 0.5},                  // sums to 0.5
+		{AuthorOnly: -0.2, TitleOnly: 1.2}, // negative
+		{AuthorOnly: 1.5},                  // > 1
+	}
+	for i, probs := range cases {
+		if _, err := NewStructureModel(probs); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: err = %v, want ErrBadModel", i, err)
+		}
+	}
+}
+
+func TestPaperCCDFMatchesFormula(t *testing.T) {
+	// F̄(1) = 1 − 0.063, F̄(10000) ≈ 0.0014 (the constants are calibrated
+	// so that virtually all mass falls inside the 10k collection).
+	if got := PaperCCDF(1); math.Abs(got-(1-0.063)) > 1e-12 {
+		t.Fatalf("CCDF(1) = %v", got)
+	}
+	if got := PaperCCDF(10000); got > 0.01 {
+		t.Fatalf("CCDF(10000) = %v, want ≈0", got)
+	}
+	if got := PaperCCDF(0); got != 1 {
+		t.Fatalf("CCDF(0) = %v, want 1", got)
+	}
+	for i := 1; i < 10000; i += 97 {
+		if PaperCCDF(i) < PaperCCDF(i+1) {
+			t.Fatalf("CCDF not non-increasing at %d", i)
+		}
+	}
+}
+
+func TestPopularityTopHeavy(t *testing.T) {
+	pop, err := NewPopularity(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fit gives the top article ~6.3% of all requests.
+	if p := pop.P(0); math.Abs(p-0.063) > 0.002 {
+		t.Fatalf("P(rank 0) = %v, want ≈0.063", p)
+	}
+	total := 0.0
+	for i := 0; i < pop.N(); i++ {
+		total += pop.P(i)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", total)
+	}
+	if pop.P(-1) != 0 || pop.P(10000) != 0 {
+		t.Fatal("out-of-range P must be 0")
+	}
+}
+
+func TestPopularitySamplingFollowsCCDF(t *testing.T) {
+	pop, err := NewPopularity(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	counts := make([]int, 10000)
+	for i := 0; i < n; i++ {
+		counts[pop.Sample(rng)]++
+	}
+	// Empirical mass of the top-100 should approximate F(100) = 0.063*100^0.3.
+	top100 := 0
+	for i := 0; i < 100; i++ {
+		top100 += counts[i]
+	}
+	want := 0.063 * math.Pow(100, 0.3) / (0.063 * math.Pow(10000, 0.3))
+	got := float64(top100) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("top-100 mass = %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestPopularityErrors(t *testing.T) {
+	if _, err := NewPopularity(0); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewPopularityWith(10, -1, 0.3); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	corpus, err := dataset.Generate(dataset.Config{Articles: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := NewGenerator(corpus.Articles, PaperStructureModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(corpus.Articles, PaperStructureModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Structure != b.Structure || !a.Query.Equal(b.Query) || a.Rank != b.Rank {
+			t.Fatalf("generation diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorQueriesMatchTargets(t *testing.T) {
+	corpus, err := dataset.Generate(dataset.Config{Articles: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(corpus.Articles, PaperStructureModel(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		q := g.Next()
+		d := q.Target.Descriptor()
+		if !q.Query.Matches(d) {
+			t.Fatalf("query %d (%s) does not match its target", i, q.Query)
+		}
+		if !q.Query.Covers(dataset.MSD(q.Target)) {
+			t.Fatalf("query %d (%s) does not cover target MSD", i, q.Query)
+		}
+		if q.Target != corpus.Articles[q.Rank] {
+			t.Fatalf("rank/target mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewGeneratorEmptyCorpus(t *testing.T) {
+	if _, err := NewGenerator(nil, PaperStructureModel(), 1); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("err = %v, want ErrBadModel", err)
+	}
+}
+
+// TestFig9PowerLawEmergence: the frequency of author-query targets in the
+// generated stream must follow a power law, like the BibFinder/NetBib
+// author popularity plots of Fig. 9.
+func TestFig9PowerLawEmergence(t *testing.T) {
+	corpus, err := dataset.Generate(dataset.Config{Articles: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(corpus.Articles, PaperStructureModel(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]float64)
+	for i := 0; i < 50000; i++ {
+		q := g.Next()
+		if q.Structure == AuthorOnly {
+			counts[q.Target.Author()]++
+		}
+	}
+	freqs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	ranked := stats.RankDescending(freqs)
+	ranks := make([]float64, len(ranked))
+	for i := range ranked {
+		ranks[i] = float64(i + 1)
+	}
+	fit, err := stats.FitPowerLaw(ranks, ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha < 0.3 || fit.Alpha > 3 {
+		t.Fatalf("author popularity exponent = %v, not power-law-like", fit.Alpha)
+	}
+	if fit.R2 < 0.7 {
+		t.Fatalf("author popularity fit r2 = %v, too weak", fit.R2)
+	}
+}
+
+func TestBuildQueryFallback(t *testing.T) {
+	a := descriptor.Fig1Articles()[0]
+	q := BuildQuery(Structure(99), a)
+	if !q.Equal(dataset.MSD(a)) {
+		t.Fatalf("unknown structure should fall back to MSD, got %s", q)
+	}
+}
+
+func TestStructureStringLabels(t *testing.T) {
+	labels := map[Structure]string{
+		AuthorOnly:    "/author",
+		TitleOnly:     "/title",
+		YearOnly:      "/year",
+		AuthorTitle:   "/author/title",
+		AuthorYear:    "/author/year",
+		Structure(42): "/unknown",
+	}
+	for s, want := range labels {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

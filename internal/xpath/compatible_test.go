@@ -1,0 +1,136 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dhtindex/internal/descriptor"
+)
+
+func TestCompatible(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		// Same path, same value: trivially compatible.
+		{"/article[title=TCP]", "/article[title=TCP]", true},
+		// Same path, conflicting exact values: definite conflict.
+		{"/article[title=TCP]", "/article[title=IPv6]", false},
+		// Disjoint fields never conflict.
+		{"/article[title=TCP]", "/article[conf=SIGCOMM]", true},
+		// Nested conflict through a shared unique path.
+		{"/article[author[last=Smith]]", "/article[author[last=Doe]]", false},
+		{"/article[author[last=Smith]]", "/article[author[first=John]]", true},
+		// Different roots conflict.
+		{"/article[title=TCP]", "/book[title=TCP]", false},
+		// Wildcards and descendants stay conservative (compatible).
+		{"/*[title=TCP]", "/article[title=IPv6]", true},
+		{"//title=TCP", "/article[title=IPv6]", true},
+		{"/article[//last=Smith]", "/article[author[last=Doe]]", true},
+		// Prefix constraints.
+		{"/article[author[last=S*]]", "/article[author[last=Smith]]", true},
+		{"/article[author[last=S*]]", "/article[author[last=Doe]]", false},
+		{"/article[author[last=S*]]", "/article[author[last=Sm*]]", true},
+		{"/article[author[last=Sa*]]", "/article[author[last=Sm*]]", false},
+	}
+	for _, tc := range cases {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		if got := Compatible(a, b); got != tc.want {
+			t.Errorf("Compatible(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Compatibility is symmetric.
+		if got := Compatible(b, a); got != tc.want {
+			t.Errorf("Compatible(%q, %q) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestCompatibleZero(t *testing.T) {
+	if Compatible(Query{}, MustParse("/a")) || Compatible(MustParse("/a"), Query{}) {
+		t.Fatal("zero query compatible with something")
+	}
+}
+
+// Property: if some sampled descriptor matches both queries, they must be
+// reported compatible (soundness: Compatible only rejects definite
+// conflicts).
+func TestCompatibleSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		art := randomArticle(rng)
+		qa := randomSubQuery(rng, art)
+		qb := randomSubQuery(rng, art)
+		// Both match d by construction, so they must be compatible.
+		return Compatible(qa, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("/a[")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"xpath:", "offset", "/a["} {
+		if !contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("/a[")
+}
+
+func TestParseWithSchemaNilFallback(t *testing.T) {
+	a, err := ParseWithSchema("/article[title=TCP]", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(MustParse("/article[title=TCP]")) {
+		t.Fatalf("nil-schema parse = %q", a)
+	}
+}
+
+func TestMostSpecificZeroDescriptor(t *testing.T) {
+	if q := MostSpecific(descriptor.Descriptor{}); !q.IsZero() {
+		t.Fatalf("MostSpecific of empty descriptor = %q", q)
+	}
+}
+
+func TestMatchesDescendantRootedAtRoot(t *testing.T) {
+	d := MustParse("/article[title=TCP]")
+	concrete, err := d.Descriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// //article matches the root itself (descendant-or-self at top level).
+	if !MustParse("//article").Matches(concrete) {
+		t.Fatal("//article should match an article root")
+	}
+	if !MustParse("//title=TCP").Matches(concrete) {
+		t.Fatal("//title should match below the root")
+	}
+}

@@ -1,0 +1,37 @@
+package xpath
+
+import "sort"
+
+// Generalizations returns the queries obtained by dropping exactly one
+// top-level predicate from q, ordered most-specific first (most remaining
+// constraints, ties broken by canonical form). These are the immediate
+// upward neighbours of q in the covering partial order that the
+// generalization/specialization fallback of §IV-B explores when q itself
+// is not present in any index: each returned query g satisfies g ⊒ q.
+//
+// A query whose root has fewer than two predicates has no useful
+// generalization at this level and yields nil.
+func (q Query) Generalizations() []Query {
+	if q.root == nil || len(q.root.kids) < 2 {
+		return nil
+	}
+	out := make([]Query, 0, len(q.root.kids))
+	for drop := range q.root.kids {
+		g := &node{name: q.root.name, desc: q.root.desc, value: q.root.value}
+		g.kids = make([]*node, 0, len(q.root.kids)-1)
+		for i, k := range q.root.kids {
+			if i != drop {
+				g.kids = append(g.kids, k.clone())
+			}
+		}
+		out = append(out, newQuery(g))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Constraints(), out[j].Constraints()
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].str < out[j].str
+	})
+	return out
+}

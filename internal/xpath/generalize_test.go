@@ -1,0 +1,59 @@
+package xpath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestGeneralizationsAuthorYear(t *testing.T) {
+	q := MustParse("/article[author[first=John][last=Smith]][year=1996]")
+	gens := q.Generalizations()
+	if len(gens) != 2 {
+		t.Fatalf("got %d generalizations, want 2: %v", len(gens), gens)
+	}
+	// Most specific first: the author query (3 constraints + root) before
+	// the year query.
+	if !gens[0].Equal(MustParse("/article[author[first=John][last=Smith]]")) {
+		t.Fatalf("gens[0] = %q", gens[0])
+	}
+	if !gens[1].Equal(MustParse("/article[year=1996]")) {
+		t.Fatalf("gens[1] = %q", gens[1])
+	}
+	for _, g := range gens {
+		if !g.Covers(q) {
+			t.Fatalf("generalization %q does not cover %q", g, q)
+		}
+		if g.Equal(q) {
+			t.Fatalf("generalization %q equals original", g)
+		}
+	}
+}
+
+func TestGeneralizationsSinglePredicate(t *testing.T) {
+	if gens := MustParse("/article[title=TCP]").Generalizations(); gens != nil {
+		t.Fatalf("single-predicate query generalized: %v", gens)
+	}
+	if gens := (Query{}).Generalizations(); gens != nil {
+		t.Fatalf("zero query generalized: %v", gens)
+	}
+}
+
+// Property: every generalization covers the original and has strictly
+// fewer constraints.
+func TestGeneralizationsCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomSubQuery(rng, randomArticle(rng))
+		for _, g := range q.Generalizations() {
+			if !g.Covers(q) || g.Constraints() >= q.Constraints() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

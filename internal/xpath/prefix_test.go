@@ -1,0 +1,103 @@
+package xpath
+
+import (
+	"testing"
+
+	"dhtindex/internal/descriptor"
+)
+
+// The §IV-C substring-matching extension: trailing '*' in a value is a
+// prefix constraint.
+func TestPrefixMatching(t *testing.T) {
+	d1 := descriptor.Fig1Articles()[0].Descriptor() // Smith
+	d3 := descriptor.Fig1Articles()[2].Descriptor() // Doe
+	cases := []struct {
+		q      string
+		d      descriptor.Descriptor
+		want   bool
+		reason string
+	}{
+		{"/article[author[last=S*]]", d1, true, "S prefix of Smith"},
+		{"/article[author[last=Smi*]]", d1, true, "Smi prefix of Smith"},
+		{"/article[author[last=S*]]", d3, false, "Doe has no S prefix"},
+		{"/article[author[last=*]]", d1, true, "empty prefix matches any value"},
+		{"/article[author[last=Smith*]]", d1, true, "full-name prefix"},
+		{"/article[author[last=Smithy*]]", d1, false, "longer than value"},
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.q)
+		if got := q.Matches(tc.d); got != tc.want {
+			t.Errorf("Matches(%q): %v, want %v (%s)", tc.q, got, tc.want, tc.reason)
+		}
+	}
+}
+
+func TestPrefixCovering(t *testing.T) {
+	cases := []struct {
+		gen, spe string
+		want     bool
+	}{
+		{"/article[author[last=S*]]", "/article[author[last=Smith]]", true},
+		{"/article[author[last=S*]]", "/article[author[last=Smi*]]", true},
+		{"/article[author[last=Smi*]]", "/article[author[last=S*]]", false},
+		{"/article[author[last=Smith]]", "/article[author[last=Smith*]]", false},
+		{"/article[author[last=S*]]", "/article[author[last=Doe]]", false},
+		{"/article[author[last=*]]", "/article[author[last=Doe]]", true},
+	}
+	for _, tc := range cases {
+		gen, spe := MustParse(tc.gen), MustParse(tc.spe)
+		if got := gen.Covers(spe); got != tc.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", tc.gen, tc.spe, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixNotConcrete(t *testing.T) {
+	q := MustParse("/article[author[first=John][last=S*]]")
+	if _, err := q.Descriptor(); err == nil {
+		t.Fatal("prefix-constrained query must not convert to a descriptor")
+	}
+}
+
+// Contains (and suffix) constraints: "*x*" / "*x" — the "words in title"
+// extension.
+func TestContainsMatching(t *testing.T) {
+	d := descriptor.Fig1Articles()[2].Descriptor() // Wavelets
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"/article[title=*avele*]", true},
+		{"/article[title=*Wave*]", true},
+		{"/article[title=*lets]", true},  // suffix
+		{"/article[title=*Wave]", false}, // suffix miss
+		{"/article[title=*xyz*]", false},
+	}
+	for _, tc := range cases {
+		if got := MustParse(tc.q).Matches(d); got != tc.want {
+			t.Errorf("Matches(%q) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestContainsCovering(t *testing.T) {
+	cases := []struct {
+		gen, spe string
+		want     bool
+	}{
+		{"/article[title=*Rout*]", "/article[title=Scalable Routing]", true},
+		{"/article[title=*Rout*]", "/article[title=Scalable Lookup]", false},
+		{"/article[title=*Rout*]", "/article[title=Routing*]", true},    // prefix stem contains
+		{"/article[title=*Rout*]", "/article[title=*ScaRouting]", true}, // suffix stem contains
+		{"/article[title=*Rout*]", "/article[title=*xRoutx*]", true},    // contains stem contains
+		{"/article[title=Scalable Routing]", "/article[title=*Rout*]", false},
+		{"/article[title=*ing]", "/article[title=Routing]", true},
+		{"/article[title=*ing]", "/article[title=Router]", false},
+	}
+	for _, tc := range cases {
+		gen, spe := MustParse(tc.gen), MustParse(tc.spe)
+		if got := gen.Covers(spe); got != tc.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", tc.gen, tc.spe, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package xpath implements the paper's query language (§III-B): a subset
+// of the XPath addressing language over semi-structured descriptors.
+//
+// A query is a conjunctive tree pattern. Each pattern node constrains an
+// element name (or `*` wildcard), optionally its text value, optionally its
+// axis (child `/` or descendant `//`), and carries child constraints
+// (XPath predicates). A descriptor matches a query when the pattern tree
+// embeds into the descriptor tree.
+//
+// Queries have a unique canonical form (sorted, deduplicated predicates and
+// explicit `=value` constraints) so that equivalent XPath expressions hash
+// to the same DHT key, as the paper's footnote 1 requires. The covering
+// relation of §III-B — q' ⊒ q iff every descriptor matching q matches q' —
+// is decided syntactically on canonical forms.
+package xpath
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/keyspace"
+)
+
+// Wildcard is the element-name wildcard of the XPath dialect.
+const Wildcard = "*"
+
+// node is one constraint in the pattern tree.
+type node struct {
+	name  string  // element name or Wildcard
+	desc  bool    // descendant axis (`//`): matches at any strictly lower depth
+	value string  // "" = value unconstrained
+	kids  []*node // predicate constraints, all must hold
+}
+
+// Query is an immutable, normalized tree pattern. The zero Query is empty
+// and matches nothing; build queries with Parse, MostSpecific, or Builder.
+type Query struct {
+	root *node
+	str  string // canonical form, computed at construction
+}
+
+// ErrEmptyQuery is returned when parsing or building yields no constraint.
+var ErrEmptyQuery = errors.New("xpath: empty query")
+
+// IsZero reports whether the query is the empty (unusable) zero value.
+func (q Query) IsZero() bool { return q.root == nil }
+
+// String returns the canonical form. Equal canonical forms ⇔ equivalent
+// queries (within the normalization the package performs).
+func (q Query) String() string { return q.str }
+
+// Key returns the DHT key of the canonical form — the paper's h(q).
+func (q Query) Key() keyspace.Key { return keyspace.NewKey(q.str) }
+
+// Equal reports whether two queries have identical canonical forms.
+func (q Query) Equal(other Query) bool { return q.str == other.str }
+
+// Constraints returns the number of pattern nodes, a rough measure of query
+// specificity used in diagnostics.
+func (q Query) Constraints() int {
+	return countNodes(q.root)
+}
+
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, k := range n.kids {
+		total += countNodes(k)
+	}
+	return total
+}
+
+// newQuery normalizes the pattern and freezes its canonical form.
+func newQuery(root *node) Query {
+	if root == nil {
+		return Query{}
+	}
+	normalize(root)
+	return Query{root: root, str: render(root, true)}
+}
+
+// normalize sorts predicates by canonical form and removes exact duplicate
+// sibling constraints, recursively.
+func normalize(n *node) {
+	for _, k := range n.kids {
+		normalize(k)
+	}
+	sort.SliceStable(n.kids, func(i, j int) bool {
+		return render(n.kids[i], false) < render(n.kids[j], false)
+	})
+	out := n.kids[:0]
+	var prev string
+	for i, k := range n.kids {
+		r := render(k, false)
+		if i == 0 || r != prev {
+			out = append(out, k)
+		}
+		prev = r
+	}
+	n.kids = out
+}
+
+// render produces the canonical textual form. Top-level nodes are prefixed
+// with their axis; predicate heads omit the child-axis slash.
+func render(n *node, top bool) string {
+	var sb strings.Builder
+	writeNode(&sb, n, top)
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *node, top bool) {
+	switch {
+	case n.desc:
+		sb.WriteString("//")
+	case top:
+		sb.WriteString("/")
+	}
+	sb.WriteString(n.name)
+	if n.value != "" {
+		sb.WriteByte('=')
+		sb.WriteString(n.value)
+	}
+	for _, k := range n.kids {
+		sb.WriteByte('[')
+		writeNode(sb, k, false)
+		sb.WriteByte(']')
+	}
+}
+
+// clone deep-copies a pattern subtree.
+func (n *node) clone() *node {
+	out := &node{name: n.name, desc: n.desc, value: n.value}
+	if len(n.kids) > 0 {
+		out.kids = make([]*node, len(n.kids))
+		for i, k := range n.kids {
+			out.kids[i] = k.clone()
+		}
+	}
+	return out
+}
+
+// MostSpecific returns the most specific query (MSD) for a descriptor: the
+// pattern that tests the presence of every element and every value of d
+// (§III-B). It is the unique minimal query under ⊒ that d matches.
+func MostSpecific(d descriptor.Descriptor) Query {
+	if d.Root == nil {
+		return Query{}
+	}
+	return newQuery(elementToNode(d.Root))
+}
+
+func elementToNode(e *descriptor.Element) *node {
+	n := &node{name: e.Name}
+	if e.IsLeaf() {
+		n.value = e.Value
+		return n
+	}
+	n.kids = make([]*node, 0, len(e.Children))
+	for _, c := range e.Children {
+		n.kids = append(n.kids, elementToNode(c))
+	}
+	return n
+}
+
+// ErrNotConcrete is returned by Descriptor when the query contains
+// wildcards, descendant axes, or presence-only leaves and therefore does
+// not determine a unique descriptor.
+var ErrNotConcrete = errors.New("xpath: query is not a most-specific descriptor")
+
+// Descriptor reconstructs the unique descriptor of a most-specific query:
+// the inverse of MostSpecific. The paper relies on this direction to go
+// from an MSD back to d and compute k = h(d).
+func (q Query) Descriptor() (descriptor.Descriptor, error) {
+	if q.root == nil {
+		return descriptor.Descriptor{}, ErrEmptyQuery
+	}
+	root, err := nodeToElement(q.root)
+	if err != nil {
+		return descriptor.Descriptor{}, err
+	}
+	return descriptor.New(root), nil
+}
+
+func nodeToElement(n *node) (*descriptor.Element, error) {
+	if n.name == Wildcard || n.desc {
+		return nil, ErrNotConcrete
+	}
+	if len(n.kids) == 0 {
+		if n.value == "" {
+			return nil, ErrNotConcrete
+		}
+		if _, isPrefix := prefixStem(n.value); isPrefix {
+			return nil, ErrNotConcrete
+		}
+		return descriptor.NewLeaf(n.name, n.value), nil
+	}
+	if n.value != "" {
+		return nil, ErrNotConcrete
+	}
+	children := make([]*descriptor.Element, 0, len(n.kids))
+	for _, k := range n.kids {
+		c, err := nodeToElement(k)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, c)
+	}
+	return descriptor.NewNode(n.name, children...), nil
+}

@@ -1,0 +1,152 @@
+package xpath
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"dhtindex/internal/descriptor"
+)
+
+// randomArticle builds a pseudo-random article from a seed, over a small
+// vocabulary so that queries and descriptors collide often enough to
+// exercise the interesting cases.
+func randomArticle(rng *rand.Rand) descriptor.Article {
+	firsts := []string{"John", "Alan", "Mary", "Li"}
+	lasts := []string{"Smith", "Doe", "Chen", "Garcia"}
+	titles := []string{"TCP", "IPv6", "Wavelets", "Chord", "CAN"}
+	confs := []string{"SIGCOMM", "INFOCOM", "SOSP", "ICDCS"}
+	return descriptor.Article{
+		AuthorFirst: firsts[rng.Intn(len(firsts))],
+		AuthorLast:  lasts[rng.Intn(len(lasts))],
+		Title:       titles[rng.Intn(len(titles))],
+		Conf:        confs[rng.Intn(len(confs))],
+		Year:        1985 + rng.Intn(20),
+		Size:        int64(100000 + rng.Intn(400000)),
+	}
+}
+
+// randomSubQuery builds a query covering the given article by keeping a
+// random subset of its constraints.
+func randomSubQuery(rng *rand.Rand, a descriptor.Article) Query {
+	b := NewBuilder("article")
+	any := false
+	if rng.Intn(2) == 0 {
+		b.Equal(a.AuthorFirst, "author", "first")
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		b.Equal(a.AuthorLast, "author", "last")
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		b.Equal(a.Title, "title")
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		b.Equal(a.Conf, "conf")
+		any = true
+	}
+	if !any {
+		b.Equal(strconv.Itoa(a.Year), "year")
+	}
+	return b.Build()
+}
+
+// Property: a query built from a subset of an article's constraints covers
+// the article's MSD and matches the article's descriptor.
+func TestSubQueryCoversAndMatchesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomArticle(rng)
+		d := a.Descriptor()
+		msd := MostSpecific(d)
+		q := randomSubQuery(rng, a)
+		return q.Covers(msd) && q.Matches(d) && msd.Matches(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: covering is consistent with matching — if gen covers spe and a
+// descriptor matches spe, it matches gen (soundness of the syntactic
+// check over the sampled universe).
+func TestCoversSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomArticle(rng), randomArticle(rng)
+		qa := randomSubQuery(rng, a)
+		qb := randomSubQuery(rng, b)
+		if !qa.Covers(qb) {
+			return true // nothing to check
+		}
+		// Every descriptor in a sample that matches qb must match qa.
+		for i := 0; i < 20; i++ {
+			d := randomArticle(rng).Descriptor()
+			if qb.Matches(d) && !qa.Matches(d) {
+				return false
+			}
+		}
+		return qa.Matches(b.Descriptor()) || !qb.Matches(b.Descriptor())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: covering is reflexive and transitive on sampled queries.
+func TestCoversPartialOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomArticle(rng)
+		msd := MostSpecific(a.Descriptor())
+		q := randomSubQuery(rng, a)
+		r := randomSubQuery(rng, a)
+		if !q.Covers(q) || !r.Covers(r) || !msd.Covers(msd) {
+			return false // reflexivity
+		}
+		// Transitivity over the chain q ⊒ msd and r ⊒ msd plus any
+		// q ⊒ r relation discovered.
+		if q.Covers(r) && r.Covers(msd) && !q.Covers(msd) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: antisymmetry on canonical forms — mutual covering implies
+// identical canonical strings for the builder-generated query family.
+func TestCoversAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomArticle(rng)
+		q := randomSubQuery(rng, a)
+		r := randomSubQuery(rng, a)
+		if q.Covers(r) && r.Covers(q) {
+			return q.Equal(r)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing the canonical form of any generated query returns an
+// equal query (String ∘ Parse is the identity on canonical forms).
+func TestCanonicalFormFixpointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomSubQuery(rng, randomArticle(rng))
+		again, err := Parse(q.String())
+		return err == nil && again.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package xpath
+
+import (
+	"errors"
+	"testing"
+
+	"dhtindex/internal/descriptor"
+)
+
+// bibLeaf is the bibliographic schema of Figure 1 used for paper-style
+// parsing.
+func bibLeaf(name string) bool {
+	switch name {
+	case "first", "last", "title", "conf", "year", "size":
+		return true
+	}
+	return false
+}
+
+// The paper's queries of Figure 2 in the canonical dialect.
+var (
+	q1 = MustParse("/article[author[first=John][last=Smith]][title=TCP][conf=SIGCOMM][year=1989][size=315635]")
+	q2 = MustParse("/article[author[first=John][last=Smith]][conf=INFOCOM]")
+	q3 = MustParse("/article[author[first=John][last=Smith]]")
+	q4 = MustParse("/article[title=TCP]")
+	q5 = MustParse("/article[conf=INFOCOM]")
+	q6 = MustParse("/article[author[last=Smith]]")
+)
+
+func fig1Descriptors() []descriptor.Descriptor {
+	arts := descriptor.Fig1Articles()
+	out := make([]descriptor.Descriptor, len(arts))
+	for i, a := range arts {
+		out[i] = a.Descriptor()
+	}
+	return out
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	inputs := []string{
+		"/article[author[first=John][last=Smith]][conf=SIGCOMM]",
+		"/article[title=TCP]",
+		"//author[last=Smith]",
+		"/article[*=TCP]",
+		"/a[b[c=1]][d=2]",
+	}
+	for _, in := range inputs {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q.String(), err)
+		}
+		if !q.Equal(again) {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", in, q, again)
+		}
+	}
+}
+
+func TestParsePathSugar(t *testing.T) {
+	a := MustParse("/article/author/last=Smith")
+	b := MustParse("/article[author[last=Smith]]")
+	if !a.Equal(b) {
+		t.Fatalf("path sugar: %q != %q", a, b)
+	}
+}
+
+func TestParsePredicateOrderNormalized(t *testing.T) {
+	a := MustParse("/article[conf=SIGCOMM][author[last=Smith][first=John]]")
+	b := MustParse("/article[author[first=John][last=Smith]][conf=SIGCOMM]")
+	if !a.Equal(b) {
+		t.Fatalf("normalization: %q != %q", a, b)
+	}
+}
+
+func TestParseDuplicatePredicatesDeduped(t *testing.T) {
+	a := MustParse("/article[title=TCP][title=TCP]")
+	b := MustParse("/article[title=TCP]")
+	if !a.Equal(b) {
+		t.Fatalf("dedup: %q != %q", a, b)
+	}
+}
+
+func TestParseWithSchemaPaperSyntax(t *testing.T) {
+	cases := []struct {
+		paper string
+		want  Query
+	}{
+		{"/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM][year/1989][size/315635]", q1},
+		{"/article[author[first/John][last/Smith]][conf/INFOCOM]", q2},
+		{"/article/author[first/John][last/Smith]", q3},
+		{"/article/title/TCP", q4},
+		{"/article/conf/INFOCOM", q5},
+		{"/article/author/last/Smith", q6},
+	}
+	for _, tc := range cases {
+		got, err := ParseWithSchema(tc.paper, bibLeaf)
+		if err != nil {
+			t.Fatalf("ParseWithSchema(%q): %v", tc.paper, err)
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("ParseWithSchema(%q) = %q, want %q", tc.paper, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "article", "/", "/a[", "/a[b", "/a]", "/a=", "/a//", "/a[b=]",
+		"/a b", "/a[b]x",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+	var syn *SyntaxError
+	if _, err := Parse("/a["); !errors.As(err, &syn) {
+		t.Errorf("want *SyntaxError, got %v", err)
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty parse must fail")
+	}
+}
+
+func TestMatchesFig1(t *testing.T) {
+	ds := fig1Descriptors()
+	d1, d2, d3 := ds[0], ds[1], ds[2]
+	cases := []struct {
+		name string
+		q    Query
+		d    descriptor.Descriptor
+		want bool
+	}{
+		{"q1-d1", q1, d1, true},
+		{"q1-d2", q1, d2, false},
+		{"q2-d1", q2, d1, false}, // INFOCOM constraint fails on d1 (SIGCOMM)
+		{"q2-d2", q2, d2, true},
+		{"q3-d1", q3, d1, true},
+		{"q3-d2", q3, d2, true},
+		{"q3-d3", q3, d3, false},
+		{"q4-d1", q4, d1, true},
+		{"q4-d3", q4, d3, false},
+		{"q5-d2", q5, d2, true},
+		{"q5-d3", q5, d3, true},
+		{"q5-d1", q5, d1, false},
+		{"q6-d1", q6, d1, true},
+		{"q6-d3", q6, d3, false},
+	}
+	for _, tc := range cases {
+		if got := tc.q.Matches(tc.d); got != tc.want {
+			t.Errorf("%s: Matches=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesWildcardAndDescendant(t *testing.T) {
+	d := descriptor.Fig1Articles()[0].Descriptor()
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"/article[*=TCP]", true},          // some leaf child equals TCP
+		{"/article[*=IPv6]", false},        //
+		{"/*[title=TCP]", true},            // root wildcard
+		{"//last=Smith", true},             // descendant anywhere
+		{"//last=Doe", false},              //
+		{"//author[first=John]", true},     //
+		{"/article[//first=John]", true},   // descendant predicate
+		{"/article[//missing=1]", false},   //
+		{"/article[author[//x=1]]", false}, // deep descendant miss
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.q)
+		if got := q.Matches(d); got != tc.want {
+			t.Errorf("Matches(%q) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesValueOnInteriorNodeFails(t *testing.T) {
+	d := descriptor.Fig1Articles()[0].Descriptor()
+	// author is interior; requiring a value on it cannot match.
+	q := MustParse("/article[author=John]")
+	if q.Matches(d) {
+		t.Fatal("value constraint matched an interior element")
+	}
+}
+
+// TestCoversFig3 checks the paper's partial-order tree (Figure 3):
+// q1⊐{q2,q4}, q2⊐{q3,q5}, q3⊐q6, and the MSD relationships.
+func TestCoversFig3(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen, spe Query
+		want     bool
+	}{
+		// Edges of Figure 3 (qi -> qj means qj covers qi ... the figure
+		// draws more specific above less specific: arrows point down the
+		// ordering). The concrete relations:
+		{"q4-covers-q1", q4, q1, true},
+		{"q3-covers-q1", q3, q1, true},
+		{"q6-covers-q3", q6, q3, true},
+		{"q6-covers-q1", q6, q1, true}, // transitivity
+		{"q3-covers-q2", q3, q2, true},
+		{"q5-covers-q2", q5, q2, true},
+		{"q6-covers-q2", q6, q2, true},
+		// Non-relations.
+		{"q2-not-covers-q1", q2, q1, false}, // conf differs
+		{"q4-not-covers-q2", q4, q2, false},
+		{"q5-not-covers-q1", q5, q1, false},
+		{"q1-not-covers-q6", q1, q6, false},
+		{"q3-not-covers-q6", q3, q6, false},
+		{"q4-not-covers-q5", q4, q5, false},
+		// Reflexivity.
+		{"q1-covers-q1", q1, q1, true},
+		{"q6-covers-q6", q6, q6, true},
+	}
+	for _, tc := range cases {
+		if got := tc.gen.Covers(tc.spe); got != tc.want {
+			t.Errorf("%s: Covers=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCoversWildcardAndDescendant(t *testing.T) {
+	cases := []struct {
+		gen, spe string
+		want     bool
+	}{
+		{"/article[*=TCP]", "/article[title=TCP]", true},
+		{"/article[title=TCP]", "/article[*=TCP]", false},
+		{"//last=Smith", "/article[author[last=Smith]]", true},
+		{"/article[//last=Smith]", "/article[author[last=Smith]]", true},
+		{"/article[author[last=Smith]]", "/article[//last=Smith]", false},
+		{"//author", "/article[author[first=John]]", true},
+		{"/*", "/article", true},
+		{"/article", "/*", false},
+	}
+	for _, tc := range cases {
+		gen, spe := MustParse(tc.gen), MustParse(tc.spe)
+		if got := gen.Covers(spe); got != tc.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", tc.gen, tc.spe, got, tc.want)
+		}
+	}
+}
+
+func TestMostSpecificMatchesItsDescriptor(t *testing.T) {
+	for _, a := range descriptor.Fig1Articles() {
+		d := a.Descriptor()
+		msd := MostSpecific(d)
+		if !msd.Matches(d) {
+			t.Fatalf("MSD %q does not match its own descriptor", msd)
+		}
+		back, err := msd.Descriptor()
+		if err != nil {
+			t.Fatalf("Descriptor(): %v", err)
+		}
+		if !back.Equal(d) {
+			t.Fatalf("MSD round trip changed descriptor:\n%s\n%s", d, back)
+		}
+	}
+}
+
+func TestMostSpecificEqualsQ1(t *testing.T) {
+	d1 := descriptor.Fig1Articles()[0].Descriptor()
+	if msd := MostSpecific(d1); !msd.Equal(q1) {
+		t.Fatalf("MostSpecific(d1) = %q, want q1 = %q", msd, q1)
+	}
+}
+
+func TestDescriptorNotConcrete(t *testing.T) {
+	for _, in := range []string{
+		"/article[title=TCP]",  // partial: interior without full leaves? title ok but article also needs nothing else -> actually concrete!
+		"/article[*=TCP]",      // wildcard
+		"//author[last=Smith]", // descendant
+		"/article[author]",     // presence-only leaf
+	} {
+		q := MustParse(in)
+		if _, err := q.Descriptor(); err == nil {
+			switch in {
+			case "/article[title=TCP]":
+				// A fully valued pattern *is* a concrete descriptor even if
+				// small; only structural holes are errors.
+				continue
+			}
+			t.Errorf("Descriptor(%q) succeeded, want error", in)
+		}
+	}
+	if _, err := (Query{}).Descriptor(); !errors.Is(err, ErrEmptyQuery) {
+		t.Error("zero query must return ErrEmptyQuery")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	q := NewBuilder("article").
+		Equal("John", "author", "first").
+		Equal("Smith", "author", "last").
+		Build()
+	if !q.Equal(q3) {
+		t.Fatalf("builder = %q, want %q", q, q3)
+	}
+	// Builders can keep accumulating constraints after Build.
+	b := NewBuilder("article").Equal("TCP", "title")
+	first := b.Build()
+	b.Equal("SIGCOMM", "conf")
+	second := b.Build()
+	if !first.Equal(q4) {
+		t.Fatalf("first build = %q, want %q", first, q4)
+	}
+	if !second.Covers(q1) || first.Equal(second) {
+		t.Fatalf("second build wrong: %q", second)
+	}
+}
+
+func TestBuilderRequire(t *testing.T) {
+	q := NewBuilder("article").Require("author", "last").Build()
+	d := descriptor.Fig1Articles()[0].Descriptor()
+	if !q.Matches(d) {
+		t.Fatal("presence constraint should match")
+	}
+	if !q.Covers(q6) {
+		t.Fatalf("%q should cover %q", q, q6)
+	}
+}
+
+func TestQueryZeroValues(t *testing.T) {
+	var zero Query
+	if !zero.IsZero() {
+		t.Fatal("zero query must report IsZero")
+	}
+	if zero.Matches(descriptor.Fig1Articles()[0].Descriptor()) {
+		t.Fatal("zero query matches nothing")
+	}
+	if zero.Covers(q1) || q1.Covers(zero) {
+		t.Fatal("zero query participates in no covering relation")
+	}
+	if zero.Constraints() != 0 {
+		t.Fatal("zero query has no constraints")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	if got := q6.Constraints(); got != 3 { // article, author, last
+		t.Fatalf("q6 constraints = %d, want 3", got)
+	}
+	if got := q1.Constraints(); got != 8 {
+		t.Fatalf("q1 constraints = %d, want 8", got)
+	}
+}
+
+func TestKeyStableAcrossEquivalentForms(t *testing.T) {
+	a := MustParse("/article[conf=SIGCOMM][title=TCP]")
+	b := MustParse("/article[title=TCP][conf=SIGCOMM]")
+	if a.Key() != b.Key() {
+		t.Fatal("equivalent queries hash to different keys")
+	}
+	if a.Key() == q6.Key() {
+		t.Fatal("distinct queries collide")
+	}
+}
