@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"dhtindex/internal/dht"
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
+	"dhtindex/internal/wire"
 )
 
 func main() {
@@ -24,12 +26,59 @@ func main() {
 		churn     = flag.Float64("churn", 0.2, "fraction of nodes failed in the churn test")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		substrate = flag.String("substrate", "chord", "substrate for the hop sweep (chord|pastry)")
+
+		soak        = flag.Bool("soak", false, "run the live-wire churn soak instead of the simulation sweeps")
+		soakNodes   = flag.Int("soak-nodes", 16, "soak: ring size")
+		soakOps     = flag.Int("soak-ops", 150, "soak: write-once operations")
+		soakDrop    = flag.Float64("soak-drop", 0.10, "soak: per-message drop probability")
+		soakLatency = flag.Duration("soak-latency", 50*time.Millisecond, "soak: injected latency")
 	)
 	flag.Parse()
+	if *soak {
+		if err := runSoak(*soakNodes, *soakOps, *soakDrop, *soakLatency, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dhtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*maxNodes, *lookups, *churn, *seed, *substrate); err != nil {
 		fmt.Fprintln(os.Stderr, "dhtbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSoak exercises the LIVE wire layer (message-passing nodes, fault
+// injection, retry stack) rather than the instantaneous simulation: the
+// live analogue of churnTest below.
+func runSoak(nodes, ops int, drop float64, latency time.Duration, seed int64) error {
+	report, err := wire.RunSoak(wire.SoakConfig{
+		Nodes:    nodes,
+		Ops:      ops,
+		DropProb: drop,
+		Latency:  latency,
+		Seed:     seed,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	f, r := report.Faults, report.Retry
+	fmt.Printf("\nsoak report (seed %d)\n", seed)
+	fmt.Printf("  ring:        %d -> %d nodes, converged=%v\n", nodes, report.SurvivingNodes, report.Converged)
+	fmt.Printf("  data:        %d acked, %d put failures, %d lost\n", report.Acked, report.PutFailures, len(report.LostKeys))
+	fmt.Printf("  chaos reads: %d issued, %d failed during storm\n", report.ChaosReads, report.ChaosReadFailures)
+	fmt.Printf("  faults:      %d calls, %d+%d dropped (req+resp), %d delayed (%v total), %d partition-blocked, %d crash-blocked\n",
+		f.Calls, f.DroppedRequests, f.DroppedResponses, f.Delayed, f.DelayTotal.Round(time.Millisecond), f.PartitionBlocked, f.CrashBlocked)
+	fmt.Printf("  retries:     %d calls, %d attempts, %d retries, %d recovered, %d gave up (amplification %.2f)\n",
+		r.Calls, r.Attempts, r.Retries, r.Recovered, r.GaveUp, report.RetryAmplification())
+	fmt.Printf("  failover:    %d owner-read failures, %d replica reads, %d entry retries\n",
+		report.Cluster.OwnerReadFailures, report.Cluster.FailoverReads, report.Cluster.EntryRetries)
+	if !report.Converged || len(report.LostKeys) > 0 {
+		return fmt.Errorf("soak failed: converged=%v lost=%d", report.Converged, len(report.LostKeys))
+	}
+	return nil
 }
 
 func run(maxNodes, lookups int, churn float64, seed int64, substrate string) error {

@@ -19,10 +19,27 @@ import (
 type Cluster struct {
 	transport Transport
 	ttl       int
+	// failoverWidth bounds how many ring members past the owner a read
+	// will try before giving up.
+	failoverWidth int
 
-	mu    sync.Mutex
-	addrs []string
-	rng   *rand.Rand
+	mu      sync.Mutex
+	addrs   []string
+	rng     *rand.Rand
+	metrics ClusterMetrics
+}
+
+// ClusterMetrics counts the cluster adapter's failure handling, the
+// live-wire analogue of the simulation's FailoverReads metric.
+type ClusterMetrics struct {
+	// OwnerReadFailures counts Gets whose routed owner could not serve.
+	OwnerReadFailures int64
+	// FailoverReads counts Gets answered by a replica (a ring member
+	// past the unreachable owner) instead of the owner.
+	FailoverReads int64
+	// EntryRetries counts FindOwner attempts that had to switch to
+	// another entry point because the first was unreachable.
+	EntryRetries int64
 }
 
 var _ overlay.Network = (*Cluster)(nil)
@@ -30,10 +47,18 @@ var _ overlay.Network = (*Cluster)(nil)
 // NewCluster creates a cluster handle over the transport.
 func NewCluster(transport Transport, seed int64) *Cluster {
 	return &Cluster{
-		transport: transport,
-		ttl:       64,
-		rng:       rand.New(rand.NewSource(seed)),
+		transport:     transport,
+		ttl:           64,
+		failoverWidth: 3,
+		rng:           rand.New(rand.NewSource(seed)),
 	}
+}
+
+// Metrics returns a snapshot of the cluster's failover counters.
+func (c *Cluster) Metrics() ClusterMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
 }
 
 // Track adds a member address to the entry-point set.
@@ -73,20 +98,36 @@ func (c *Cluster) entry() (string, error) {
 	return c.addrs[c.rng.Intn(len(c.addrs))], nil
 }
 
-// FindOwner routes to the node responsible for key.
+// FindOwner routes to the node responsible for key. An unreachable
+// entry point is not fatal: up to failoverWidth members are tried, so a
+// lookup survives routing through a cluster whose member list includes
+// freshly-crashed nodes.
 func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
-	via, err := c.entry()
-	if err != nil {
-		return overlay.Route{}, err
+	var firstErr error
+	for attempt := 0; attempt < c.failoverWidth; attempt++ {
+		via, err := c.entry()
+		if err != nil {
+			return overlay.Route{}, err
+		}
+		resp, err := c.transport.Call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
+		if err == nil {
+			if rerr := remoteError(resp); rerr != nil {
+				return overlay.Route{}, rerr
+			}
+			return overlay.Route{Node: resp.Addr, Hops: resp.Hops}, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		c.mu.Lock()
+		c.metrics.EntryRetries++
+		single := len(c.addrs) <= 1
+		c.mu.Unlock()
+		if single {
+			break
+		}
 	}
-	resp, err := c.transport.Call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
-	if err != nil {
-		return overlay.Route{}, err
-	}
-	if err := remoteError(resp); err != nil {
-		return overlay.Route{}, err
-	}
-	return overlay.Route{Node: resp.Addr, Hops: resp.Hops}, nil
+	return overlay.Route{}, firstErr
 }
 
 // Put implements overlay.Network.
@@ -102,24 +143,83 @@ func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) 
 	return route, remoteError(resp)
 }
 
-// Get implements overlay.Network.
+// Get implements overlay.Network. When the routed owner cannot serve —
+// it crashed after routing resolved it, or routing itself failed against
+// a dying ring — the read fails over to the tracked members that follow
+// the key's ideal owner in ring order: exactly the nodes a replicating
+// ring pushes copies to. This is the live-wire analogue of the
+// simulation's replica failover (FailoverReads).
 func (c *Cluster) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
 	route, err := c.FindOwner(key)
-	if err != nil {
-		return nil, overlay.Route{}, err
+	if err == nil {
+		resp, cerr := c.transport.Call(route.Node, Message{Op: OpGet, Key: key})
+		if cerr == nil {
+			if rerr := remoteError(resp); rerr != nil {
+				return nil, overlay.Route{}, rerr
+			}
+			entries := resp.Entries
+			if len(entries) == 0 {
+				entries = nil
+			}
+			return entries, route, nil
+		}
+		err = cerr
 	}
-	resp, err := c.transport.Call(route.Node, Message{Op: OpGet, Key: key})
-	if err != nil {
-		return nil, overlay.Route{}, err
+	entries, froute, ferr := c.failoverGet(key, route.Node)
+	if ferr != nil {
+		return nil, route, err
 	}
-	if err := remoteError(resp); err != nil {
-		return nil, overlay.Route{}, err
+	return entries, froute, nil
+}
+
+// failoverGet reads key from the tracked members clockwise from the
+// key's ideal owner, skipping the member that already failed. It returns
+// the first successful replica's answer.
+func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry, overlay.Route, error) {
+	addrs := c.Addrs() // ring order
+	if len(addrs) == 0 {
+		return nil, overlay.Route{}, fmt.Errorf("wire: cluster has no members")
 	}
-	entries := resp.Entries
-	if len(entries) == 0 {
-		entries = nil
+	c.mu.Lock()
+	c.metrics.OwnerReadFailures++
+	width := c.failoverWidth
+	c.mu.Unlock()
+	// Start at the ideal owner's position: its clockwise followers hold
+	// the replicas.
+	start := 0
+	for i, addr := range addrs {
+		if idOf(addr).Cmp(key) >= 0 {
+			start = i
+			break
+		}
 	}
-	return entries, route, nil
+	tried := 0
+	var lastErr error = ErrUnreachable
+	for i := 0; i < len(addrs) && tried <= width; i++ {
+		cand := addrs[(start+i)%len(addrs)]
+		if cand == failed {
+			continue
+		}
+		tried++
+		resp, err := c.transport.Call(cand, Message{Op: OpGet, Key: key})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rerr := remoteError(resp); rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		c.mu.Lock()
+		c.metrics.FailoverReads++
+		c.mu.Unlock()
+		entries := resp.Entries
+		if len(entries) == 0 {
+			entries = nil
+		}
+		return entries, overlay.Route{Node: cand, Hops: tried}, nil
+	}
+	return nil, overlay.Route{}, lastErr
 }
 
 // Remove implements overlay.Network.

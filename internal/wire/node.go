@@ -29,6 +29,16 @@ type Config struct {
 	// refreshed periodically by the maintenance loop, so data survives
 	// crashes once the ring re-stabilizes.
 	ReplicationFactor int
+	// Retry, when set, wraps Transport in a RetryingTransport so every
+	// RPC this node issues (stabilization, routing, hand-offs) retries
+	// transient failures per the policy before a peer is declared dead.
+	Retry *RetryPolicy
+	// SuccFailThreshold is the number of consecutive failed stabilize
+	// contacts before the immediate successor is amputated from the
+	// successor list (default 1: amputate on first failure, the
+	// pre-retry behaviour). Raise it so a slow peer — one that fails
+	// even its retried RPC once — is distinguished from a dead one.
+	SuccFailThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +51,9 @@ func (c Config) withDefaults() Config {
 	if c.TTL == 0 {
 		c.TTL = 64
 	}
+	if c.SuccFailThreshold == 0 {
+		c.SuccFailThreshold = 1
+	}
 	return c
 }
 
@@ -51,13 +64,17 @@ type Node struct {
 	addr string
 	id   keyspace.Key
 
+	retry *RetryingTransport // non-nil iff cfg.Retry was set
+
 	mu        sync.Mutex
 	pred      string
 	succs     []string // succs[0] is the immediate successor (never empty)
+	succFails int      // consecutive failed stabilize contacts of succs[0]
 	fingers   [keyspace.Bits]string
 	fingerIdx int
 	store     map[keyspace.Key][]overlay.Entry
 	stopped   bool
+	leftTo    string // peer that accepted the Leave hand-off
 
 	listener io.Closer
 	stop     chan struct{}
@@ -79,6 +96,10 @@ func Start(cfg Config) (*Node, error) {
 		cfg:   cfg,
 		store: make(map[keyspace.Key][]overlay.Entry),
 		stop:  make(chan struct{}),
+	}
+	if cfg.Retry != nil {
+		n.retry = NewRetryingTransport(cfg.Transport, *cfg.Retry)
+		n.cfg.Transport = n.retry
 	}
 	addr, closer, err := cfg.Transport.Listen(cfg.Addr, n.handle)
 	if err != nil {
@@ -132,8 +153,9 @@ func (n *Node) Stop() {
 	_ = n.listener.Close()
 }
 
-// Leave transfers this node's keys to its successor and stops. The ring
-// self-heals around the departure via successor lists.
+// Leave transfers this node's keys to the first reachable entry of its
+// successor list and stops. The ring self-heals around the departure via
+// successor lists. HandedOffTo reports which peer accepted the keys.
 //
 // The maintenance loop is halted BEFORE the hand-off: a stabilize round
 // racing with the transfer could receive the just-transferred keys back
@@ -150,23 +172,49 @@ func (n *Node) Leave() error {
 	n.done.Wait()
 
 	n.mu.Lock()
-	succ := n.succs[0]
+	succs := make([]string, len(n.succs))
+	copy(succs, n.succs)
 	var kv []KeyEntries
 	for k, entries := range n.store {
 		kv = append(kv, KeyEntries{Key: k, Entries: entries})
 	}
 	n.mu.Unlock()
 	var handoffErr error
-	if succ != n.addr && len(kv) > 0 {
-		resp, err := n.cfg.Transport.Call(succ, Message{Op: OpTransfer, KV: kv})
-		if err != nil {
-			handoffErr = fmt.Errorf("wire: leave handoff: %w", err)
-		} else if rerr := remoteError(resp); rerr != nil {
-			handoffErr = rerr
+	if len(kv) > 0 {
+		// The immediate successor may be dead too — that can be exactly
+		// why this node is leaving. Walk the successor list until a peer
+		// accepts; any list entry is a valid next owner, and migration
+		// settles the keys in a few stabilize rounds.
+		for _, succ := range succs {
+			if succ == n.addr {
+				continue
+			}
+			resp, err := n.cfg.Transport.Call(succ, Message{Op: OpTransfer, KV: kv})
+			if err != nil {
+				handoffErr = fmt.Errorf("wire: leave handoff to %s: %w", succ, err)
+				continue
+			}
+			if rerr := remoteError(resp); rerr != nil {
+				handoffErr = rerr
+				continue
+			}
+			n.mu.Lock()
+			n.leftTo = succ
+			n.mu.Unlock()
+			handoffErr = nil
+			break
 		}
 	}
 	_ = n.listener.Close()
 	return handoffErr
+}
+
+// HandedOffTo returns the peer that accepted this node's keys during
+// Leave ("" if the node has not left, held no keys, or no peer accepted).
+func (n *Node) HandedOffTo() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leftTo
 }
 
 // maintenanceLoop drives stabilization until stopped.
@@ -250,7 +298,7 @@ func (n *Node) stabilizeOnce() {
 
 	resp, err := n.cfg.Transport.Call(succ, Message{Op: OpGetPredecessor})
 	if err != nil {
-		n.advanceSuccessor()
+		n.succFailed()
 		return
 	}
 	if x := resp.Addr; x != "" && x != n.addr && idOf(x).BetweenOpen(n.id, idOf(succ)) {
@@ -264,9 +312,12 @@ func (n *Node) stabilizeOnce() {
 	// Notify the successor; it may hand us keys we now own.
 	nresp, err := n.cfg.Transport.Call(succ, Message{Op: OpNotify, Addr: n.addr})
 	if err != nil {
-		n.advanceSuccessor()
+		n.succFailed()
 		return
 	}
+	n.mu.Lock()
+	n.succFails = 0 // the successor answered; it is alive
+	n.mu.Unlock()
 	if len(nresp.KV) > 0 {
 		n.adoptKeys(nresp.KV)
 	}
@@ -285,17 +336,43 @@ func (n *Node) stabilizeOnce() {
 	n.mu.Unlock()
 }
 
+// succFailed records a failed stabilize contact of the immediate
+// successor and amputates it once the consecutive-failure count reaches
+// the suspicion threshold. With an RPC retry policy in place a single
+// failure already means "retries exhausted"; the threshold adds a second
+// chance across stabilize rounds so a transiently slow peer is not
+// mistaken for a dead one.
+func (n *Node) succFailed() {
+	n.mu.Lock()
+	n.succFails++
+	trip := n.succFails >= n.cfg.SuccFailThreshold
+	n.mu.Unlock()
+	if trip {
+		n.advanceSuccessor()
+	}
+}
+
 // advanceSuccessor promotes the next live entry of the successor list
 // after the immediate successor failed.
 func (n *Node) advanceSuccessor() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.succFails = 0
 	if len(n.succs) > 1 {
 		n.succs = n.succs[1:]
 		return
 	}
-	// Out of successors: fall back to a one-node ring; the predecessor
-	// (if alive) will re-link us via its stabilization.
+	// The whole successor list is dead. Before collapsing to a one-node
+	// ring, fall back to the live predecessor: stabilizing against it
+	// walks the predecessor chain back around the ring to the first
+	// surviving clockwise successor, healing without waiting for the
+	// predecessor to re-discover us. (The predecessor is known-live —
+	// checkPredecessor clears dead ones — and using a stale entry only
+	// costs another advance round.)
+	if n.pred != "" && n.pred != n.addr && n.pred != n.succs[0] {
+		n.succs = []string{n.pred}
+		return
+	}
 	n.succs = []string{n.addr}
 }
 
@@ -368,6 +445,24 @@ func (n *Node) Predecessor() string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.pred
+}
+
+// Successors returns a copy of the node's successor list.
+func (n *Node) Successors() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// RetryStats returns the node's RPC retry counters (zero if the node was
+// started without a retry policy).
+func (n *Node) RetryStats() RetryStats {
+	if n.retry == nil {
+		return RetryStats{}
+	}
+	return n.retry.Stats()
 }
 
 // KeyCount returns the number of distinct keys stored locally.

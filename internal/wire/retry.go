@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy parameterizes the RPC retry stack: how many times an
+// idempotent operation is attempted and how the backoff between attempts
+// grows. The zero value is usable — withDefaults fills in sane numbers.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 250ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter/2 of its value, in
+	// [0,1] (default 0.5). Jitter decorrelates retry storms.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible.
+	Seed int64
+	// Retryable overrides the default idempotent-op set: ops mapped to
+	// true are retried, ops mapped to false never are, unmapped ops use
+	// the default set.
+	Retryable map[Op]bool
+	// PerOpAttempts overrides MaxAttempts for specific ops (e.g. give
+	// OpTransfer more tries than OpPing).
+	PerOpAttempts map[Op]int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// retryableByDefault holds the ops that are safe to repeat: pure reads,
+// and writes whose handlers deduplicate (Put/PutReplica/Transfer add an
+// entry only once; Notify recomputes the same predecessor decision).
+// OpRemove and OpRemoveReplica are excluded — their Ok result flips on a
+// repeat, so the caller would misreport "not found".
+var retryableByDefault = map[Op]bool{
+	OpPing:           true,
+	OpFindSuccessor:  true,
+	OpGetPredecessor: true,
+	OpGetSuccessor:   true,
+	OpNotify:         true,
+	OpPut:            true,
+	OpGet:            true,
+	OpTransfer:       true,
+	OpStats:          true,
+	OpLeave:          true,
+	OpPutReplica:     true,
+}
+
+// attemptsFor resolves how many times op may be tried under p.
+func (p RetryPolicy) attemptsFor(op Op) int {
+	if n, ok := p.PerOpAttempts[op]; ok && n > 0 {
+		return n
+	}
+	if allowed, ok := p.Retryable[op]; ok {
+		if !allowed {
+			return 1
+		}
+		return p.MaxAttempts
+	}
+	if retryableByDefault[op] {
+		return p.MaxAttempts
+	}
+	return 1
+}
+
+// RetryStats counts the retry layer's work, making recovery observable:
+// Attempts/Calls is the retry amplification a fault schedule induced.
+type RetryStats struct {
+	// Calls is the number of logical RPCs issued.
+	Calls int64
+	// Attempts is the number of wire sends, including first tries.
+	Attempts int64
+	// Retries is the number of re-sends after a transport error.
+	Retries int64
+	// Recovered counts calls that failed at least once and then
+	// succeeded on a retry.
+	Recovered int64
+	// GaveUp counts calls that exhausted every attempt.
+	GaveUp int64
+}
+
+// Merge accumulates another snapshot into s (for fleet-wide totals).
+func (s *RetryStats) Merge(o RetryStats) {
+	s.Calls += o.Calls
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Recovered += o.Recovered
+	s.GaveUp += o.GaveUp
+}
+
+// Amplification is wire sends per logical call (1.0 = no retries).
+func (s RetryStats) Amplification() float64 {
+	if s.Calls == 0 {
+		return 1
+	}
+	return float64(s.Attempts) / float64(s.Calls)
+}
+
+// RetryingTransport wraps a Transport with the retry/backoff policy:
+// transport-level failures of idempotent operations are retried with
+// exponential backoff and jitter, while non-idempotent ops and remote
+// application errors pass straight through. It composes with
+// FaultTransport (retry outside, faults inside) to model a lossy network
+// being survived.
+type RetryingTransport struct {
+	inner  Transport
+	policy RetryPolicy
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats RetryStats
+}
+
+// NewRetryingTransport wraps inner with policy.
+func NewRetryingTransport(inner Transport, policy RetryPolicy) *RetryingTransport {
+	return &RetryingTransport{
+		inner:  inner,
+		policy: policy.withDefaults(),
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+	}
+}
+
+// Listen implements Transport (pass-through: retries apply to calls).
+func (t *RetryingTransport) Listen(addr string, handler Handler) (string, io.Closer, error) {
+	return t.inner.Listen(addr, handler)
+}
+
+// Stats returns a snapshot of the retry counters.
+func (t *RetryingTransport) Stats() RetryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Call implements Transport.
+func (t *RetryingTransport) Call(addr string, req Message) (Message, error) {
+	attempts := t.policy.attemptsFor(req.Op)
+	t.mu.Lock()
+	t.stats.Calls++
+	t.mu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		t.mu.Lock()
+		t.stats.Attempts++
+		t.mu.Unlock()
+		resp, err := t.inner.Call(addr, req)
+		if err == nil {
+			if attempt > 1 {
+				t.mu.Lock()
+				t.stats.Recovered++
+				t.mu.Unlock()
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= attempts {
+			break
+		}
+		t.mu.Lock()
+		t.stats.Retries++
+		t.mu.Unlock()
+		time.Sleep(t.backoff(attempt))
+	}
+	if attempts > 1 {
+		t.mu.Lock()
+		t.stats.GaveUp++
+		t.mu.Unlock()
+	}
+	return Message{}, lastErr
+}
+
+// backoff computes the jittered exponential delay before retry number
+// attempt (1-based).
+func (t *RetryingTransport) backoff(attempt int) time.Duration {
+	d := float64(t.policy.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= t.policy.Multiplier
+		if d >= float64(t.policy.MaxDelay) {
+			d = float64(t.policy.MaxDelay)
+			break
+		}
+	}
+	t.mu.Lock()
+	r := t.rng.Float64()
+	t.mu.Unlock()
+	// Spread over [1-J/2, 1+J/2] of the nominal delay.
+	d *= 1 - t.policy.Jitter/2 + t.policy.Jitter*r
+	if d > float64(t.policy.MaxDelay) {
+		d = float64(t.policy.MaxDelay)
+	}
+	return time.Duration(d)
+}

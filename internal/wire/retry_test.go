@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedTransport fails the first failures calls to each address, then
+// succeeds — the canonical transiently-flaky peer.
+type scriptedTransport struct {
+	mu       sync.Mutex
+	failures int
+	calls    map[string]int
+}
+
+func newScriptedTransport(failures int) *scriptedTransport {
+	return &scriptedTransport{failures: failures, calls: make(map[string]int)}
+}
+
+func (s *scriptedTransport) Listen(addr string, handler Handler) (string, io.Closer, error) {
+	return addr, io.NopCloser(nil), nil
+}
+
+func (s *scriptedTransport) Call(addr string, req Message) (Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls[addr]++
+	if s.calls[addr] <= s.failures {
+		return Message{}, fmt.Errorf("%w: %s (scripted)", ErrUnreachable, addr)
+	}
+	return Message{Op: req.Op, Ok: true}, nil
+}
+
+func (s *scriptedTransport) callCount(addr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[addr]
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	inner := newScriptedTransport(2)
+	rt := NewRetryingTransport(inner, RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		Seed:        1,
+	})
+	resp, err := rt.Call("peer", Message{Op: OpPing})
+	if err != nil || !resp.Ok {
+		t.Fatalf("call should recover on attempt 3: %+v, %v", resp, err)
+	}
+	if got := inner.callCount("peer"); got != 3 {
+		t.Fatalf("wire sends = %d, want 3 (2 failures + 1 success)", got)
+	}
+	s := rt.Stats()
+	if s.Calls != 1 || s.Attempts != 3 || s.Retries != 2 || s.Recovered != 1 || s.GaveUp != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	inner := newScriptedTransport(100)
+	rt := NewRetryingTransport(inner, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Seed:        1,
+	})
+	_, err := rt.Call("peer", Message{Op: OpGet})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want the final ErrUnreachable, got %v", err)
+	}
+	if got := inner.callCount("peer"); got != 3 {
+		t.Fatalf("wire sends = %d, want exactly MaxAttempts", got)
+	}
+	if s := rt.Stats(); s.GaveUp != 1 || s.Recovered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestRetryNonIdempotentSingleShot: OpRemove flips its answer on repeats,
+// so the retry layer must never resend it.
+func TestRetryNonIdempotentSingleShot(t *testing.T) {
+	inner := newScriptedTransport(100)
+	rt := NewRetryingTransport(inner, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if _, err := rt.Call("peer", Message{Op: OpRemove}); err == nil {
+		t.Fatal("scripted failure swallowed")
+	}
+	if got := inner.callCount("peer"); got != 1 {
+		t.Fatalf("OpRemove sent %d times, want 1", got)
+	}
+	if _, err := rt.Call("peer", Message{Op: OpRemoveReplica}); err == nil {
+		t.Fatal("scripted failure swallowed")
+	}
+	if got := inner.callCount("peer"); got != 2 {
+		t.Fatalf("OpRemoveReplica resent: %d total sends, want 2", got)
+	}
+}
+
+func TestRetryPerOpOverrides(t *testing.T) {
+	inner := newScriptedTransport(100)
+	rt := NewRetryingTransport(inner, RetryPolicy{
+		MaxAttempts:   3,
+		BaseDelay:     time.Millisecond,
+		PerOpAttempts: map[Op]int{OpTransfer: 5},
+		Retryable:     map[Op]bool{OpGet: false},
+	})
+	_, _ = rt.Call("xfer", Message{Op: OpTransfer})
+	if got := inner.callCount("xfer"); got != 5 {
+		t.Fatalf("OpTransfer sends = %d, want PerOpAttempts 5", got)
+	}
+	_, _ = rt.Call("get", Message{Op: OpGet})
+	if got := inner.callCount("get"); got != 1 {
+		t.Fatalf("OpGet marked non-retryable but sent %d times", got)
+	}
+}
+
+func TestRetryBackoffGrowsAndIsCapped(t *testing.T) {
+	rt := NewRetryingTransport(newScriptedTransport(0), RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   4 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        3,
+	})
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := rt.backoff(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d > 20*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v exceeds MaxDelay", attempt, d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < 8*time.Millisecond {
+		t.Fatalf("backoff never grew beyond %v despite multiplier 2", prevMax)
+	}
+}
+
+// TestNodeExposesRetryStats: a node started with a retry policy surfaces
+// its retry counters (the observability half of the acceptance bar).
+func TestNodeExposesRetryStats(t *testing.T) {
+	ft := NewFaultTransport(NewMemTransport(), 11)
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 11}
+	a, err := Start(Config{Transport: ft.Endpoint(), Addr: "mem:0", Retry: &policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Stop)
+	b, err := Start(Config{Transport: ft.Endpoint(), Addr: "mem:0", Retry: &policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Stop)
+	// Drop every first send on the join path, then let retries through.
+	ft.SetDefaultRule(FaultRule{DropProb: 0.5})
+	deadline := time.Now().Add(10 * time.Second)
+	for b.RetryStats().Retries == 0 {
+		_ = b.Join(a.Addr())
+		if time.Now().After(deadline) {
+			t.Fatal("no retry ever recorded under 50% drop")
+		}
+	}
+	s := b.RetryStats()
+	if s.Attempts <= s.Calls {
+		t.Fatalf("attempts %d should exceed calls %d once retries fired", s.Attempts, s.Calls)
+	}
+}

@@ -1,0 +1,325 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// SoakConfig parameterizes a churn soak: a live ring run under a seeded
+// schedule of drops, latency, partitions and crashes while write-once
+// index entries are continuously written and read back. The zero value
+// gets production-shaped defaults (16 nodes, 10% drop, 50ms latency,
+// one crash per 100 ops, one partition/heal cycle).
+type SoakConfig struct {
+	// Nodes is the ring size (default 16).
+	Nodes int
+	// Ops is the number of write-once entries put during the storm
+	// (default 150). Each op also reads back a previously-acked key.
+	Ops int
+	// Seed drives the fault schedule and all random choices.
+	Seed int64
+	// DropProb is the per-message loss probability (default 0.10).
+	DropProb float64
+	// Latency is the injected delay when a latency fault fires
+	// (default 50ms).
+	Latency time.Duration
+	// LatencyProb is the probability of injecting Latency per message
+	// (default 0.15).
+	LatencyProb float64
+	// CrashEvery crashes one node per this many ops (default 100).
+	CrashEvery int
+	// PartitionAt is the op index where an adjacent pair of nodes is
+	// partitioned (default Ops/3); PartitionLen ops later it heals
+	// (default Ops/5).
+	PartitionAt  int
+	PartitionLen int
+	// ReplicationFactor for the ring (default 2).
+	ReplicationFactor int
+	// StabilizeInterval for the ring (default 25ms).
+	StabilizeInterval time.Duration
+	// Retry is the RPC retry policy every node and the cluster use
+	// (defaults applied if zero).
+	Retry RetryPolicy
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.Ops == 0 {
+		c.Ops = 150
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.10
+	}
+	if c.Latency == 0 {
+		c.Latency = 50 * time.Millisecond
+	}
+	if c.LatencyProb == 0 {
+		c.LatencyProb = 0.15
+	}
+	if c.CrashEvery == 0 {
+		c.CrashEvery = 100
+	}
+	if c.PartitionAt == 0 {
+		c.PartitionAt = c.Ops / 3
+	}
+	if c.PartitionLen == 0 {
+		c.PartitionLen = c.Ops / 5
+	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.StabilizeInterval == 0 {
+		c.StabilizeInterval = 25 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// SoakReport is the outcome of a soak run: what was injected, what the
+// retry layer absorbed, and whether the ring kept its promises.
+type SoakReport struct {
+	// Faults is what the FaultTransport injected.
+	Faults FaultStats
+	// Retry is the fleet-wide retry work (all nodes + the cluster).
+	Retry RetryStats
+	// Cluster is the adapter's failover accounting.
+	Cluster ClusterMetrics
+
+	// Acked is the number of write-once entries whose Put succeeded;
+	// only these are held against the ring at verification.
+	Acked int
+	// PutFailures counts puts that failed even with op-level retries.
+	PutFailures int
+	// ChaosReads / ChaosReadFailures count the read-backs issued during
+	// the storm (failures there are tolerated; the storm is still on).
+	ChaosReads        int
+	ChaosReadFailures int
+	// Crashes and Partitions count the schedule's executed events.
+	Crashes    int
+	Partitions int
+	// Converged reports whether the surviving ring re-converged to the
+	// ideal successor cycle after the storm.
+	Converged bool
+	// LostKeys lists acked write-once keys that could not be read back
+	// after the storm — must be empty with replication ≥ 1.
+	LostKeys []string
+	// SurvivingNodes is the ring size after the storm.
+	SurvivingNodes int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// RetryAmplification is wire sends per logical RPC across the fleet.
+func (r SoakReport) RetryAmplification() float64 { return r.Retry.Amplification() }
+
+// RunSoak executes the churn soak and reports what happened. The error
+// is non-nil only for harness failures (a node refusing to boot); ring
+// misbehaviour — lost entries, failed convergence — is reported in the
+// SoakReport for the caller to judge.
+func RunSoak(cfg SoakConfig) (SoakReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var report SoakReport
+
+	ft := NewFaultTransport(NewMemTransport(), cfg.Seed)
+	schedule := rand.New(rand.NewSource(cfg.Seed + 1))
+	policy := cfg.Retry.withDefaults()
+	policy.Seed = cfg.Seed + 2
+
+	cluster := NewCluster(NewRetryingTransport(ft, policy), cfg.Seed+3)
+
+	// Boot and converge the ring on a clean network: the soak measures
+	// survival under faults, not formation under faults (joins retried
+	// under loss are a separate scenario the retry layer also covers).
+	nodes := make([]*Node, 0, cfg.Nodes)
+	alive := make(map[string]*Node, cfg.Nodes)
+	var bootstrap string
+	for i := 0; i < cfg.Nodes; i++ {
+		p := policy
+		p.Seed = cfg.Seed + 10 + int64(i)
+		n, err := Start(Config{
+			Transport:         ft.Endpoint(),
+			Addr:              "mem:0",
+			StabilizeInterval: cfg.StabilizeInterval,
+			ReplicationFactor: cfg.ReplicationFactor,
+			Retry:             &p,
+			SuccFailThreshold: 2,
+		})
+		if err != nil {
+			return report, fmt.Errorf("soak: start node %d: %w", i, err)
+		}
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			return report, fmt.Errorf("soak: join node %d: %w", i, err)
+		}
+		cluster.Track(n.Addr())
+		nodes = append(nodes, n)
+		alive[n.Addr()] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	if err := cluster.WaitConverged(30 * time.Second); err != nil {
+		return report, fmt.Errorf("soak: ring never formed: %w", err)
+	}
+	cfg.Log("soak: ring of %d converged, starting storm (drop=%.0f%%, latency=%v@%.0f%%)",
+		cfg.Nodes, 100*cfg.DropProb, cfg.Latency, 100*cfg.LatencyProb)
+
+	// Storm on.
+	ft.SetDefaultRule(FaultRule{
+		DropProb:    cfg.DropProb,
+		Latency:     cfg.Latency,
+		LatencyProb: cfg.LatencyProb,
+	})
+
+	var acked []string
+	partitioned := false
+	var partA, partB string
+	for op := 0; op < cfg.Ops; op++ {
+		// Fault schedule first, so writes land on the faulted topology.
+		if op > 0 && op%cfg.CrashEvery == 0 && len(alive) > cfg.Nodes/2 {
+			victim := pickVictim(schedule, cluster.Addrs(), alive, partA, partB)
+			if victim != nil {
+				ft.Crash(victim.Addr())
+				victim.Stop()
+				cluster.Untrack(victim.Addr())
+				delete(alive, victim.Addr())
+				report.Crashes++
+				cfg.Log("soak: op %d: crashed %s (%d nodes left)", op, victim.Addr(), len(alive))
+			}
+		}
+		if op == cfg.PartitionAt && len(alive) >= 4 {
+			partA, partB = adjacentPair(schedule, cluster.Addrs())
+			if partA != "" {
+				ft.Partition(partA, partB)
+				partitioned = true
+				report.Partitions++
+				cfg.Log("soak: op %d: partitioned %s <-> %s", op, partA, partB)
+			}
+		}
+		if partitioned && op == cfg.PartitionAt+cfg.PartitionLen {
+			ft.Heal()
+			partitioned = false
+			cfg.Log("soak: op %d: partition healed", op)
+		}
+
+		key := fmt.Sprintf("soak-%d", op)
+		entry := overlay.Entry{Kind: "soak", Value: fmt.Sprintf("v%d", op)}
+		if putWithRetry(cluster, keyspace.NewKey(key), entry, 8) {
+			acked = append(acked, key)
+		} else {
+			report.PutFailures++
+		}
+
+		// Read back a random previously-acked key; failures during the
+		// storm are tolerated and counted.
+		if len(acked) > 0 {
+			probe := acked[schedule.Intn(len(acked))]
+			report.ChaosReads++
+			if _, _, err := cluster.Get(keyspace.NewKey(probe)); err != nil {
+				report.ChaosReadFailures++
+			}
+		}
+	}
+	report.Acked = len(acked)
+
+	// Storm off: heal everything and let the ring repair, then hold it
+	// to its promises on a clean network.
+	ft.Heal()
+	ft.SetDefaultRule(FaultRule{})
+	if err := cluster.WaitConverged(30 * time.Second); err == nil {
+		report.Converged = true
+	} else {
+		cfg.Log("soak: ring did not re-converge: %v", err)
+	}
+	report.SurvivingNodes = len(alive)
+
+	// Every acked write-once entry must still be served. Replica repair
+	// may need a few rounds to resettle keys, so poll with a deadline.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, key := range acked {
+		k := keyspace.NewKey(key)
+		for {
+			entries, _, err := cluster.Get(k)
+			if err == nil && len(entries) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				report.LostKeys = append(report.LostKeys, key)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	report.Faults = ft.Stats()
+	for _, n := range nodes {
+		report.Retry.Merge(n.RetryStats())
+	}
+	if rt, ok := cluster.transport.(*RetryingTransport); ok {
+		report.Retry.Merge(rt.Stats())
+	}
+	report.Cluster = cluster.Metrics()
+	report.Elapsed = time.Since(start)
+	cfg.Log("soak: done in %v: acked=%d lost=%d crashes=%d partitions=%d amplification=%.2f",
+		report.Elapsed.Round(time.Millisecond), report.Acked, len(report.LostKeys),
+		report.Crashes, report.Partitions, report.RetryAmplification())
+	return report, nil
+}
+
+// putWithRetry performs an op-level put retry loop on top of the RPC
+// retry layer: under a storm a put can fail end-to-end (e.g. routing
+// resolved to a node that crashed mid-op) and the workload, like any
+// real client, tries again. Only an acked put counts as write-once data.
+func putWithRetry(cluster *Cluster, key keyspace.Key, e overlay.Entry, tries int) bool {
+	for i := 0; i < tries; i++ {
+		if _, err := cluster.Put(key, e); err == nil {
+			return true
+		}
+		time.Sleep(time.Duration(10*(i+1)) * time.Millisecond)
+	}
+	return false
+}
+
+// pickVictim chooses a crash victim among live nodes, sparing the
+// currently partitioned pair (crashing one would quietly end the
+// partition scenario).
+func pickVictim(rng *rand.Rand, ringOrder []string, alive map[string]*Node, partA, partB string) *Node {
+	candidates := make([]string, 0, len(ringOrder))
+	for _, addr := range ringOrder {
+		if addr == partA || addr == partB {
+			continue
+		}
+		if _, ok := alive[addr]; ok {
+			candidates = append(candidates, addr)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return alive[candidates[rng.Intn(len(candidates))]]
+}
+
+// adjacentPair picks a ring-adjacent pair of tracked members — adjacency
+// guarantees the pair actually exchanges stabilization traffic, so the
+// partition is exercised rather than decorative.
+func adjacentPair(rng *rand.Rand, ringOrder []string) (string, string) {
+	if len(ringOrder) < 2 {
+		return "", ""
+	}
+	i := rng.Intn(len(ringOrder))
+	return ringOrder[i], ringOrder[(i+1)%len(ringOrder)]
+}

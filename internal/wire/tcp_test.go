@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -97,5 +98,65 @@ func TestTCPCallErrors(t *testing.T) {
 	}
 	if _, err := transport.Call(addr, Message{Op: OpPing}); err == nil {
 		t.Fatal("closed listener still reachable")
+	}
+}
+
+// TestTCPMaxMessageSize: a peer declaring an oversized message must be
+// cut off by the decode limit instead of ballooning server memory.
+func TestTCPMaxMessageSize(t *testing.T) {
+	server := NewTCPTransport()
+	server.MaxMessageSize = 1 << 10
+	handled := false
+	addr, closer, err := server.Listen("127.0.0.1:0", func(m Message) Message {
+		handled = true
+		return Message{Op: m.Op, Ok: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	client := NewTCPTransport()
+	client.CallTimeout = 2 * time.Second
+	big := Message{Op: OpPut, Entry: overlay.Entry{Kind: "d", Value: strings.Repeat("x", 1<<20)}}
+	if _, err := client.Call(addr, big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+	if handled {
+		t.Fatal("handler ran on a message past the size cap")
+	}
+	// Normal-sized traffic still flows.
+	resp, err := client.Call(addr, Message{Op: OpPing})
+	if err != nil || !resp.Ok {
+		t.Fatalf("small message after oversized one: %+v, %v", resp, err)
+	}
+}
+
+// TestTCPCloseBounded: Close must not hang behind a connection that
+// dialed in and dribbles nothing — it drains with a deadline.
+func TestTCPCloseBounded(t *testing.T) {
+	transport := NewTCPTransport()
+	transport.CallTimeout = 30 * time.Second // conn deadline far away
+	transport.CloseTimeout = 200 * time.Millisecond
+	addr, closer, err := transport.Listen("127.0.0.1:0", func(m Message) Message {
+		return Message{Ok: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client that connects and then stalls, holding serveConn open.
+	stall, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	time.Sleep(50 * time.Millisecond) // let the server accept it
+
+	start := time.Now()
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v despite a 200ms drain deadline", elapsed)
 	}
 }

@@ -9,6 +9,11 @@ import (
 	"time"
 )
 
+// DefaultMaxMessageSize bounds a single gob-encoded message on the wire
+// (8 MiB). A corrupt or hostile peer can otherwise declare a huge
+// payload and make the decoder allocate unboundedly.
+const DefaultMaxMessageSize = 8 << 20
+
 // TCPTransport carries one gob-encoded request/response pair per TCP
 // connection. Simple and robust: no connection pooling or framing state
 // to corrupt, at the price of a dial per call (acceptable for control
@@ -18,11 +23,23 @@ type TCPTransport struct {
 	DialTimeout time.Duration
 	// CallTimeout bounds a full request/response exchange (default 5s).
 	CallTimeout time.Duration
+	// CloseTimeout bounds how long Close waits for in-flight requests to
+	// drain before returning (default 3s). Connections left behind still
+	// terminate on their own deadlines; Close just stops blocking on
+	// them.
+	CloseTimeout time.Duration
+	// MaxMessageSize caps the bytes a decoder will read for one message
+	// (default DefaultMaxMessageSize).
+	MaxMessageSize int64
 }
 
 // NewTCPTransport returns a transport with default timeouts.
 func NewTCPTransport() *TCPTransport {
-	return &TCPTransport{DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second}
+	return &TCPTransport{
+		DialTimeout:  2 * time.Second,
+		CallTimeout:  5 * time.Second,
+		CloseTimeout: 3 * time.Second,
+	}
 }
 
 // Listen implements Transport: it binds a TCP listener (use "127.0.0.1:0"
@@ -32,7 +49,13 @@ func (t *TCPTransport) Listen(addr string, handler Handler) (string, io.Closer, 
 	if err != nil {
 		return "", nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	srv := &tcpServer{ln: ln, handler: handler, callTimeout: t.callTimeout()}
+	srv := &tcpServer{
+		ln:           ln,
+		handler:      handler,
+		callTimeout:  t.callTimeout(),
+		closeTimeout: t.closeTimeout(),
+		maxMsg:       t.maxMessageSize(),
+	}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return ln.Addr().String(), srv, nil
@@ -52,6 +75,20 @@ func (t *TCPTransport) callTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+func (t *TCPTransport) closeTimeout() time.Duration {
+	if t.CloseTimeout > 0 {
+		return t.CloseTimeout
+	}
+	return 3 * time.Second
+}
+
+func (t *TCPTransport) maxMessageSize() int64 {
+	if t.MaxMessageSize > 0 {
+		return t.MaxMessageSize
+	}
+	return DefaultMaxMessageSize
+}
+
 // Call implements Transport.
 func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
@@ -67,18 +104,20 @@ func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
 		return Message{}, fmt.Errorf("wire: encode to %s: %w", addr, err)
 	}
 	var resp Message
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	if err := gob.NewDecoder(io.LimitReader(conn, t.maxMessageSize())).Decode(&resp); err != nil {
 		return Message{}, fmt.Errorf("wire: decode from %s: %w", addr, err)
 	}
 	return resp, nil
 }
 
 type tcpServer struct {
-	ln          net.Listener
-	handler     Handler
-	callTimeout time.Duration
-	wg          sync.WaitGroup
-	closeOnce   sync.Once
+	ln           net.Listener
+	handler      Handler
+	callTimeout  time.Duration
+	closeTimeout time.Duration
+	maxMsg       int64
+	wg           sync.WaitGroup
+	closeOnce    sync.Once
 }
 
 func (s *tcpServer) acceptLoop() {
@@ -100,20 +139,33 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		return
 	}
 	var req Message
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+	// The limit guards the allocation, not the protocol: a message that
+	// claims to be larger than maxMsg hits io.EOF instead of exhausting
+	// memory.
+	if err := gob.NewDecoder(io.LimitReader(conn, s.maxMsg)).Decode(&req); err != nil {
 		return
 	}
 	resp := s.handler(req)
 	_ = gob.NewEncoder(conn).Encode(&resp)
 }
 
-// Close implements io.Closer: stops accepting and waits for in-flight
-// requests to finish.
+// Close implements io.Closer: stops accepting and waits up to
+// closeTimeout for in-flight requests to drain. Stragglers are not
+// leaked forever — every connection carries a deadline — but a node
+// shutting down must not hang behind a peer that dribbles bytes.
 func (s *tcpServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		err = s.ln.Close()
-		s.wg.Wait()
+		drained := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(s.closeTimeout):
+		}
 	})
 	return err
 }
