@@ -3,12 +3,21 @@
 // The paper treats the DHT as a black box (§V-E: "we do not explicitly
 // study the performance of the P2P substrate"); this harness verifies the
 // substrate provides what the indexing layer assumes.
+//
+// With -soak it instead runs the live-wire indexed churn soak
+// (internal/soak): a message-passing ring under drops, latency,
+// partitions and crashes while indexed queries keep resolving. Every
+// layer reports into one telemetry registry; -metrics-addr serves the
+// Prometheus-style snapshot over HTTP, -metrics-out writes it to a file,
+// and -trace records every LookupTrace as JSONL (soak default:
+// soak-traces.jsonl). See docs/OBSERVABILITY.md for the full catalog.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"time"
 
@@ -16,6 +25,8 @@ import (
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
+	"dhtindex/internal/soak"
+	"dhtindex/internal/telemetry"
 	"dhtindex/internal/wire"
 )
 
@@ -27,61 +38,134 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		substrate = flag.String("substrate", "chord", "substrate for the hop sweep (chord|pastry)")
 
-		soak        = flag.Bool("soak", false, "run the live-wire churn soak instead of the simulation sweeps")
+		soakMode    = flag.Bool("soak", false, "run the live-wire indexed churn soak instead of the simulation sweeps")
 		soakNodes   = flag.Int("soak-nodes", 16, "soak: ring size")
 		soakOps     = flag.Int("soak-ops", 150, "soak: write-once operations")
 		soakDrop    = flag.Float64("soak-drop", 0.10, "soak: per-message drop probability")
 		soakLatency = flag.Duration("soak-latency", 50*time.Millisecond, "soak: injected latency")
+		soakQueries = flag.Int("soak-queries", 2, "soak: indexed lookups per storm op")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the telemetry snapshot on this address (e.g. :8080) after the run")
+		metricsOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this file after the run")
+		tracePath   = flag.String("trace", "", "write every LookupTrace to this JSONL file (soak default: soak-traces.jsonl)")
 	)
 	flag.Parse()
-	if *soak {
-		if err := runSoak(*soakNodes, *soakOps, *soakDrop, *soakLatency, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "dhtbench:", err)
-			os.Exit(1)
-		}
-		return
+	reg := telemetry.NewRegistry()
+	var err error
+	if *soakMode {
+		err = runSoak(soakOpts{
+			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries,
+			drop: *soakDrop, latency: *soakLatency, seed: *seed,
+			trace: *tracePath,
+		}, reg, *metricsAddr, *metricsOut)
+	} else {
+		err = run(*maxNodes, *lookups, *churn, *seed, *substrate, reg, *metricsAddr, *metricsOut)
 	}
-	if err := run(*maxNodes, *lookups, *churn, *seed, *substrate); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhtbench:", err)
 		os.Exit(1)
 	}
 }
 
+// soakOpts bundles the soak flag values.
+type soakOpts struct {
+	nodes, ops, queries int
+	drop                float64
+	latency             time.Duration
+	seed                int64
+	trace               string
+}
+
 // runSoak exercises the LIVE wire layer (message-passing nodes, fault
-// injection, retry stack) rather than the instantaneous simulation: the
-// live analogue of churnTest below.
-func runSoak(nodes, ops int, drop float64, latency time.Duration, seed int64) error {
-	report, err := wire.RunSoak(wire.SoakConfig{
-		Nodes:    nodes,
-		Ops:      ops,
-		DropProb: drop,
-		Latency:  latency,
-		Seed:     seed,
-		Log: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
+// injection, retry stack) under the paper's index workload — the live
+// analogue of churnTest below, fully instrumented.
+func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string) error {
+	tracePath := o.trace
+	if tracePath == "" {
+		tracePath = "soak-traces.jsonl"
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	sink := telemetry.NewJSONLSink(tf)
+
+	report, err := soak.Run(soak.Config{
+		Wire: wire.SoakConfig{
+			Nodes:    o.nodes,
+			Ops:      o.ops,
+			DropProb: o.drop,
+			Latency:  o.latency,
+			Seed:     o.seed,
+			Log: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
 		},
+		QueriesPerOp: o.queries,
+		Telemetry:    reg,
+		TraceSink:    sink,
 	})
 	if err != nil {
 		return err
 	}
+	if err := sink.Flush(); err != nil {
+		return fmt.Errorf("flush traces: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "dhtbench: %d traces written to %s\n", report.Traces, tracePath)
+
 	f, r := report.Faults, report.Retry
-	fmt.Printf("\nsoak report (seed %d)\n", seed)
-	fmt.Printf("  ring:        %d -> %d nodes, converged=%v\n", nodes, report.SurvivingNodes, report.Converged)
+	fmt.Printf("\nsoak report (seed %d)\n", o.seed)
+	fmt.Printf("  ring:        %d -> %d nodes, converged=%v\n", o.nodes, report.SurvivingNodes, report.Converged)
 	fmt.Printf("  data:        %d acked, %d put failures, %d lost\n", report.Acked, report.PutFailures, len(report.LostKeys))
 	fmt.Printf("  chaos reads: %d issued, %d failed during storm\n", report.ChaosReads, report.ChaosReadFailures)
+	fmt.Printf("  queries:     %d indexed lookups, %d found, %d cache hits, %d failed during storm\n",
+		report.Queries, report.Found, report.CacheHits, report.QueryFailures)
 	fmt.Printf("  faults:      %d calls, %d+%d dropped (req+resp), %d delayed (%v total), %d partition-blocked, %d crash-blocked\n",
 		f.Calls, f.DroppedRequests, f.DroppedResponses, f.Delayed, f.DelayTotal.Round(time.Millisecond), f.PartitionBlocked, f.CrashBlocked)
 	fmt.Printf("  retries:     %d calls, %d attempts, %d retries, %d recovered, %d gave up (amplification %.2f)\n",
 		r.Calls, r.Attempts, r.Retries, r.Recovered, r.GaveUp, report.RetryAmplification())
 	fmt.Printf("  failover:    %d owner-read failures, %d replica reads, %d entry retries\n",
 		report.Cluster.OwnerReadFailures, report.Cluster.FailoverReads, report.Cluster.EntryRetries)
+	if err := emitMetrics(reg, metricsOut); err != nil {
+		return err
+	}
 	if !report.Converged || len(report.LostKeys) > 0 {
 		return fmt.Errorf("soak failed: converged=%v lost=%d", report.Converged, len(report.LostKeys))
 	}
+	return serveMetrics(reg, metricsAddr)
+}
+
+// emitMetrics writes the registry's text snapshot to a file when asked.
+func emitMetrics(reg *telemetry.Registry, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := reg.WriteText(f); err != nil {
+		return fmt.Errorf("write metrics snapshot: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "dhtbench: metrics snapshot written to %s\n", path)
 	return nil
 }
 
-func run(maxNodes, lookups int, churn float64, seed int64, substrate string) error {
+// serveMetrics blocks serving the registry at /metrics when an address
+// is given (curl http://<addr>/metrics for the live snapshot).
+func serveMetrics(reg *telemetry.Registry, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	fmt.Fprintf(os.Stderr, "dhtbench: serving metrics on http://%s/metrics (Ctrl-C to stop)\n", addr)
+	return http.ListenAndServe(addr, mux)
+}
+
+func run(maxNodes, lookups int, churn float64, seed int64, substrate string, reg *telemetry.Registry, metricsAddr, metricsOut string) error {
 	fmt.Printf("substrate: %s\n", substrate)
 	fmt.Printf("%-8s %10s %8s %10s %10s %12s\n",
 		"nodes", "mean hops", "max", "log2(N)", "mean keys", "max/mean keys")
@@ -89,7 +173,7 @@ func run(maxNodes, lookups int, churn float64, seed int64, substrate string) err
 		var err error
 		switch substrate {
 		case "chord":
-			err = chordSweep(n, lookups, seed)
+			err = chordSweep(n, lookups, seed, reg)
 		case "pastry":
 			err = pastrySweep(n, lookups, seed)
 		default:
@@ -99,14 +183,21 @@ func run(maxNodes, lookups int, churn float64, seed int64, substrate string) err
 			return err
 		}
 	}
-	return churnTest(maxNodes/4, churn, seed)
+	if err := churnTest(maxNodes/4, churn, seed, reg); err != nil {
+		return err
+	}
+	if err := emitMetrics(reg, metricsOut); err != nil {
+		return err
+	}
+	return serveMetrics(reg, metricsAddr)
 }
 
-func chordSweep(n, lookups int, seed int64) error {
+func chordSweep(n, lookups int, seed int64, reg *telemetry.Registry) error {
 	net := dht.NewNetwork(seed)
 	if _, err := net.Populate(n); err != nil {
 		return err
 	}
+	net.Instrument(reg)
 	for i := 0; i < 10*n; i++ {
 		if _, err := net.Put(nil, keyspace.NewKey(fmt.Sprintf("key-%d", i)),
 			dht.Entry{Kind: "data", Value: "x"}); err != nil {
@@ -170,7 +261,7 @@ func pastrySweep(n, lookups int, seed int64) error {
 
 // churnTest fails a fraction of a replicated network and reports surviving
 // data and post-stabilization routing health.
-func churnTest(n int, frac float64, seed int64) error {
+func churnTest(n int, frac float64, seed int64, reg *telemetry.Registry) error {
 	fmt.Printf("\nchurn test: %d nodes, replication 2, failing %.0f%%\n", n, 100*frac)
 	net := dht.NewNetwork(seed)
 	net.ReplicationFactor = 2
@@ -178,6 +269,7 @@ func churnTest(n int, frac float64, seed int64) error {
 	if err != nil {
 		return err
 	}
+	net.Instrument(reg)
 	const keys = 2000
 	for i := 0; i < keys; i++ {
 		if _, err := net.Put(nil, keyspace.NewKey(fmt.Sprintf("doc-%d", i)),

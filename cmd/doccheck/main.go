@@ -1,0 +1,230 @@
+// Command doccheck is a dependency-free missing-doc linter in the spirit
+// of revive's exported rule: it parses the given package directories with
+// go/parser and reports every exported top-level identifier — functions,
+// methods on exported types, types, and const/var groups — that lacks a
+// doc comment, plus packages without a package comment.
+//
+// Usage:
+//
+//	doccheck [dir | dir/...]...
+//
+// With no arguments it checks ./... — every non-test Go package under the
+// current directory. CI runs it over the whole module so the godoc
+// surface stays complete; it exits non-zero when anything is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// expand resolves each argument to a list of package directories: a
+// plain path is itself, a path ending in /... walks that tree for
+// directories containing Go files (skipping hidden dirs and testdata).
+func expand(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, a := range args {
+		root, recursive := strings.CutSuffix(a, "/...")
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(a))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(filepath.Clean(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory (tests excluded) and returns one
+// problem line per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		fileNames := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			fileNames = append(fileNames, name)
+		}
+		sort.Strings(fileNames)
+		hasPkgDoc := false
+		for _, name := range fileNames {
+			if pkg.Files[name].Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			report(pkg.Files[fileNames[0]].Package, "package %s has no package comment", pkg.Name)
+		}
+		for _, name := range fileNames {
+			checkFile(pkg.Files[name], report)
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(f *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d.Recv) {
+				continue
+			}
+			if d.Doc == nil {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), "exported %s %s has no doc comment", what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+}
+
+// checkGenDecl checks type, const and var declarations. A doc comment on
+// the declaration group covers all its specs (idiomatic for const
+// blocks); otherwise each spec with an exported name needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(s.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), n.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (functions, with a nil receiver list, count as exported). Methods on
+// unexported types are internal even when their names are capitalized.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

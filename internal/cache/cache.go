@@ -7,6 +7,8 @@ package cache
 
 import (
 	"container/list"
+
+	"dhtindex/internal/telemetry"
 )
 
 // Policy selects where shortcuts are created after a successful lookup
@@ -51,6 +53,9 @@ type Store struct {
 	order    *list.List
 	byPair   map[pair]*list.Element
 	byQuery  map[string]map[string]bool // query -> set of targets
+	// evictions is nil unless SetEvictionCounter was called; Inc on a
+	// nil counter is a no-op.
+	evictions *telemetry.Counter
 }
 
 type pair struct {
@@ -92,6 +97,10 @@ func (s *Store) Add(query, target string) bool {
 	return true
 }
 
+// SetEvictionCounter makes the store count LRU evictions on c (pass the
+// shared telemetry counter; nil disables counting again).
+func (s *Store) SetEvictionCounter(c *telemetry.Counter) { s.evictions = c }
+
 func (s *Store) evictOldest() {
 	back := s.order.Back()
 	if back == nil {
@@ -101,6 +110,7 @@ func (s *Store) evictOldest() {
 	if !ok {
 		return
 	}
+	s.evictions.Inc()
 	s.order.Remove(back)
 	delete(s.byPair, p)
 	if targets := s.byQuery[p.query]; targets != nil {

@@ -60,6 +60,7 @@ func (n *Network) lookupLocked(start *Node, key keyspace.Key) (LookupResult, err
 			if hops > n.metrics.MaxHops {
 				n.metrics.MaxHops = hops
 			}
+			n.hops.Observe(float64(hops))
 			return LookupResult{Owner: owner, Hops: hops}, nil
 		}
 		next := n.closestPrecedingLocked(current, key)
@@ -73,6 +74,7 @@ func (n *Network) lookupLocked(start *Node, key keyspace.Key) (LookupResult, err
 	// simulation keeps functioning, but record the worst case.
 	n.metrics.Lookups++
 	n.metrics.Hops += hops
+	n.hops.Observe(float64(hops))
 	return LookupResult{Owner: n.ownerOfLocked(key), Hops: hops}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"dhtindex/internal/keyspace"
+	"dhtindex/internal/telemetry"
 )
 
 // Common errors returned by the DHT layer.
@@ -54,6 +55,9 @@ type Network struct {
 	rng     *rand.Rand
 	metrics Metrics
 	epoch   uint64 // bumped on membership change; invalidates finger tables
+	// hops is nil until Instrument is called; Observe on nil is a no-op,
+	// so the lookup path records unconditionally.
+	hops *telemetry.Histogram
 
 	// ReplicationFactor is the number of successor replicas (in addition
 	// to the owner) that receive copies of each stored entry. Zero
@@ -87,6 +91,40 @@ func (n *Network) Metrics() Metrics {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.metrics
+}
+
+// Instrument exports the substrate counters on reg (collector pattern:
+// the series read Metrics() at snapshot time) and starts recording a
+// per-lookup routing-hop histogram there.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	n.mu.Lock()
+	n.hops = reg.Histogram("dht_lookup_hops",
+		"Routing hops taken to resolve the owner of a key.", telemetry.HopBuckets)
+	n.mu.Unlock()
+	reg.CounterFunc("dht_lookups_total",
+		"FindSuccessor operations routed through the substrate.",
+		func() float64 { return float64(n.Metrics().Lookups) })
+	reg.CounterFunc("dht_store_ops_total",
+		"Put operations served by the substrate.",
+		func() float64 { return float64(n.Metrics().StoreOps) })
+	reg.CounterFunc("dht_retrieve_ops_total",
+		"Get operations served by the substrate.",
+		func() float64 { return float64(n.Metrics().RetrieveOps) })
+	reg.CounterFunc("dht_bytes_shipped_total",
+		"Payload bytes moved between nodes (store, get, rehoming).",
+		func() float64 { return float64(n.Metrics().BytesShipped) })
+	reg.CounterFunc("dht_keys_rehomed_total",
+		"Keys transferred during node join and leave.",
+		func() float64 { return float64(n.Metrics().KeysRehomed) })
+	reg.CounterFunc("dht_failover_reads_total",
+		"Reads served by a replica after an owner failure.",
+		func() float64 { return float64(n.Metrics().FailoverReads) })
+	reg.GaugeFunc("dht_nodes",
+		"Live nodes in the simulated overlay.",
+		func() float64 { return float64(n.Size()) })
 }
 
 // ResetMetrics zeroes the counters (used between experiment phases).

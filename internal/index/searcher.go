@@ -2,8 +2,10 @@ package index
 
 import (
 	"fmt"
+	"time"
 
 	"dhtindex/internal/cache"
+	"dhtindex/internal/telemetry"
 	"dhtindex/internal/xpath"
 )
 
@@ -23,6 +25,11 @@ type Searcher struct {
 	// successful generalization recovery, a *permanent* index mapping
 	// (q ; msd) is inserted so other users do not repeat the recovery.
 	AdaptiveIndexing bool
+
+	// Recorder, when set, emits one structured telemetry.LookupTrace per
+	// Find call: every interaction becomes a hop with its node, latency
+	// and cache outcome. A nil recorder disables tracing at zero cost.
+	Recorder *telemetry.Recorder
 }
 
 // NewSearcher creates a searcher over the service.
@@ -80,25 +87,55 @@ type visit struct {
 // the query from the results that matches the target article"), and
 // iterates until the file behind target is retrieved. target must be a
 // most specific query.
-func (s *Searcher) Find(q, target xpath.Query) (Trace, error) {
-	var trace Trace
+func (s *Searcher) Find(q, target xpath.Query) (trace Trace, err error) {
 	if q.IsZero() || target.IsZero() {
 		return trace, xpath.ErrEmptyQuery
 	}
+	at := s.Recorder.Begin(q.String(), target.String())
+	defer func() {
+		s.svc.tel.recordFind(trace, err)
+		at.End(telemetry.TraceResult{
+			Found:         trace.Found,
+			NonIndexed:    trace.NonIndexed,
+			RequestBytes:  trace.RequestBytes,
+			ResponseBytes: trace.ResponseBytes,
+			CacheBytes:    trace.CacheBytes,
+			Err:           err,
+		})
+	}()
 	current := q
 	targetStr := target.String()
 	var path []visit // index nodes traversed, for shortcut creation
 
 	for depth := 0; depth < s.maxDepth(); depth++ {
-		resp, err := s.svc.Lookup(current)
-		if err != nil {
-			return trace, err
+		start := time.Now()
+		resp, lerr := s.svc.Lookup(current)
+		lat := time.Since(start).Microseconds()
+		if lerr != nil {
+			at.Hop(telemetry.TraceHop{
+				Kind: "index", Key: current.String(),
+				LatencyMicros: lat, Err: lerr.Error(),
+			})
+			return trace, lerr
 		}
 		var hit xpath.Query
 		if !current.Equal(target) {
 			hit = findEqual(resp.Cached, targetStr)
 		}
 		s.account(&trace, current, resp, responseCost(resp, hit))
+		kind := "index"
+		if current.Equal(target) {
+			kind = "data"
+		} else if !hit.IsZero() {
+			kind = "cache-jump"
+		}
+		at.Hop(telemetry.TraceHop{
+			Kind: kind, Key: current.String(), Node: resp.Node,
+			CacheHit:      !hit.IsZero(),
+			Entries:       len(resp.Index) + len(resp.Cached) + len(resp.Files),
+			DHTHops:       resp.Hops,
+			LatencyMicros: lat,
+		})
 		if current.Equal(target) {
 			// Publication layer reached: this interaction is the data
 			// retrieval itself.
@@ -136,9 +173,9 @@ func (s *Searcher) Find(q, target xpath.Query) (Trace, error) {
 		// matching the same query) no longer errors.
 		if depth == 0 {
 			trace.NonIndexed = len(resp.Index) == 0 && len(resp.Cached) == 0
-			gen, resp, ok, err := s.generalize(&trace, q, target)
-			if err != nil {
-				return trace, err
+			gen, resp, ok, gerr := s.generalize(&trace, at, q, target)
+			if gerr != nil {
+				return trace, gerr
 			}
 			if ok {
 				path = append(path, visit{query: gen, node: resp.Node})
@@ -194,17 +231,31 @@ func responseCost(resp Response, hit xpath.Query) int64 {
 // failed original lookup already cost one interaction, and each candidate
 // probe costs one more — matching the paper's "one extra interaction is
 // generally necessary (two in a few rare cases)".
-func (s *Searcher) generalize(trace *Trace, q, target xpath.Query) (xpath.Query, Response, bool, error) {
+func (s *Searcher) generalize(trace *Trace, at *telemetry.Active, q, target xpath.Query) (xpath.Query, Response, bool, error) {
 	for _, g := range q.Generalizations() {
 		if !g.Covers(target) {
 			continue
 		}
+		start := time.Now()
 		resp, err := s.svc.Lookup(g)
+		lat := time.Since(start).Microseconds()
 		if err != nil {
+			at.Hop(telemetry.TraceHop{
+				Kind: "generalization", Key: g.String(),
+				LatencyMicros: lat, Err: err.Error(),
+			})
 			return xpath.Query{}, Response{}, false, err
 		}
-		s.account(trace, g, resp, responseCost(resp, findEqual(resp.Cached, target.String())))
+		hit := findEqual(resp.Cached, target.String())
+		s.account(trace, g, resp, responseCost(resp, hit))
 		trace.GeneralizationProbes++
+		at.Hop(telemetry.TraceHop{
+			Kind: "generalization", Key: g.String(), Node: resp.Node,
+			CacheHit:      !hit.IsZero(),
+			Entries:       len(resp.Index) + len(resp.Cached) + len(resp.Files),
+			DHTHops:       resp.Hops,
+			LatencyMicros: lat,
+		})
 		if len(resp.Index) > 0 || len(resp.Cached) > 0 {
 			return g, resp, true, nil
 		}

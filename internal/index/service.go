@@ -20,6 +20,7 @@ import (
 	"dhtindex/internal/cache"
 	"dhtindex/internal/descriptor"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
 	"dhtindex/internal/xpath"
 )
 
@@ -63,6 +64,71 @@ type Service struct {
 	// vocabulary, when enabled, registers every published descriptor's
 	// values in the field dictionaries used for fuzzy correction (§VI).
 	vocabulary bool
+
+	// tel is nil until Instrument is called; its record methods are
+	// nil-safe no-ops, keeping the hot paths unconditional.
+	tel *svcTelemetry
+}
+
+// svcTelemetry holds the index layer's registry instruments.
+type svcTelemetry struct {
+	lookups      *telemetry.Counter
+	finds        *telemetry.Counter
+	findFailures *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	cacheMisses  *telemetry.Counter
+	shortcuts    *telemetry.Counter
+	evictions    *telemetry.Counter
+	genProbes    *telemetry.Counter
+	nonIndexed   *telemetry.Counter
+	interactions *telemetry.Histogram
+}
+
+// evictionCounter returns the shared LRU-eviction counter (nil when the
+// service is uninstrumented).
+func (t *svcTelemetry) evictionCounter() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.evictions
+}
+
+// recordLookup books one lookup(q) primitive (no-op on nil).
+func (t *svcTelemetry) recordLookup() {
+	if t == nil {
+		return
+	}
+	t.lookups.Inc()
+}
+
+// recordShortcut books one installed shortcut entry (no-op on nil).
+func (t *svcTelemetry) recordShortcut() {
+	if t == nil {
+		return
+	}
+	t.shortcuts.Inc()
+}
+
+// recordFind books a completed directed search (no-op on nil).
+func (t *svcTelemetry) recordFind(trace Trace, err error) {
+	if t == nil {
+		return
+	}
+	t.finds.Inc()
+	t.genProbes.Add(int64(trace.GeneralizationProbes))
+	if trace.NonIndexed {
+		t.nonIndexed.Inc()
+	}
+	if err != nil || !trace.Found {
+		t.findFailures.Inc()
+		return
+	}
+	t.interactions.Observe(float64(trace.Interactions))
+	if trace.CacheHit {
+		t.cacheHits.Inc()
+	} else {
+		t.cacheMisses.Inc()
+	}
 }
 
 // New creates an index service over any substrate satisfying the overlay
@@ -76,6 +142,40 @@ func New(net overlay.Network, policy cache.Policy, lruCapacity int) *Service {
 		capacity: lruCapacity,
 		caches:   make(map[string]*cache.Store),
 		parsed:   make(map[string]xpath.Query),
+	}
+}
+
+// Instrument starts publishing the index layer's counters and the
+// interactions-per-query histogram on reg. The optional labels (e.g.
+// telemetry.L("scheme", "super")) distinguish services sharing one
+// registry. Instrument is not safe to call concurrently with lookups;
+// call it once at setup time.
+func (s *Service) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	s.tel = &svcTelemetry{
+		lookups: reg.Counter("index_lookups_total",
+			"lookup(q) primitives issued against the distributed index.", labels...),
+		finds: reg.Counter("index_finds_total",
+			"Directed searches started (Searcher.Find).", labels...),
+		findFailures: reg.Counter("index_find_failures_total",
+			"Directed searches that failed to retrieve their target.", labels...),
+		cacheHits: reg.Counter("index_cache_hits_total",
+			"Successful searches short-circuited by a shortcut cache.", labels...),
+		cacheMisses: reg.Counter("index_cache_misses_total",
+			"Successful searches that walked the index without a shortcut.", labels...),
+		shortcuts: reg.Counter("index_shortcuts_installed_total",
+			"Shortcut cache entries created after successful searches.", labels...),
+		evictions: reg.Counter("cache_evictions_total",
+			"Shortcut entries displaced by the LRU replacement policy.", labels...),
+		genProbes: reg.Counter("index_generalization_probes_total",
+			"Generalization candidates looked up by the fallback.", labels...),
+		nonIndexed: reg.Counter("index_non_indexed_queries_total",
+			"Queries absent from every index (Table I's recoverable errors).", labels...),
+		interactions: reg.Histogram("index_interactions_per_query",
+			"User-system interaction rounds per successful search (Fig. 11).",
+			telemetry.InteractionBuckets, labels...),
 	}
 }
 
@@ -159,6 +259,7 @@ type Response struct {
 // cache shortcuts, and data. This is the paper's "lookup(q)" primitive
 // plus the publication-layer read.
 func (s *Service) Lookup(q xpath.Query) (Response, error) {
+	s.tel.recordLookup()
 	entries, route, err := s.net.Get(q.Key())
 	if err != nil {
 		return Response{}, fmt.Errorf("index: lookup %s: %w", q, err)
@@ -227,9 +328,11 @@ func (s *Service) AddShortcut(nodeAddr string, q xpath.Query, target string) (bo
 			capacity = s.capacity
 		}
 		store = cache.NewStore(capacity)
+		store.SetEvictionCounter(s.tel.evictionCounter())
 		s.caches[nodeAddr] = store
 	}
 	if store.Add(q.String(), target) {
+		s.tel.recordShortcut()
 		return true, int64(len(target))
 	}
 	return false, 0

@@ -16,6 +16,7 @@ import (
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
 	"dhtindex/internal/stats"
+	"dhtindex/internal/telemetry"
 	"dhtindex/internal/workload"
 )
 
@@ -50,6 +51,24 @@ type Options struct {
 	// F(i) = 0.063·i^exp (0 keeps the paper's 0.3). Smaller exponents are
 	// more head-heavy.
 	PopularityExponent float64
+	// Telemetry, when non-nil, receives the run's registry metrics: the
+	// substrate counters and hop histogram plus the index layer's
+	// counters, labeled with the run's scheme/policy combination.
+	Telemetry *telemetry.Registry
+	// TraceSink, when non-nil, additionally receives every structured
+	// LookupTrace the run produces (e.g. a telemetry.JSONLSink). The run
+	// always collects traces internally — every figure-level metric is
+	// aggregated from them via AggregateTraces.
+	TraceSink telemetry.Sink
+}
+
+// label names the run's scheme/policy combination for metric labels and
+// trace scheme tags (e.g. "simple/single-cache", "simple/lru-30").
+func (o Options) label() string {
+	if o.Policy == cache.LRU {
+		return fmt.Sprintf("%s/lru-%d", o.Scheme.Name(), o.LRUCapacity)
+	}
+	return o.Scheme.Name() + "/" + o.Policy.String()
 }
 
 func (o Options) withDefaults() Options {
@@ -77,7 +96,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// buildSubstrate creates the selected overlay with opts.Nodes live nodes.
+// buildSubstrate creates the selected overlay with opts.Nodes live nodes,
+// instrumenting it against opts.Telemetry when set.
 func buildSubstrate(opts Options) (overlay.Network, error) {
 	switch opts.Substrate {
 	case "chord":
@@ -85,6 +105,7 @@ func buildSubstrate(opts Options) (overlay.Network, error) {
 		if _, err := net.Populate(opts.Nodes); err != nil {
 			return nil, err
 		}
+		net.Instrument(opts.Telemetry)
 		return dht.AsOverlay(net, opts.Seed+2), nil
 	case "pastry":
 		net := pastry.NewNetwork()
@@ -174,6 +195,9 @@ func Run(opts Options) (*Metrics, error) {
 		return nil, fmt.Errorf("sim: substrate: %w", err)
 	}
 	svc := index.New(ov, opts.Policy, opts.LRUCapacity)
+	if opts.Telemetry != nil {
+		svc.Instrument(opts.Telemetry, telemetry.L("scheme", opts.label()))
+	}
 	for i, a := range corpus.Articles {
 		file := fmt.Sprintf("article-%05d.pdf", i)
 		if err := svc.PublishArticle(file, a, opts.Scheme); err != nil {
@@ -198,53 +222,88 @@ func Run(opts Options) (*Metrics, error) {
 	searcher := index.NewSearcher(svc)
 	searcher.AdaptiveIndexing = opts.AdaptiveIndexing
 
+	// Every figure-level metric is aggregated from the structured traces
+	// the searcher emits — the collector is the single source of truth,
+	// and an external TraceSink sees exactly the same records.
+	collector := &telemetry.Collector{}
+	var sink telemetry.Sink = collector
+	if opts.TraceSink != nil {
+		sink = telemetry.Tee(collector, opts.TraceSink)
+	}
+	searcher.Recorder = telemetry.NewRecorder(sink, opts.label())
+
 	m := &Metrics{
 		Scheme:      opts.Scheme.Name(),
 		Policy:      opts.Policy,
 		LRUCapacity: opts.LRUCapacity,
 		Queries:     opts.Queries,
 	}
-	interactions := make([]float64, 0, opts.Queries)
-	nodeHits := make(map[string]int, opts.Nodes)
+	for i := 0; i < opts.Queries; i++ {
+		wq := gen.Next()
+		// Failures are recorded in the trace (Found=false) and counted
+		// during aggregation.
+		_, _ = searcher.Find(wq.Query, dataset.MSD(wq.Target))
+	}
+	nodeHits := AggregateTraces(m, collector.Traces())
+	m.Cache = svc.CacheStats()
+	m.Storage = svc.StorageStats()
+	m.RegularKeysPerNode = m.Storage.MeanEntriesPerNode
+
+	loads := make([]float64, 0, opts.Nodes)
+	for _, addr := range ov.Addrs() {
+		loads = append(loads, 100*float64(nodeHits[addr])/float64(opts.Queries))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
+	m.NodeLoadPercent = loads
+	return m, nil
+}
+
+// AggregateTraces folds structured lookup traces into the figure-level
+// metrics of one run, exactly as the live loop used to: only traces that
+// found their target contribute to the interaction, traffic and cache
+// metrics; unfound traces count as Failures. It returns the per-node
+// access counts behind Fig. 15's hot-spot ranking. simreport.Replay uses
+// the same function over traces read back from a JSONL stream, so
+// figures can be regenerated offline from recorded runs.
+func AggregateTraces(m *Metrics, traces []telemetry.LookupTrace) map[string]int {
+	nodeHits := make(map[string]int)
+	interactions := make([]float64, 0, len(traces))
 	var (
 		normalBytes, cacheBytes int64
 		hits, firstHits         int
 		errExtra                int
 		totalHops               int
 	)
-	for i := 0; i < opts.Queries; i++ {
-		wq := gen.Next()
-		trace, err := searcher.Find(wq.Query, dataset.MSD(wq.Target))
-		if err != nil {
+	for _, t := range traces {
+		if !t.Found {
 			m.Failures++
 			continue
 		}
-		interactions = append(interactions, float64(trace.Interactions))
-		normalBytes += trace.ResponseBytes + trace.RequestBytes
-		cacheBytes += trace.CacheBytes
-		totalHops += trace.DHTHops
-		if trace.CacheHit {
+		interactions = append(interactions, float64(t.Interactions))
+		normalBytes += t.ResponseBytes + t.RequestBytes
+		cacheBytes += t.CacheBytes
+		totalHops += t.DHTHops
+		if t.CacheHits > 0 {
 			hits++
-			if trace.FirstNodeHit {
+			if len(t.Hops) > 0 && t.Hops[0].CacheHit {
 				firstHits++
 			}
 		}
-		if trace.NonIndexed {
+		if t.NonIndexed {
 			m.NonIndexedQueries++
-			// Baseline cost for this query's structure without an error:
-			// the successful path below the generalization. Extra rounds =
-			// the failed original + unsuccessful probes = interactions
-			// minus (successful chain + fetch). We approximate it as the
-			// probes before the chosen generalization plus the failed
-			// original, which the searcher accounts as Visited entries
-			// before the chain; §V-h's "one extra" corresponds to 1.
-			errExtra += extraInteractions(trace)
+			// Extra rounds for a recoverable error: the failed original
+			// lookup plus any unsuccessful generalization probes (the
+			// successful probe replaces a lookup the user would have
+			// issued anyway). §V-h reports this is "generally one (two in
+			// a few rare cases)".
+			errExtra += extraInteractions(t)
 		}
-		for _, addr := range trace.Visited {
-			nodeHits[addr]++
+		for _, h := range t.Hops {
+			if h.Node != "" {
+				nodeHits[h.Node]++
+			}
 		}
 	}
-
 	n := float64(len(interactions))
 	if n > 0 {
 		m.Interactions = stats.Summarize(interactions)
@@ -261,26 +320,21 @@ func Run(opts Options) (*Metrics, error) {
 	if m.NonIndexedQueries > 0 {
 		m.ExtraInteractionsForErrors = float64(errExtra) / float64(m.NonIndexedQueries)
 	}
-	m.Cache = svc.CacheStats()
-	m.Storage = svc.StorageStats()
-	m.RegularKeysPerNode = m.Storage.MeanEntriesPerNode
-
-	loads := make([]float64, 0, opts.Nodes)
-	for _, addr := range ov.Addrs() {
-		loads = append(loads, 100*float64(nodeHits[addr])/float64(opts.Queries))
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
-	m.NodeLoadPercent = loads
-	return m, nil
+	return nodeHits
 }
 
-// extraInteractions counts the rounds the generalization fallback added:
-// the failed original lookup plus any unsuccessful generalization probes
-// (the successful probe replaces a lookup the user would have issued
-// anyway). §V-h reports this is "generally one (two in a few rare cases)".
-func extraInteractions(trace index.Trace) int {
-	if trace.GeneralizationProbes == 0 {
+// extraInteractions counts the rounds the generalization fallback added
+// to one traced lookup: the number of generalization probes, or one when
+// the fallback succeeded on its first candidate.
+func extraInteractions(t telemetry.LookupTrace) int {
+	probes := 0
+	for _, h := range t.Hops {
+		if h.Kind == "generalization" {
+			probes++
+		}
+	}
+	if probes == 0 {
 		return 1
 	}
-	return trace.GeneralizationProbes
+	return probes
 }

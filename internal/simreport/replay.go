@@ -1,0 +1,48 @@
+package simreport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dhtindex/internal/sim"
+	"dhtindex/internal/telemetry"
+)
+
+// Replay reads a JSONL LookupTrace stream (as written by `indexsim
+// -trace` or the soak harness) and regenerates the figure-level metrics
+// from it: one report row per scheme/policy tag found in the stream,
+// aggregated with the exact function the live simulation uses. This is
+// the offline half of the telemetry loop — figures come from recorded
+// traces, not from counters that existed only inside a finished run.
+func Replay(w io.Writer, r io.Reader) error {
+	traces, err := telemetry.ReadJSONL(r)
+	if err != nil {
+		return fmt.Errorf("simreport: replay: %w", err)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("simreport: replay: no traces in stream")
+	}
+	byScheme := map[string][]telemetry.LookupTrace{}
+	for _, t := range traces {
+		byScheme[t.Scheme] = append(byScheme[t.Scheme], t)
+	}
+	schemes := make([]string, 0, len(byScheme))
+	for s := range byScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+
+	fmt.Fprintf(w, "Replay of %d traces (%d scheme/policy groups)\n", len(traces), len(schemes))
+	fmt.Fprintf(w, "%-26s %8s %13s %12s %10s %10s %8s %9s\n",
+		"scheme/policy", "queries", "interactions", "traffic B/q", "hit ratio", "1st-node", "errors", "failures")
+	for _, s := range schemes {
+		group := byScheme[s]
+		m := &sim.Metrics{Scheme: s, Queries: len(group)}
+		sim.AggregateTraces(m, group)
+		fmt.Fprintf(w, "%-26s %8d %13.3f %12.0f %9.1f%% %9.1f%% %8d %9d\n",
+			s, len(group), m.InteractionsPerQuery, m.TrafficPerQuery,
+			100*m.HitRatio, 100*m.FirstNodeHitShare, m.NonIndexedQueries, m.Failures)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"dhtindex/internal/index"
 	"dhtindex/internal/sim"
 	"dhtindex/internal/stats"
+	"dhtindex/internal/telemetry"
 	"dhtindex/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	Seed       int64
 	// Substrate selects the DHT implementation (chord|pastry).
 	Substrate string
+	// TraceSink, when non-nil, receives every LookupTrace produced by the
+	// report's simulation runs (cmd/indexsim wires a JSONL file here, so
+	// a full report leaves behind the raw traces its figures came from).
+	TraceSink telemetry.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +103,7 @@ func (r *runner) run(scheme index.Scheme, spec policySpec) (*sim.Metrics, error)
 		Seed:        r.cfg.Seed,
 		Corpus:      r.corpus,
 		Substrate:   r.cfg.Substrate,
+		TraceSink:   r.cfg.TraceSink,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("run %s: %w", key, err)
@@ -471,6 +477,7 @@ func substrate(w io.Writer, r *runner) error {
 			Seed:      r.cfg.Seed,
 			Corpus:    r.corpus,
 			Substrate: sub,
+			TraceSink: r.cfg.TraceSink,
 		})
 		if err != nil {
 			return err
@@ -525,6 +532,7 @@ func sensitivity(w io.Writer, r *runner) error {
 			Nodes: r.cfg.Nodes, Articles: r.cfg.Articles, Queries: r.cfg.Queries,
 			Scheme: index.Simple, Policy: cache.None,
 			Seed: r.cfg.Seed, Corpus: r.corpus, PopularityExponent: exp,
+			TraceSink: r.cfg.TraceSink,
 		})
 		if err != nil {
 			return err
@@ -533,6 +541,7 @@ func sensitivity(w io.Writer, r *runner) error {
 			Nodes: r.cfg.Nodes, Articles: r.cfg.Articles, Queries: r.cfg.Queries,
 			Scheme: index.Simple, Policy: cache.Single,
 			Seed: r.cfg.Seed, Corpus: r.corpus, PopularityExponent: exp,
+			TraceSink: r.cfg.TraceSink,
 		})
 		if err != nil {
 			return err
@@ -561,6 +570,7 @@ func variance(w io.Writer, r *runner) error {
 		m, err := sim.Run(sim.Options{
 			Nodes: r.cfg.Nodes, Articles: r.cfg.Articles, Queries: r.cfg.Queries,
 			Scheme: index.Simple, Policy: cache.Single, Seed: seed,
+			TraceSink: r.cfg.TraceSink,
 		})
 		if err != nil {
 			return err

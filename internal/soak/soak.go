@@ -1,0 +1,165 @@
+// Package soak layers the paper's index workload over the live wire
+// substrate's churn soak: it publishes a bibliographic corpus through a
+// message-passing Chord ring, then keeps resolving indexed queries while
+// the wire.RunSoak storm drops messages, injects latency, partitions and
+// crashes nodes. Every lookup is traced (telemetry.LookupTrace) and every
+// layer — faults, retries, failover, DHT hops, index interactions, cache
+// hits — reports into one telemetry.Registry, so a single soak run
+// produces both the Prometheus-style snapshot and the JSONL trace stream
+// documented in docs/OBSERVABILITY.md.
+package soak
+
+import (
+	"fmt"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/wire"
+	"dhtindex/internal/workload"
+)
+
+// Config parameterizes an indexed churn soak. The zero value of the
+// index-layer fields gets paper-shaped defaults (24 articles, 2 queries
+// per storm op, the simple indexing scheme with single-entry caching);
+// the wire storm itself is configured through Wire.
+type Config struct {
+	// Wire is the underlying churn-soak configuration (ring size, fault
+	// schedule, retry policy). Its Telemetry/Setup/OnOp hooks are owned
+	// by this package and must be left nil.
+	Wire wire.SoakConfig
+	// Articles is the corpus size published over the ring before the
+	// storm starts (default 24).
+	Articles int
+	// QueriesPerOp is the number of indexed lookups issued per storm op
+	// (default 2). Lookups run against the faulted topology; failures are
+	// tolerated and counted.
+	QueriesPerOp int
+	// Scheme selects the indexing scheme (default index.Simple).
+	Scheme index.Scheme
+	// Policy selects the shortcut-cache policy (default cache.Single).
+	Policy cache.Policy
+	// LRUCapacity bounds the per-node cache when Policy is cache.LRU
+	// (default 30).
+	LRUCapacity int
+	// Telemetry, when non-nil, receives every layer's metrics: the wire
+	// fault/retry/failover counters and hop/latency histograms plus the
+	// index layer's counters labeled with the run's scheme/policy.
+	Telemetry *telemetry.Registry
+	// TraceSink, when non-nil, additionally receives every LookupTrace
+	// the indexed workload produces (e.g. a telemetry.JSONLSink). Traces
+	// are always collected internally for the report.
+	TraceSink telemetry.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Articles == 0 {
+		c.Articles = 24
+	}
+	if c.QueriesPerOp == 0 {
+		c.QueriesPerOp = 2
+	}
+	if c.Scheme == nil {
+		c.Scheme = index.Simple
+	}
+	if c.Policy == 0 {
+		c.Policy = cache.Single
+	}
+	if c.LRUCapacity == 0 {
+		c.LRUCapacity = 30
+	}
+	return c
+}
+
+// label tags the run's metrics and traces with its scheme/policy
+// combination, prefixed "live/" to distinguish soak traces from
+// simulation traces in a mixed JSONL stream.
+func (c Config) label() string {
+	return fmt.Sprintf("live/%s/%s", c.Scheme.Name(), c.Policy)
+}
+
+// Report is the outcome of an indexed soak: the wire layer's own report
+// plus the indexed workload's accounting.
+type Report struct {
+	wire.SoakReport
+
+	// Queries is the number of indexed lookups issued during the storm.
+	Queries int
+	// Found counts lookups that retrieved their target despite the storm.
+	Found int
+	// CacheHits counts found lookups short-circuited by a shortcut.
+	CacheHits int
+	// QueryFailures counts lookups that errored or missed — tolerated
+	// during the storm, but reported.
+	QueryFailures int
+	// Traces is the number of LookupTrace records emitted (one per
+	// lookup, found or not).
+	Traces int
+}
+
+// Run executes the indexed churn soak. The error is non-nil only for
+// harness failures (corpus generation, node boot, publishing before the
+// storm); storm-time query failures are reported in the Report.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	var report Report
+
+	corpus, err := dataset.Generate(dataset.Config{Articles: cfg.Articles, Seed: cfg.Wire.Seed})
+	if err != nil {
+		return report, fmt.Errorf("soak: corpus: %w", err)
+	}
+	gen, err := workload.NewGeneratorWith(corpus.Articles, workload.PaperStructureModel(), cfg.Wire.Seed+41, 0.063, 0.3)
+	if err != nil {
+		return report, fmt.Errorf("soak: generator: %w", err)
+	}
+
+	collector := &telemetry.Collector{}
+	var sink telemetry.Sink = collector
+	if cfg.TraceSink != nil {
+		sink = telemetry.Tee(collector, cfg.TraceSink)
+	}
+
+	// The searcher is created inside Setup (it needs the converged
+	// cluster) and driven from OnOp; both hooks run sequentially on the
+	// soak goroutine, so plain fields suffice.
+	var searcher *index.Searcher
+	wcfg := cfg.Wire
+	wcfg.Telemetry = cfg.Telemetry
+	wcfg.Setup = func(c *wire.Cluster) error {
+		svc := index.New(c, cfg.Policy, cfg.LRUCapacity)
+		if cfg.Telemetry != nil {
+			svc.Instrument(cfg.Telemetry, telemetry.L("scheme", cfg.label()))
+		}
+		for i, a := range corpus.Articles {
+			if err := svc.PublishArticle(fmt.Sprintf("soak-%04d.pdf", i), a, cfg.Scheme); err != nil {
+				return fmt.Errorf("publish article %d: %w", i, err)
+			}
+		}
+		searcher = index.NewSearcher(svc)
+		searcher.Recorder = telemetry.NewRecorder(sink, cfg.label())
+		return nil
+	}
+	wcfg.OnOp = func(op int, c *wire.Cluster) {
+		for i := 0; i < cfg.QueriesPerOp; i++ {
+			wq := gen.Next()
+			report.Queries++
+			trace, err := searcher.Find(wq.Query, dataset.MSD(wq.Target))
+			if err != nil || !trace.Found {
+				report.QueryFailures++
+				continue
+			}
+			report.Found++
+			if trace.CacheHit {
+				report.CacheHits++
+			}
+		}
+	}
+
+	report.SoakReport, err = wire.RunSoak(wcfg)
+	report.Traces = len(collector.Traces())
+	if err != nil {
+		return report, err
+	}
+	return report, nil
+}

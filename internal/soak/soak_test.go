@@ -1,0 +1,106 @@
+package soak_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dhtindex/internal/soak"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/wire"
+)
+
+// TestIndexedSoakTracesComplete runs a small indexed soak under real
+// fault injection (drops, latency, a crash and a partition) and checks
+// the telemetry contract: every indexed lookup — found or not — emits
+// exactly one complete LookupTrace, and the registry snapshot contains
+// every layer's families.
+func TestIndexedSoakTracesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("indexed soak is a multi-second live-ring test")
+	}
+	reg := telemetry.NewRegistry()
+	col := &telemetry.Collector{}
+	report, err := soak.Run(soak.Config{
+		Wire: wire.SoakConfig{
+			Nodes:      8,
+			Ops:        30,
+			Seed:       11,
+			DropProb:   0.15,
+			Latency:    2 * time.Millisecond,
+			CrashEvery: 20,
+		},
+		Articles:     12,
+		QueriesPerOp: 2,
+		Telemetry:    reg,
+		TraceSink:    col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Converged || len(report.LostKeys) > 0 {
+		t.Fatalf("ring misbehaved: converged=%v lost=%v", report.Converged, report.LostKeys)
+	}
+	if report.Queries != 60 || report.Found+report.QueryFailures != report.Queries {
+		t.Fatalf("query accounting inconsistent: %+v", report)
+	}
+	if report.Found == 0 {
+		t.Fatal("no query resolved despite a converged ring")
+	}
+
+	traces := col.Traces()
+	if len(traces) != report.Queries || report.Traces != report.Queries {
+		t.Fatalf("got %d traces (report says %d) for %d queries — want one per lookup",
+			len(traces), report.Traces, report.Queries)
+	}
+	seen := map[int64]bool{}
+	for _, tr := range traces {
+		if tr.ID <= 0 || seen[tr.ID] {
+			t.Fatalf("trace ID %d missing or duplicated", tr.ID)
+		}
+		seen[tr.ID] = true
+		if tr.Scheme != "live/simple/single-cache" {
+			t.Fatalf("trace scheme = %q", tr.Scheme)
+		}
+		if tr.Query == "" || tr.Target == "" {
+			t.Fatalf("trace missing query/target: %+v", tr)
+		}
+		if len(tr.Hops) == 0 {
+			t.Fatalf("trace %d has no hops", tr.ID)
+		}
+		if !tr.Found {
+			continue
+		}
+		// A found trace must end at the data and count its rounds.
+		last := tr.Hops[len(tr.Hops)-1]
+		if last.Kind != "data" && last.Kind != "cache-jump" {
+			t.Fatalf("found trace %d ends with %q hop", tr.ID, last.Kind)
+		}
+		if tr.Interactions < 1 || tr.BytesShipped <= 0 {
+			t.Fatalf("found trace %d incomplete: %+v", tr.ID, tr)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := sb.String()
+	for _, family := range []string{
+		"# TYPE dht_lookup_hops histogram",
+		"# TYPE wire_rpc_latency_seconds histogram",
+		"# TYPE index_interactions_per_query histogram",
+		"index_lookups_total",
+		"index_cache_hits_total",
+		"index_cache_misses_total",
+		"wire_retry_calls_total",
+		"wire_retry_attempts_total",
+		"wire_fault_calls_total",
+		"wire_fault_dropped_requests_total",
+		"wire_ring_nodes",
+	} {
+		if !strings.Contains(snapshot, family) {
+			t.Errorf("snapshot missing %s", family)
+		}
+	}
+}

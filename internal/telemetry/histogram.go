@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Default bucket layouts. Bounds are upper bounds (le semantics); a
+// +Inf bucket is always implied.
+var (
+	// LatencyBuckets covers RPC latency in seconds, from 100µs to 2.5s.
+	LatencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	// HopBuckets covers DHT routing hop counts: O(log N) for any
+	// plausible ring, with headroom for the defensive 2·Bits walk bound.
+	HopBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64}
+	// InteractionBuckets covers user-system interaction rounds per query
+	// (the paper's Fig. 11 axis: ~2–4 typical, 16 is the search depth cap).
+	InteractionBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16}
+)
+
+// Histogram accumulates observations into fixed cumulative buckets and
+// supports p50/p95/p99-style quantile estimation by linear
+// interpolation inside the matched bucket. All methods are safe for
+// concurrent use and on a nil receiver (no-ops / zero values).
+type Histogram struct {
+	desc   Desc
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// NewHistogram creates a standalone histogram with the given ascending
+// upper bounds (a +Inf overflow bucket is added implicitly); attach it
+// to a Registry with Attach, or prefer Registry.Histogram.
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		desc:   newDesc(name, help, labels),
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: its bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := floatBits(floatFrom(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return floatFrom(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution, interpolating linearly inside the bucket that contains
+// the target rank — the same estimate Prometheus's histogram_quantile
+// computes. Observations in the +Inf overflow bucket clamp to the
+// highest finite bound. Returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	for i, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		prev := cum
+		cum += cnt
+		if float64(cum) < target {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		upper := h.bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		frac := (target - float64(prev)) / float64(cnt)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	// Unreachable when total > 0; keep the compiler satisfied.
+	return 0
+}
+
+// snapshot reads the bucket counts, sum and total atomically enough for
+// reporting (individual loads are atomic; cross-bucket skew during
+// concurrent observation is acceptable for a monitoring read).
+func (h *Histogram) snapshot() (counts []int64, sum float64, total int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	return counts, h.Sum(), total
+}
+
+// Desc implements Metric.
+func (h *Histogram) Desc() Desc { return h.desc }
+
+// Kind implements Metric.
+func (h *Histogram) Kind() string { return "histogram" }
+
+func (h *Histogram) sample() sample {
+	counts, sum, total := h.snapshot()
+	return sample{hist: &histogramSample{
+		bounds: h.bounds,
+		counts: counts,
+		sum:    sum,
+		count:  total,
+	}}
+}
+
+// histogramSample is a point-in-time histogram reading.
+type histogramSample struct {
+	bounds []float64
+	counts []int64 // per-bucket (not cumulative); len(bounds)+1
+	sum    float64
+	count  int64
+}
+
+// floatBits and floatFrom convert between float64 and its IEEE bits for
+// lock-free accumulation.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// floatFrom is the inverse of floatBits.
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// fill loads a histogram with a known distribution over bounds
+// {10, 20, 30}: 50 observations in (-inf,10], 30 in (10,20], 20 in
+// (20,30] — cumulative ranks 50/80/100.
+func fill(h *Histogram) {
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(25)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("t_hist", "", []float64{10, 20, 30})
+	fill(h)
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got, want := h.Sum(), float64(50*5+30*15+20*25); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},       // rank 0 sits at the first bucket's lower edge
+		{0.25, 5},    // rank 25 of 50 in (0,10]: halfway by interpolation
+		{0.5, 10},    // rank 50 is exactly the first bucket's upper bound
+		{0.95, 27.5}, // rank 95: 15 of 20 into (20,30]
+		{0.99, 29.5}, // rank 99: 19 of 20 into (20,30]
+		{1, 30},      // rank 100 is the last bucket's upper bound
+		{-1, 0},      // clamped to q=0
+		{2, 30},      // clamped to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileOverflowClampsToHighestBound(t *testing.T) {
+	h := NewHistogram("t_hist", "", []float64{10, 20, 30})
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // lands in the +Inf bucket
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 30 {
+			t.Errorf("Quantile(%v) = %v, want clamp to 30", q, got)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	h := NewHistogram("t_hist", "", LatencyBuckets)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	var nh *Histogram
+	nh.Observe(1) // must not panic
+	if nh.Count() != 0 || nh.Sum() != 0 || nh.Quantile(0.5) != 0 {
+		t.Errorf("nil histogram reads = %d/%v/%v, want zeros", nh.Count(), nh.Sum(), nh.Quantile(0.5))
+	}
+}
+
+func TestHistogramBoundaryValuesUseLeSemantics(t *testing.T) {
+	// An observation exactly on a bound belongs to that bound's bucket
+	// (le semantics): 1 → le=1, 2 → le=2, 3 → +Inf.
+	h := NewHistogram("t_hist", "", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	s := h.sample().hist
+	if s.counts[0] != 1 || s.counts[1] != 1 || s.counts[2] != 1 {
+		t.Fatalf("boundary counts = %v, want [1 1 1]", s.counts)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("t_hist", "", HopBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != float64(workers*per) {
+		t.Fatalf("Sum = %v, want %v", got, float64(workers*per))
+	}
+}

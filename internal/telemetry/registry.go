@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a set of metric series that can be rendered as one
+// Prometheus-style text snapshot. Series are either registry-owned
+// (Counter/Gauge/Histogram get-or-create) or externally created and
+// Attach-ed; several attached instruments may share one identity (name
+// + labels), in which case the snapshot aggregates them by sum — this
+// is how a fleet of wire nodes exports fleet-wide retry totals while
+// each node keeps its own per-instance counters.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]Metric
+	all   []Metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]Metric)}
+}
+
+// Counter returns the registry's counter with this identity, creating
+// it on first use. A pre-existing series with the same identity but a
+// different type panics: that is a programming error, not a runtime
+// condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.getOrCreate(newDesc(name, help, labels), func(d Desc) Metric { return &Counter{desc: d} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %s, not counter", name, m.Kind()))
+	}
+	return c
+}
+
+// Gauge returns the registry's gauge with this identity, creating it on
+// first use. Type conflicts panic, as with Counter.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.getOrCreate(newDesc(name, help, labels), func(d Desc) Metric { return &Gauge{desc: d} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %s, not gauge", name, m.Kind()))
+	}
+	return g
+}
+
+// Histogram returns the registry's histogram with this identity,
+// creating it with the given bucket bounds on first use (later calls
+// reuse the existing buckets). Type conflicts panic, as with Counter.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.getOrCreate(newDesc(name, help, labels), func(d Desc) Metric {
+		h := NewHistogram(name, help, bounds)
+		h.desc = d
+		return h
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %s, not histogram", name, m.Kind()))
+	}
+	return h
+}
+
+// getOrCreate returns the metric registered under d's identity, or
+// creates, registers and returns mk(d).
+func (r *Registry) getOrCreate(d Desc, mk func(Desc) Metric) Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[d.key()]; ok {
+		return m
+	}
+	m := mk(d)
+	r.byKey[d.key()] = m
+	r.all = append(r.all, m)
+	return m
+}
+
+// Attach registers externally created instruments (NewCounter,
+// NewGauge, NewHistogram). Attaching several instruments with the same
+// identity is allowed — WriteText aggregates them by sum.
+func (r *Registry) Attach(ms ...Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		r.all = append(r.all, m)
+		if _, ok := r.byKey[m.Desc().key()]; !ok {
+			r.byKey[m.Desc().key()] = m
+		}
+	}
+}
+
+// CounterFunc registers a read-only counter series whose value is
+// computed by fn at snapshot time — the collector pattern for exporting
+// pre-existing stats structs without restructuring them. fn must be
+// safe for concurrent use and monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.Attach(&funcMetric{desc: newDesc(name, help, labels), kind: "counter", fn: fn})
+}
+
+// GaugeFunc registers a read-only gauge series whose value is computed
+// by fn at snapshot time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.Attach(&funcMetric{desc: newDesc(name, help, labels), kind: "gauge", fn: fn})
+}
+
+// series is one aggregated (name, labels) point in a snapshot.
+type series struct {
+	labels string
+	sample sample
+}
+
+// family is one metric name's block in a snapshot.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series []series
+}
+
+// gather snapshots every metric and aggregates same-identity series.
+func (r *Registry) gather() ([]family, error) {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.all))
+	copy(ms, r.all)
+	r.mu.Unlock()
+
+	fams := map[string]*family{}
+	bySeries := map[string]map[string]*sample{}
+	for _, m := range ms {
+		d := m.Desc()
+		f, ok := fams[d.Name]
+		if !ok {
+			f = &family{name: d.Name, help: d.Help, kind: m.Kind()}
+			fams[d.Name] = f
+			bySeries[d.Name] = map[string]*sample{}
+		}
+		if f.kind != m.Kind() {
+			return nil, fmt.Errorf("telemetry: %s registered as both %s and %s", d.Name, f.kind, m.Kind())
+		}
+		if f.help == "" {
+			f.help = d.Help
+		}
+		s := m.sample()
+		ls := d.labelString()
+		if agg, ok := bySeries[d.Name][ls]; ok {
+			if err := mergeSample(agg, s, d.Name); err != nil {
+				return nil, err
+			}
+		} else {
+			cp := s
+			bySeries[d.Name][ls] = &cp
+		}
+	}
+
+	out := make([]family, 0, len(fams))
+	for name, f := range fams {
+		for ls, s := range bySeries[name] {
+			f.series = append(f.series, series{labels: ls, sample: *s})
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+// mergeSample sums b into a (same-identity aggregation).
+func mergeSample(a *sample, b sample, name string) error {
+	if (a.hist == nil) != (b.hist == nil) {
+		return fmt.Errorf("telemetry: %s mixes histogram and scalar samples", name)
+	}
+	if a.hist == nil {
+		a.value += b.value
+		return nil
+	}
+	if len(a.hist.bounds) != len(b.hist.bounds) {
+		return fmt.Errorf("telemetry: %s histograms have mismatched buckets", name)
+	}
+	for i, bound := range a.hist.bounds {
+		if bound != b.hist.bounds[i] {
+			return fmt.Errorf("telemetry: %s histograms have mismatched buckets", name)
+		}
+	}
+	merged := &histogramSample{
+		bounds: a.hist.bounds,
+		counts: make([]int64, len(a.hist.counts)),
+		sum:    a.hist.sum + b.hist.sum,
+		count:  a.hist.count + b.hist.count,
+	}
+	for i := range merged.counts {
+		merged.counts[i] = a.hist.counts[i] + b.hist.counts[i]
+	}
+	a.hist = merged
+	return nil
+}
+
+// WriteText renders the registry as a Prometheus text-format (0.0.4)
+// snapshot: # HELP and # TYPE comments per metric family, cumulative
+// le-buckets plus _sum/_count for histograms, families and series in
+// deterministic sorted order.
+func (r *Registry) WriteText(w io.Writer) error {
+	fams, err := r.gather()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if s.sample.hist != nil {
+				writeHistogram(&buf, f.name, s.labels, s.sample.hist)
+				continue
+			}
+			fmt.Fprintf(&buf, "%s%s %s\n", f.name, s.labels, formatValue(s.sample.value))
+		}
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket, sum and count lines of
+// one histogram series.
+func writeHistogram(buf *bytes.Buffer, name, labels string, h *histogramSample) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(buf, "%s_bucket%s %d\n", name, withLabel(labels, "le", formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(buf, "%s_bucket%s %d\n", name, withLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, labels, formatValue(h.sum))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, labels, h.count)
+}
+
+// withLabel appends one label to an already-rendered label string.
+func withLabel(labels, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatValue renders a float the shortest way that round-trips, so
+// integer-valued counters print as integers.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ServeHTTP implements http.Handler: any request path answers with the
+// WriteText snapshot, so a Registry can be mounted directly (dhtbench
+// -metrics-addr does exactly that).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}

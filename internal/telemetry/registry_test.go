@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exact text-exposition output: families and
+// series in sorted order, # HELP/# TYPE headers, cumulative le-buckets
+// with _sum/_count, integer-valued floats printed as integers. The text
+// format is a documented surface (docs/OBSERVABILITY.md) — any change
+// here must be deliberate.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Total requests.", L("path", "/x")).Add(3)
+	reg.Counter("test_requests_total", "Total requests.", L("path", "/y")).Inc()
+	reg.Gauge("test_ring_nodes", "Ring size.").Set(12)
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5}, L("op", "get"))
+	h.Observe(0.0625)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	const want = `# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{op="get",le="0.1"} 1
+test_latency_seconds_bucket{op="get",le="0.5"} 2
+test_latency_seconds_bucket{op="get",le="+Inf"} 3
+test_latency_seconds_sum{op="get"} 2.3125
+test_latency_seconds_count{op="get"} 3
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{path="/x"} 3
+test_requests_total{path="/y"} 1
+# HELP test_ring_nodes Ring size.
+# TYPE test_ring_nodes gauge
+test_ring_nodes 12
+`
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("WriteText mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteTextMergesSameIdentitySeries checks the fleet-aggregation
+// contract: several attached instruments with one identity render as a
+// single summed series, for scalars and histograms alike.
+func TestWriteTextMergesSameIdentitySeries(t *testing.T) {
+	reg := NewRegistry()
+	a := NewCounter("test_fleet_total", "Fleet counter.")
+	b := NewCounter("test_fleet_total", "Fleet counter.")
+	a.Add(2)
+	b.Add(5)
+	h1 := NewHistogram("test_fleet_hops", "Fleet hops.", []float64{1, 2})
+	h2 := NewHistogram("test_fleet_hops", "Fleet hops.", []float64{1, 2})
+	h1.Observe(1)
+	h2.Observe(2)
+	reg.Attach(a, b, h1, h2, nil) // nils are skipped
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"test_fleet_total 7\n",
+		`test_fleet_hops_bucket{le="1"} 1` + "\n",
+		`test_fleet_hops_bucket{le="2"} 2` + "\n",
+		`test_fleet_hops_bucket{le="+Inf"} 2` + "\n",
+		"test_fleet_hops_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterAndGaugeFuncs(t *testing.T) {
+	reg := NewRegistry()
+	n := 41.0
+	reg.CounterFunc("test_fn_total", "Func counter.", func() float64 { return n + 1 })
+	reg.GaugeFunc("test_fn_gauge", "Func gauge.", func() float64 { return -n })
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test_fn_total 42\n") || !strings.Contains(out, "test_fn_gauge -41\n") {
+		t.Fatalf("func metrics not rendered:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_esc_total", "", L("q", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{q="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping mismatch:\ngot:  %swant: %s", sb.String(), want)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_same_total", "h", L("k", "v"))
+	b := reg.Counter("test_same_total", "h", L("k", "v"))
+	if a != b {
+		t.Fatal("same identity returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	reg.Gauge("test_same_total", "h", L("k", "v"))
+}
+
+func TestServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_http_total", "h").Add(9)
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "test_http_total 9") {
+		t.Fatalf("body missing counter:\n%s", rr.Body.String())
+	}
+}

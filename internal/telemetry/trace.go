@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHop is one step of a query's resolution path. Kind says which
+// layer produced it:
+//
+//   - "index":          a broad or specialized index-entry lookup (one
+//     user-system interaction in the paper's sense)
+//   - "cache-jump":     a shortcut-cache hit that jumped directly to a
+//     deeper index entry or to the data
+//   - "generalization": a fallback lookup of a more general query after
+//     a specialization missed
+//   - "data":           the final MSD (most specific data) retrieval
+//   - "dht":            one routing hop inside the DHT substrate
+//   - "rpc":            one remote call on the wire transport
+type TraceHop struct {
+	// Seq is the 0-based position of the hop within its trace.
+	Seq int `json:"seq"`
+	// Kind classifies the hop (see the type comment).
+	Kind string `json:"kind"`
+	// Key is the DHT key or canonical query string being resolved.
+	Key string `json:"key,omitempty"`
+	// Node identifies the node that served the hop, when known.
+	Node string `json:"node,omitempty"`
+	// CacheHit reports whether a shortcut cache answered this hop.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Entries is the number of index entries returned by the hop.
+	Entries int `json:"entries,omitempty"`
+	// DHTHops is the substrate routing distance bundled into this
+	// higher-level hop (an index interaction routes through the DHT).
+	DHTHops int `json:"dht_hops,omitempty"`
+	// LatencyMicros is the hop's RPC latency in microseconds (0 for
+	// in-process hops).
+	LatencyMicros int64 `json:"latency_micros,omitempty"`
+	// Err holds the hop's error text when the hop failed.
+	Err string `json:"err,omitempty"`
+}
+
+// LookupTrace is the complete record of one query resolution: the
+// structured counterpart of the paper's per-lookup observables (index
+// interactions, cache shortcuts taken, DHT hops, whether the MSD was
+// reached).
+type LookupTrace struct {
+	// ID is unique per recorder (monotonic sequence).
+	ID int64 `json:"id"`
+	// Scheme is the indexing scheme in force ("simple", "cache-multi", ...).
+	Scheme string `json:"scheme"`
+	// Query is the canonical query string that started the lookup.
+	Query string `json:"query"`
+	// Target is the query the caller wanted resolved to data (the MSD
+	// target); often equal to Query.
+	Target string `json:"target,omitempty"`
+	// Hops is the ordered resolution path.
+	Hops []TraceHop `json:"hops"`
+	// Interactions counts the user-system interaction rounds (index and
+	// data hops; cache jumps collapse rounds, which is the point).
+	Interactions int `json:"interactions"`
+	// CacheHits counts hops answered by a shortcut cache.
+	CacheHits int `json:"cache_hits"`
+	// DHTHops counts substrate routing hops across the whole lookup.
+	DHTHops int `json:"dht_hops"`
+	// Found reports whether the lookup reached its target data.
+	Found bool `json:"found"`
+	// NonIndexed reports that the query was absent from every index and
+	// the generalization fallback ran (the paper's "access to non-indexed
+	// data", Table I).
+	NonIndexed bool `json:"non_indexed,omitempty"`
+	// RequestBytes is the serialized size of the queries sent.
+	RequestBytes int64 `json:"request_bytes,omitempty"`
+	// ResponseBytes is the serialized size of the responses received
+	// (the paper's "normal traffic").
+	ResponseBytes int64 `json:"response_bytes,omitempty"`
+	// CacheBytes is the traffic spent installing shortcuts (Fig. 12's
+	// "cache traffic").
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// BytesShipped is the total payload bytes moved for this lookup.
+	BytesShipped int64 `json:"bytes_shipped,omitempty"`
+	// DurationMicros is the wall-clock duration of the lookup in
+	// microseconds.
+	DurationMicros int64 `json:"duration_micros"`
+	// Err holds the terminal error text when the lookup failed.
+	Err string `json:"err,omitempty"`
+}
+
+// Sink receives completed lookup traces. Implementations must be safe
+// for concurrent use.
+type Sink interface {
+	// Record consumes one completed trace.
+	Record(t LookupTrace)
+}
+
+// JSONLSink writes each trace as one JSON line, the stream format
+// consumed by `indexsim -replay` and `simreport`.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL trace writer. Call Flush
+// before the underlying writer is closed.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Record implements Sink. The first encoding or write error is retained
+// and reported by Flush; later records are dropped after a write error.
+func (s *JSONLSink) Record(t LookupTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered by
+// any Record or flush.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Collector is an in-memory Sink that retains every trace, used by the
+// simulator to aggregate figures from real traces and by tests.
+type Collector struct {
+	mu     sync.Mutex
+	traces []LookupTrace
+}
+
+// Record implements Sink.
+func (c *Collector) Record(t LookupTrace) {
+	c.mu.Lock()
+	c.traces = append(c.traces, t)
+	c.mu.Unlock()
+}
+
+// Traces returns a copy of every trace recorded so far.
+func (c *Collector) Traces() []LookupTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LookupTrace, len(c.traces))
+	copy(out, c.traces)
+	return out
+}
+
+// Tee fans each trace out to every sink in order.
+func Tee(sinks ...Sink) Sink {
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return teeSink(out)
+}
+
+type teeSink []Sink
+
+// Record implements Sink.
+func (t teeSink) Record(tr LookupTrace) {
+	for _, s := range t {
+		s.Record(tr)
+	}
+}
+
+// ReadJSONL decodes a JSONL trace stream (as written by JSONLSink) back
+// into traces. Blank lines are skipped; a malformed line aborts with an
+// error naming its line number.
+func ReadJSONL(r io.Reader) ([]LookupTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []LookupTrace
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var t LookupTrace
+		if err := json.Unmarshal(b, &t); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Recorder creates Active lookup traces bound to one sink and scheme.
+// A nil Recorder is valid and records nothing, so call sites can begin
+// traces unconditionally.
+type Recorder struct {
+	sink   Sink
+	scheme string
+	seq    atomic.Int64
+}
+
+// NewRecorder builds a recorder that labels every trace with scheme and
+// delivers completed traces to sink. A nil sink yields a nil recorder.
+func NewRecorder(sink Sink, scheme string) *Recorder {
+	if sink == nil {
+		return nil
+	}
+	return &Recorder{sink: sink, scheme: scheme}
+}
+
+// Begin starts tracing one lookup. The returned Active is nil-safe: on
+// a nil recorder it is nil and every method on it is a no-op.
+func (r *Recorder) Begin(query, target string) *Active {
+	if r == nil {
+		return nil
+	}
+	return &Active{rec: r, query: query, target: target, start: time.Now()}
+}
+
+// Active is a lookup trace under construction. It is not safe for
+// concurrent use by multiple goroutines (one lookup, one goroutine);
+// all methods are no-ops on a nil receiver.
+type Active struct {
+	rec    *Recorder
+	query  string
+	target string
+	start  time.Time
+	hops   []TraceHop
+	done   bool
+}
+
+// Hop appends one hop; Seq is assigned automatically.
+func (a *Active) Hop(h TraceHop) {
+	if a == nil {
+		return
+	}
+	h.Seq = len(a.hops)
+	a.hops = append(a.hops, h)
+}
+
+// HopCount returns the number of hops appended so far (0 on nil).
+func (a *Active) HopCount() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.hops)
+}
+
+// TraceResult carries the terminal facts of a lookup into Active.End.
+type TraceResult struct {
+	// Found reports whether the target data was reached.
+	Found bool
+	// NonIndexed marks a query that needed the generalization fallback.
+	NonIndexed bool
+	// RequestBytes is the serialized size of the queries sent.
+	RequestBytes int64
+	// ResponseBytes is the serialized size of the responses received.
+	ResponseBytes int64
+	// CacheBytes is the shortcut-installation traffic.
+	CacheBytes int64
+	// BytesShipped overrides the total payload volume; when zero it is
+	// derived as RequestBytes + ResponseBytes + CacheBytes.
+	BytesShipped int64
+	// Err is the terminal error, if the lookup failed.
+	Err error
+}
+
+// End finalizes and emits the trace: derives the interaction, cache-hit
+// and DHT-hop tallies from the hop list, stamps the duration, and hands
+// the completed LookupTrace to the recorder's sink. Calling End more
+// than once emits only the first time.
+func (a *Active) End(res TraceResult) {
+	if a == nil || a.done {
+		return
+	}
+	a.done = true
+	t := LookupTrace{
+		ID:             a.rec.seq.Add(1),
+		Scheme:         a.rec.scheme,
+		Query:          a.query,
+		Target:         a.target,
+		Hops:           a.hops,
+		Found:          res.Found,
+		NonIndexed:     res.NonIndexed,
+		RequestBytes:   res.RequestBytes,
+		ResponseBytes:  res.ResponseBytes,
+		CacheBytes:     res.CacheBytes,
+		BytesShipped:   res.BytesShipped,
+		DurationMicros: time.Since(a.start).Microseconds(),
+	}
+	if t.BytesShipped == 0 {
+		t.BytesShipped = res.RequestBytes + res.ResponseBytes + res.CacheBytes
+	}
+	if res.Err != nil {
+		t.Err = res.Err.Error()
+	}
+	for _, h := range a.hops {
+		switch h.Kind {
+		case "index", "cache-jump", "data", "generalization":
+			t.Interactions++
+		case "dht":
+			t.DHTHops++
+		}
+		t.DHTHops += h.DHTHops
+		if h.CacheHit {
+			t.CacheHits++
+		}
+	}
+	a.rec.sink.Record(t)
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecorderDerivesTraceTallies(t *testing.T) {
+	col := &Collector{}
+	rec := NewRecorder(col, "test/simple")
+	at := rec.Begin("/article/title/X", "/article[title=X]")
+	at.Hop(TraceHop{Kind: "index", Node: "n1", DHTHops: 2})
+	at.Hop(TraceHop{Kind: "cache-jump", Node: "n2", CacheHit: true, DHTHops: 1})
+	at.Hop(TraceHop{Kind: "generalization", Node: "n3"})
+	at.Hop(TraceHop{Kind: "data", Node: "n4", DHTHops: 3})
+	at.Hop(TraceHop{Kind: "dht", Node: "n5"})
+	at.Hop(TraceHop{Kind: "rpc"})
+	at.End(TraceResult{Found: true, RequestBytes: 10, ResponseBytes: 20, CacheBytes: 5})
+	at.End(TraceResult{}) // second End must not emit
+
+	traces := col.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != 1 || tr.Scheme != "test/simple" || !tr.Found {
+		t.Fatalf("header fields wrong: %+v", tr)
+	}
+	// index + cache-jump + generalization + data are interactions; the
+	// dht and rpc hops are substrate detail.
+	if tr.Interactions != 4 {
+		t.Errorf("Interactions = %d, want 4", tr.Interactions)
+	}
+	// 2+1+3 bundled hops plus the one explicit "dht" hop.
+	if tr.DHTHops != 7 {
+		t.Errorf("DHTHops = %d, want 7", tr.DHTHops)
+	}
+	if tr.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", tr.CacheHits)
+	}
+	// BytesShipped defaults to request+response+cache traffic.
+	if tr.BytesShipped != 35 {
+		t.Errorf("BytesShipped = %d, want 35", tr.BytesShipped)
+	}
+	if tr.DurationMicros < 0 {
+		t.Errorf("DurationMicros = %d, want >= 0", tr.DurationMicros)
+	}
+	for i, h := range tr.Hops {
+		if h.Seq != i {
+			t.Errorf("hop %d has Seq %d", i, h.Seq)
+		}
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	if rec := NewRecorder(nil, "x"); rec != nil {
+		t.Fatal("NewRecorder(nil) should yield a nil recorder")
+	}
+	var rec *Recorder
+	at := rec.Begin("q", "t") // nil recorder → nil Active
+	at.Hop(TraceHop{Kind: "index"})
+	at.End(TraceResult{Found: true}) // all no-ops, must not panic
+	if at != nil || at.HopCount() != 0 {
+		t.Fatal("nil recorder produced a live Active")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	rec := NewRecorder(sink, "rt")
+	for i := 0; i < 3; i++ {
+		at := rec.Begin("q", "t")
+		at.Hop(TraceHop{Kind: "index", Key: "k", Node: "n", Entries: 2})
+		at.End(TraceResult{Found: i%2 == 0, Err: errIf(i == 1)})
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d traces, want 3", len(got))
+	}
+	if got[0].ID != 1 || got[2].ID != 3 {
+		t.Errorf("IDs not monotonic: %d, %d", got[0].ID, got[2].ID)
+	}
+	if !got[0].Found || got[1].Found || got[1].Err == "" {
+		t.Errorf("result fields lost in round trip: %+v", got[:2])
+	}
+	if len(got[0].Hops) != 1 || got[0].Hops[0].Key != "k" {
+		t.Errorf("hops lost in round trip: %+v", got[0].Hops)
+	}
+}
+
+func errIf(b bool) error {
+	if b {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func TestReadJSONLRejectsMalformedLine(t *testing.T) {
+	in := strings.NewReader("{\"id\":1,\"scheme\":\"s\",\"query\":\"q\",\"hops\":[],\"interactions\":0,\"cache_hits\":0,\"dht_hops\":0,\"found\":true,\"duration_micros\":0}\n\nnot json\n")
+	if _, err := ReadJSONL(in); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}
+
+func TestTeeFansOutAndSkipsNil(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	sink := Tee(a, nil, b)
+	sink.Record(LookupTrace{ID: 7})
+	if len(a.Traces()) != 1 || len(b.Traces()) != 1 {
+		t.Fatalf("tee delivered %d/%d, want 1/1", len(a.Traces()), len(b.Traces()))
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
 )
 
 // Cluster adapts a set of live wire nodes to the overlay contract, so the
@@ -23,14 +24,23 @@ type Cluster struct {
 	// will try before giving up.
 	failoverWidth int
 
-	mu      sync.Mutex
-	addrs   []string
-	rng     *rand.Rand
-	metrics ClusterMetrics
+	mu    sync.Mutex
+	addrs []string
+	rng   *rand.Rand
+
+	ownerReadFailures *telemetry.Counter
+	failoverReads     *telemetry.Counter
+	entryRetries      *telemetry.Counter
+	// hops and rpcLatency are nil until Instrument is called; observing
+	// on nil histograms is a no-op, so the hot paths stay unconditional.
+	hops       *telemetry.Histogram
+	rpcLatency *telemetry.Histogram
 }
 
-// ClusterMetrics counts the cluster adapter's failure handling, the
-// live-wire analogue of the simulation's FailoverReads metric.
+// ClusterMetrics is a point-in-time snapshot of the cluster adapter's
+// failure handling, the live-wire analogue of the simulation's
+// FailoverReads metric. The live counters behind it are atomic, so
+// taking a snapshot while the cluster serves traffic is race-free.
 type ClusterMetrics struct {
 	// OwnerReadFailures counts Gets whose routed owner could not serve.
 	OwnerReadFailures int64
@@ -51,14 +61,52 @@ func NewCluster(transport Transport, seed int64) *Cluster {
 		ttl:           64,
 		failoverWidth: 3,
 		rng:           rand.New(rand.NewSource(seed)),
+		ownerReadFailures: telemetry.NewCounter("wire_owner_read_failures_total",
+			"Gets whose routed owner could not serve."),
+		failoverReads: telemetry.NewCounter("wire_failover_reads_total",
+			"Gets answered by a replica instead of the owner."),
+		entryRetries: telemetry.NewCounter("wire_entry_retries_total",
+			"FindOwner attempts that switched entry points after an unreachable member."),
 	}
+}
+
+// Instrument attaches the cluster's failover counters to reg and starts
+// recording routing-hop and RPC-latency histograms there.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Attach(c.ownerReadFailures, c.failoverReads, c.entryRetries)
+	c.mu.Lock()
+	c.hops = reg.Histogram("dht_lookup_hops",
+		"Routing hops taken to resolve the owner of a key.", telemetry.HopBuckets)
+	c.rpcLatency = reg.Histogram("wire_rpc_latency_seconds",
+		"Wall-clock latency of cluster-issued RPCs, in seconds.", telemetry.LatencyBuckets)
+	c.mu.Unlock()
+}
+
+// call issues one RPC through the transport, timing it into the RPC
+// latency histogram when the cluster is instrumented.
+func (c *Cluster) call(addr string, req Message) (Message, error) {
+	c.mu.Lock()
+	lat := c.rpcLatency
+	c.mu.Unlock()
+	if lat == nil {
+		return c.transport.Call(addr, req)
+	}
+	start := time.Now()
+	resp, err := c.transport.Call(addr, req)
+	lat.Observe(time.Since(start).Seconds())
+	return resp, err
 }
 
 // Metrics returns a snapshot of the cluster's failover counters.
 func (c *Cluster) Metrics() ClusterMetrics {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.metrics
+	return ClusterMetrics{
+		OwnerReadFailures: c.ownerReadFailures.Value(),
+		FailoverReads:     c.failoverReads.Value(),
+		EntryRetries:      c.entryRetries.Value(),
+	}
 }
 
 // Track adds a member address to the entry-point set.
@@ -109,18 +157,22 @@ func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
 		if err != nil {
 			return overlay.Route{}, err
 		}
-		resp, err := c.transport.Call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
+		resp, err := c.call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
 		if err == nil {
 			if rerr := remoteError(resp); rerr != nil {
 				return overlay.Route{}, rerr
 			}
+			c.mu.Lock()
+			hops := c.hops
+			c.mu.Unlock()
+			hops.Observe(float64(resp.Hops))
 			return overlay.Route{Node: resp.Addr, Hops: resp.Hops}, nil
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
+		c.entryRetries.Inc()
 		c.mu.Lock()
-		c.metrics.EntryRetries++
 		single := len(c.addrs) <= 1
 		c.mu.Unlock()
 		if single {
@@ -136,7 +188,7 @@ func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) 
 	if err != nil {
 		return overlay.Route{}, err
 	}
-	resp, err := c.transport.Call(route.Node, Message{Op: OpPut, Key: key, Entry: e})
+	resp, err := c.call(route.Node, Message{Op: OpPut, Key: key, Entry: e})
 	if err != nil {
 		return overlay.Route{}, err
 	}
@@ -152,7 +204,7 @@ func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) 
 func (c *Cluster) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
 	route, err := c.FindOwner(key)
 	if err == nil {
-		resp, cerr := c.transport.Call(route.Node, Message{Op: OpGet, Key: key})
+		resp, cerr := c.call(route.Node, Message{Op: OpGet, Key: key})
 		if cerr == nil {
 			if rerr := remoteError(resp); rerr != nil {
 				return nil, overlay.Route{}, rerr
@@ -180,8 +232,8 @@ func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry,
 	if len(addrs) == 0 {
 		return nil, overlay.Route{}, fmt.Errorf("wire: cluster has no members")
 	}
+	c.ownerReadFailures.Inc()
 	c.mu.Lock()
-	c.metrics.OwnerReadFailures++
 	width := c.failoverWidth
 	c.mu.Unlock()
 	// Start at the ideal owner's position: its clockwise followers hold
@@ -201,7 +253,7 @@ func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry,
 			continue
 		}
 		tried++
-		resp, err := c.transport.Call(cand, Message{Op: OpGet, Key: key})
+		resp, err := c.call(cand, Message{Op: OpGet, Key: key})
 		if err != nil {
 			lastErr = err
 			continue
@@ -210,9 +262,7 @@ func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry,
 			lastErr = rerr
 			continue
 		}
-		c.mu.Lock()
-		c.metrics.FailoverReads++
-		c.mu.Unlock()
+		c.failoverReads.Inc()
 		entries := resp.Entries
 		if len(entries) == 0 {
 			entries = nil
@@ -228,7 +278,7 @@ func (c *Cluster) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := c.transport.Call(route.Node, Message{Op: OpRemove, Key: key, Entry: e})
+	resp, err := c.call(route.Node, Message{Op: OpRemove, Key: key, Entry: e})
 	if err != nil {
 		return false, err
 	}
@@ -246,7 +296,7 @@ func (c *Cluster) Addrs() []string {
 
 // StatsOf implements overlay.Network via the OpStats RPC.
 func (c *Cluster) StatsOf(addr string) (overlay.NodeStats, error) {
-	resp, err := c.transport.Call(addr, Message{Op: OpStats})
+	resp, err := c.call(addr, Message{Op: OpStats})
 	if err != nil {
 		return overlay.NodeStats{}, err
 	}

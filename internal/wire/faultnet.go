@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dhtindex/internal/telemetry"
 )
 
 // FaultRule describes the fault mix injected into a class of messages.
@@ -178,6 +180,36 @@ func (f *FaultTransport) Stats() FaultStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.stats
+}
+
+// Instrument exports the injected-fault counters on reg via the
+// collector pattern: the series read Stats() at snapshot time, so the
+// existing mutex-guarded struct needs no restructuring.
+func (f *FaultTransport) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("wire_fault_calls_total",
+		"Messages that entered the fault layer.",
+		func() float64 { return float64(f.Stats().Calls) })
+	reg.CounterFunc("wire_fault_dropped_requests_total",
+		"Messages lost before reaching the handler.",
+		func() float64 { return float64(f.Stats().DroppedRequests) })
+	reg.CounterFunc("wire_fault_dropped_responses_total",
+		"Messages lost after the handler ran.",
+		func() float64 { return float64(f.Stats().DroppedResponses) })
+	reg.CounterFunc("wire_fault_delayed_total",
+		"Messages that had latency injected.",
+		func() float64 { return float64(f.Stats().Delayed) })
+	reg.CounterFunc("wire_fault_delay_micros_total",
+		"Summed injected latency, in microseconds.",
+		func() float64 { return float64(f.Stats().DelayTotal.Microseconds()) })
+	reg.CounterFunc("wire_fault_partition_blocked_total",
+		"Messages refused by an active partition.",
+		func() float64 { return float64(f.Stats().PartitionBlocked) })
+	reg.CounterFunc("wire_fault_crash_blocked_total",
+		"Messages to or from a crashed address.",
+		func() float64 { return float64(f.Stats().CrashBlocked) })
 }
 
 // Listen implements Transport (anonymous view).

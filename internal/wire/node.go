@@ -8,6 +8,7 @@ import (
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
 )
 
 // Config parameterizes a live node.
@@ -463,6 +464,17 @@ func (n *Node) RetryStats() RetryStats {
 		return RetryStats{}
 	}
 	return n.retry.Stats()
+}
+
+// Instrument attaches the node's retry counters to reg (no-op if the
+// node was started without a retry policy). All nodes of a fleet may
+// attach to one registry: the snapshot reports fleet-wide sums while
+// RetryStats stays per-node.
+func (n *Node) Instrument(reg *telemetry.Registry) {
+	if n.retry == nil {
+		return
+	}
+	n.retry.Instrument(reg)
 }
 
 // KeyCount returns the number of distinct keys stored locally.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dhtindex/internal/telemetry"
 )
 
 // RetryPolicy parameterizes the RPC retry stack: how many times an
@@ -88,8 +90,11 @@ func (p RetryPolicy) attemptsFor(op Op) int {
 	return 1
 }
 
-// RetryStats counts the retry layer's work, making recovery observable:
-// Attempts/Calls is the retry amplification a fault schedule induced.
+// RetryStats is a point-in-time snapshot of the retry layer's work,
+// making recovery observable: Attempts/Calls is the retry amplification
+// a fault schedule induced. Snapshots are plain values; the live
+// counters behind them are atomic (see RetryingTransport.Stats), so
+// reading a snapshot while the node is live is race-free.
 type RetryStats struct {
 	// Calls is the number of logical RPCs issued.
 	Calls int64
@@ -131,17 +136,27 @@ type RetryingTransport struct {
 	inner  Transport
 	policy RetryPolicy
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	stats RetryStats
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls     *telemetry.Counter
+	attempts  *telemetry.Counter
+	retries   *telemetry.Counter
+	recovered *telemetry.Counter
+	gaveUp    *telemetry.Counter
 }
 
 // NewRetryingTransport wraps inner with policy.
 func NewRetryingTransport(inner Transport, policy RetryPolicy) *RetryingTransport {
 	return &RetryingTransport{
-		inner:  inner,
-		policy: policy.withDefaults(),
-		rng:    rand.New(rand.NewSource(policy.Seed)),
+		inner:     inner,
+		policy:    policy.withDefaults(),
+		rng:       rand.New(rand.NewSource(policy.Seed)),
+		calls:     telemetry.NewCounter("wire_retry_calls_total", "Logical RPCs issued through the retry layer."),
+		attempts:  telemetry.NewCounter("wire_retry_attempts_total", "Wire sends, including first tries."),
+		retries:   telemetry.NewCounter("wire_retry_resends_total", "Re-sends after a transport error."),
+		recovered: telemetry.NewCounter("wire_retry_recovered_total", "Calls that failed at least once then succeeded on a retry."),
+		gaveUp:    telemetry.NewCounter("wire_retry_gave_up_total", "Calls that exhausted every attempt."),
 	}
 }
 
@@ -150,30 +165,39 @@ func (t *RetryingTransport) Listen(addr string, handler Handler) (string, io.Clo
 	return t.inner.Listen(addr, handler)
 }
 
-// Stats returns a snapshot of the retry counters.
+// Stats returns a snapshot of the retry counters. The counters are
+// atomic, so this is safe to call while the transport is live.
 func (t *RetryingTransport) Stats() RetryStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return RetryStats{
+		Calls:     t.calls.Value(),
+		Attempts:  t.attempts.Value(),
+		Retries:   t.retries.Value(),
+		Recovered: t.recovered.Value(),
+		GaveUp:    t.gaveUp.Value(),
+	}
+}
+
+// Instrument attaches the transport's retry counters to reg. Several
+// transports may attach to the same registry: the snapshot then reports
+// fleet-wide sums while each transport keeps its per-instance Stats.
+func (t *RetryingTransport) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Attach(t.calls, t.attempts, t.retries, t.recovered, t.gaveUp)
 }
 
 // Call implements Transport.
 func (t *RetryingTransport) Call(addr string, req Message) (Message, error) {
 	attempts := t.policy.attemptsFor(req.Op)
-	t.mu.Lock()
-	t.stats.Calls++
-	t.mu.Unlock()
+	t.calls.Inc()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		t.mu.Lock()
-		t.stats.Attempts++
-		t.mu.Unlock()
+		t.attempts.Inc()
 		resp, err := t.inner.Call(addr, req)
 		if err == nil {
 			if attempt > 1 {
-				t.mu.Lock()
-				t.stats.Recovered++
-				t.mu.Unlock()
+				t.recovered.Inc()
 			}
 			return resp, nil
 		}
@@ -181,15 +205,11 @@ func (t *RetryingTransport) Call(addr string, req Message) (Message, error) {
 		if attempt >= attempts {
 			break
 		}
-		t.mu.Lock()
-		t.stats.Retries++
-		t.mu.Unlock()
+		t.retries.Inc()
 		time.Sleep(t.backoff(attempt))
 	}
 	if attempts > 1 {
-		t.mu.Lock()
-		t.stats.GaveUp++
-		t.mu.Unlock()
+		t.gaveUp.Inc()
 	}
 	return Message{}, lastErr
 }

@@ -3,10 +3,12 @@ package wire
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
 )
 
 // SoakConfig parameterizes a churn soak: a live ring run under a seeded
@@ -46,6 +48,18 @@ type SoakConfig struct {
 	Retry RetryPolicy
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+	// Telemetry, when non-nil, receives the run's registry series: the
+	// injected-fault counters, fleet-wide retry counters, the cluster's
+	// failover counters, the hop and RPC-latency histograms, and a
+	// wire_ring_nodes gauge tracking the live ring size.
+	Telemetry *telemetry.Registry
+	// Setup, when set, runs after the ring has converged and before the
+	// storm starts — e.g. to publish an indexed corpus over the live ring
+	// (internal/soak layers the paper's index workload through it).
+	Setup func(c *Cluster) error
+	// OnOp, when set, runs once per storm op after the op's own put and
+	// read-back — e.g. to drive indexed lookups through the faulted ring.
+	OnOp func(op int, c *Cluster)
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -172,8 +186,28 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			n.Stop()
 		}
 	}()
+	var aliveCount atomic.Int64
+	aliveCount.Store(int64(len(alive)))
+	if cfg.Telemetry != nil {
+		ft.Instrument(cfg.Telemetry)
+		cluster.Instrument(cfg.Telemetry)
+		if rt, ok := cluster.transport.(*RetryingTransport); ok {
+			rt.Instrument(cfg.Telemetry)
+		}
+		for _, n := range nodes {
+			n.Instrument(cfg.Telemetry)
+		}
+		cfg.Telemetry.GaugeFunc("wire_ring_nodes",
+			"Live nodes in the soak ring.",
+			func() float64 { return float64(aliveCount.Load()) })
+	}
 	if err := cluster.WaitConverged(30 * time.Second); err != nil {
 		return report, fmt.Errorf("soak: ring never formed: %w", err)
+	}
+	if cfg.Setup != nil {
+		if err := cfg.Setup(cluster); err != nil {
+			return report, fmt.Errorf("soak: setup: %w", err)
+		}
 	}
 	cfg.Log("soak: ring of %d converged, starting storm (drop=%.0f%%, latency=%v@%.0f%%)",
 		cfg.Nodes, 100*cfg.DropProb, cfg.Latency, 100*cfg.LatencyProb)
@@ -197,6 +231,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 				victim.Stop()
 				cluster.Untrack(victim.Addr())
 				delete(alive, victim.Addr())
+				aliveCount.Store(int64(len(alive)))
 				report.Crashes++
 				cfg.Log("soak: op %d: crashed %s (%d nodes left)", op, victim.Addr(), len(alive))
 			}
@@ -232,6 +267,9 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			if _, _, err := cluster.Get(keyspace.NewKey(probe)); err != nil {
 				report.ChaosReadFailures++
 			}
+		}
+		if cfg.OnOp != nil {
+			cfg.OnOp(op, cluster)
 		}
 	}
 	report.Acked = len(acked)

@@ -12,6 +12,7 @@ type SyntaxError struct {
 	Msg   string
 }
 
+// Error implements the error interface.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
 }
