@@ -39,6 +39,7 @@ func main() {
 		substrate = flag.String("substrate", "chord", "substrate for the hop sweep (chord|pastry)")
 
 		soakMode    = flag.Bool("soak", false, "run the live-wire indexed churn soak instead of the simulation sweeps")
+		soakRepair  = flag.Bool("repair", false, "soak: self-healing mode — joins/leaves during the storm, circuit breaker armed, post-storm replica coverage verified to 100%, degraded-lookup probe")
 		soakNodes   = flag.Int("soak-nodes", 16, "soak: ring size")
 		soakOps     = flag.Int("soak-ops", 150, "soak: write-once operations")
 		soakDrop    = flag.Float64("soak-drop", 0.10, "soak: per-message drop probability")
@@ -56,7 +57,7 @@ func main() {
 		err = runSoak(soakOpts{
 			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries,
 			drop: *soakDrop, latency: *soakLatency, seed: *seed,
-			trace: *tracePath,
+			trace: *tracePath, repair: *soakRepair,
 		}, reg, *metricsAddr, *metricsOut)
 	} else {
 		err = run(*maxNodes, *lookups, *churn, *seed, *substrate, reg, *metricsAddr, *metricsOut)
@@ -74,6 +75,7 @@ type soakOpts struct {
 	latency             time.Duration
 	seed                int64
 	trace               string
+	repair              bool
 }
 
 // runSoak exercises the LIVE wire layer (message-passing nodes, fault
@@ -102,6 +104,7 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 				fmt.Printf(format+"\n", args...)
 			},
 		},
+		Repair:       o.repair,
 		QueriesPerOp: o.queries,
 		Telemetry:    reg,
 		TraceSink:    sink,
@@ -125,13 +128,35 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		f.Calls, f.DroppedRequests, f.DroppedResponses, f.Delayed, f.DelayTotal.Round(time.Millisecond), f.PartitionBlocked, f.CrashBlocked)
 	fmt.Printf("  retries:     %d calls, %d attempts, %d retries, %d recovered, %d gave up (amplification %.2f)\n",
 		r.Calls, r.Attempts, r.Retries, r.Recovered, r.GaveUp, report.RetryAmplification())
-	fmt.Printf("  failover:    %d owner-read failures, %d replica reads, %d entry retries\n",
-		report.Cluster.OwnerReadFailures, report.Cluster.FailoverReads, report.Cluster.EntryRetries)
+	fmt.Printf("  failover:    %d owner-read failures, %d replica reads, %d entry retries, %d hedged gets (%d hedge wins)\n",
+		report.Cluster.OwnerReadFailures, report.Cluster.FailoverReads, report.Cluster.EntryRetries,
+		report.Cluster.HedgedGets, report.Cluster.HedgeWins)
+	if o.repair {
+		b, rp := report.Breaker, report.Repair
+		fmt.Printf("  churn:       %d joins, %d leaves (on top of %d crashes)\n",
+			report.Joins, report.Leaves, report.Crashes)
+		fmt.Printf("  repair:      %d rounds, %d syncs, %d pushes, %d forwards, %d drops; replica violations: %d\n",
+			rp.Rounds, rp.Syncs, rp.Pushes, rp.Forwards, rp.Drops, len(report.ReplicaViolations))
+		fmt.Printf("  breaker:     %d trips, %d fast-fails, %d probes, %d closes, %d still open\n",
+			b.Trips, b.FastFails, b.Probes, b.Closes, b.Open)
+		p := report.IncompleteProbe
+		fmt.Printf("  degradation: probe crashed %d nodes, incomplete=%v (%d unresolved) in %v\n",
+			p.Crashed, p.Incomplete, p.Unresolved, p.Elapsed.Round(time.Millisecond))
+	}
 	if err := emitMetrics(reg, metricsOut); err != nil {
 		return err
 	}
 	if !report.Converged || len(report.LostKeys) > 0 {
 		return fmt.Errorf("soak failed: converged=%v lost=%d", report.Converged, len(report.LostKeys))
+	}
+	if o.repair {
+		if len(report.ReplicaViolations) > 0 {
+			return fmt.Errorf("repair soak failed: %d keys off full replica coverage: %v",
+				len(report.ReplicaViolations), report.ReplicaViolations)
+		}
+		if p := report.IncompleteProbe; !p.Ran || !p.Incomplete {
+			return fmt.Errorf("repair soak failed: degraded-lookup probe = %+v", p)
+		}
 	}
 	return serveMetrics(reg, metricsAddr)
 }

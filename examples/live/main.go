@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	transport := wire.NewTCPTransport()
-	cluster := wire.NewCluster(transport, 1)
+	cluster := wire.NewCluster(transport, 1, 0)
 	const ringSize = 6
 	var bootstrap string
 	nodes := make([]*wire.Node, 0, ringSize)

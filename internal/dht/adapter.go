@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,7 +18,10 @@ type Overlay struct {
 	rng *rand.Rand
 }
 
-var _ overlay.Network = (*Overlay)(nil)
+var (
+	_ overlay.Network        = (*Overlay)(nil)
+	_ overlay.ContextNetwork = (*Overlay)(nil)
+)
 
 // AsOverlay wraps the network. The seed drives contact-point selection.
 func AsOverlay(net *Network, seed int64) *Overlay {
@@ -50,6 +54,16 @@ func (o *Overlay) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) 
 		return nil, overlay.Route{}, err
 	}
 	return entries, overlay.Route{Node: res.Owner.Addr, Hops: res.Hops}, nil
+}
+
+// GetCtx implements overlay.ContextNetwork. The simulated network
+// computes routes instantaneously, so the budget only gates entry: an
+// already-expired context fails fast without touching the ring.
+func (o *Overlay) GetCtx(ctx context.Context, key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, overlay.Route{}, err
+	}
+	return o.Get(key)
 }
 
 // Remove implements overlay.Network.

@@ -137,6 +137,9 @@ func dedupeStrings(in []string) []string {
 func (s *Searcher) FindFuzzy(q, target xpath.Query, maxDist int) (Trace, xpath.Query, error) {
 	trace, err := s.Find(q, target)
 	if err == nil {
+		// Either the target was found, or the search degraded to a partial
+		// result (Incomplete) on a transport failure. Neither is a
+		// misspelling, so corrections would only re-walk the same index.
 		return trace, q, nil
 	}
 	combined := trace
@@ -163,6 +166,13 @@ func (s *Searcher) FindFuzzy(q, target xpath.Query, maxDist int) (Trace, xpath.Q
 		combined.CacheBytes += attempt.CacheBytes
 		combined.Visited = append(combined.Visited, attempt.Visited...)
 		if aerr != nil {
+			return false, nil
+		}
+		if attempt.Incomplete {
+			// The candidate's branch hit a dead hop, not a wrong spelling:
+			// carry the degradation and let the next candidate try.
+			combined.Incomplete = true
+			combined.Unresolved = append(combined.Unresolved, attempt.Unresolved...)
 			return false, nil
 		}
 		combined.Found = attempt.Found

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 
 	"dhtindex/internal/xpath"
@@ -24,6 +25,16 @@ type Result struct {
 // The returned Trace aggregates the exploration cost exactly like a
 // directed Find.
 func (s *Searcher) SearchAll(q xpath.Query) ([]Result, Trace, error) {
+	return s.SearchAllCtx(context.Background(), q)
+}
+
+// SearchAllCtx is SearchAll under a deadline budget with graceful
+// degradation: a branch whose lookup fails (dead node, spent budget) is
+// recorded in the trace's Unresolved list and the exploration continues
+// with the remaining frontier, so callers get every result the live part
+// of the index DAG could deliver plus an exact account of what is
+// missing — instead of an all-or-nothing error.
+func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, Trace, error) {
 	var trace Trace
 	if q.IsZero() {
 		return nil, trace, xpath.ErrEmptyQuery
@@ -38,9 +49,22 @@ func (s *Searcher) SearchAll(q xpath.Query) ([]Result, Trace, error) {
 		current := frontier[0]
 		frontier = frontier[1:]
 		explored++
-		resp, err := s.svc.Lookup(current)
+		resp, err := s.svc.LookupCtx(ctx, current)
 		if err != nil {
-			return nil, trace, err
+			trace.Incomplete = true
+			trace.Unresolved = append(trace.Unresolved, Unresolved{
+				Query: current.String(), Reason: err.Error(),
+			})
+			if cerr := ctx.Err(); cerr != nil {
+				// Budget spent: the rest of the frontier is unreachable too.
+				for _, rest := range frontier {
+					trace.Unresolved = append(trace.Unresolved, Unresolved{
+						Query: rest.String(), Reason: cerr.Error(),
+					})
+				}
+				break
+			}
+			continue
 		}
 		s.account(&trace, current, resp, resp.Bytes)
 

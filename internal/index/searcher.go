@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,6 +75,24 @@ type Trace struct {
 	GeneralizationProbes int
 	// DHTHops counts underlying substrate routing hops (not interactions).
 	DHTHops int
+	// Incomplete reports that the search degraded instead of failing: a
+	// hop's substrate read failed (dead node, spent deadline budget), so
+	// the trace carries whatever was resolved up to that point plus the
+	// unresolved branches. An Incomplete trace never has Found set by
+	// that failed branch, and Find returns it with a nil error — the
+	// partial answer IS the result.
+	Incomplete bool
+	// Unresolved lists the branches an incomplete search could not
+	// resolve and why, in the order they failed.
+	Unresolved []Unresolved
+}
+
+// Unresolved is one branch a degraded search gave up on.
+type Unresolved struct {
+	// Query is the canonical query whose lookup failed.
+	Query string
+	// Reason is the failure (transport error or context deadline).
+	Reason string
 }
 
 // visit is one lookup step retained for shortcut installation.
@@ -87,7 +106,19 @@ type visit struct {
 // the query from the results that matches the target article"), and
 // iterates until the file behind target is retrieved. target must be a
 // most specific query.
-func (s *Searcher) Find(q, target xpath.Query) (trace Trace, err error) {
+func (s *Searcher) Find(q, target xpath.Query) (Trace, error) {
+	return s.FindCtx(context.Background(), q, target)
+}
+
+// FindCtx is Find under a deadline budget with graceful degradation.
+// The budget rides down through every lookup into the substrate's retry
+// and failover machinery. When a hop's substrate read fails — the node
+// crashed, or the budget ran out mid-chain — the search does NOT return
+// an error: it returns the partial trace with Incomplete set and the
+// failed branch recorded in Unresolved, because a degraded answer
+// ("found these interactions, could not resolve that branch") is more
+// useful than none. Index-semantic misses (ErrNotFound) remain errors.
+func (s *Searcher) FindCtx(ctx context.Context, q, target xpath.Query) (trace Trace, err error) {
 	if q.IsZero() || target.IsZero() {
 		return trace, xpath.ErrEmptyQuery
 	}
@@ -109,14 +140,20 @@ func (s *Searcher) Find(q, target xpath.Query) (trace Trace, err error) {
 
 	for depth := 0; depth < s.maxDepth(); depth++ {
 		start := time.Now()
-		resp, lerr := s.svc.Lookup(current)
+		resp, lerr := s.svc.LookupCtx(ctx, current)
 		lat := time.Since(start).Microseconds()
 		if lerr != nil {
 			at.Hop(telemetry.TraceHop{
 				Kind: "index", Key: current.String(),
 				LatencyMicros: lat, Err: lerr.Error(),
 			})
-			return trace, lerr
+			// Lookup errors are transport-level (dead hop, spent budget):
+			// degrade to a partial result instead of erroring out.
+			trace.Incomplete = true
+			trace.Unresolved = append(trace.Unresolved, Unresolved{
+				Query: current.String(), Reason: lerr.Error(),
+			})
+			return trace, nil
 		}
 		var hit xpath.Query
 		if !current.Equal(target) {
@@ -173,9 +210,14 @@ func (s *Searcher) Find(q, target xpath.Query) (trace Trace, err error) {
 		// matching the same query) no longer errors.
 		if depth == 0 {
 			trace.NonIndexed = len(resp.Index) == 0 && len(resp.Cached) == 0
-			gen, resp, ok, gerr := s.generalize(&trace, at, q, target)
+			gen, resp, ok, gerr := s.generalize(ctx, &trace, at, q, target)
 			if gerr != nil {
-				return trace, gerr
+				// A failed generalization probe is transport-level too.
+				trace.Incomplete = true
+				trace.Unresolved = append(trace.Unresolved, Unresolved{
+					Query: q.String(), Reason: gerr.Error(),
+				})
+				return trace, nil
 			}
 			if ok {
 				path = append(path, visit{query: gen, node: resp.Node})
@@ -231,13 +273,13 @@ func responseCost(resp Response, hit xpath.Query) int64 {
 // failed original lookup already cost one interaction, and each candidate
 // probe costs one more — matching the paper's "one extra interaction is
 // generally necessary (two in a few rare cases)".
-func (s *Searcher) generalize(trace *Trace, at *telemetry.Active, q, target xpath.Query) (xpath.Query, Response, bool, error) {
+func (s *Searcher) generalize(ctx context.Context, trace *Trace, at *telemetry.Active, q, target xpath.Query) (xpath.Query, Response, bool, error) {
 	for _, g := range q.Generalizations() {
 		if !g.Covers(target) {
 			continue
 		}
 		start := time.Now()
-		resp, err := s.svc.Lookup(g)
+		resp, err := s.svc.LookupCtx(ctx, g)
 		lat := time.Since(start).Microseconds()
 		if err != nil {
 			at.Hop(telemetry.TraceHop{

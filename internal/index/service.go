@@ -13,6 +13,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,6 +82,7 @@ type svcTelemetry struct {
 	evictions    *telemetry.Counter
 	genProbes    *telemetry.Counter
 	nonIndexed   *telemetry.Counter
+	incomplete   *telemetry.Counter
 	interactions *telemetry.Histogram
 }
 
@@ -118,6 +120,9 @@ func (t *svcTelemetry) recordFind(trace Trace, err error) {
 	t.genProbes.Add(int64(trace.GeneralizationProbes))
 	if trace.NonIndexed {
 		t.nonIndexed.Inc()
+	}
+	if trace.Incomplete {
+		t.incomplete.Inc()
 	}
 	if err != nil || !trace.Found {
 		t.findFailures.Inc()
@@ -173,6 +178,8 @@ func (s *Service) Instrument(reg *telemetry.Registry, labels ...telemetry.Label)
 			"Generalization candidates looked up by the fallback.", labels...),
 		nonIndexed: reg.Counter("index_non_indexed_queries_total",
 			"Queries absent from every index (Table I's recoverable errors).", labels...),
+		incomplete: reg.Counter("index_incomplete_lookups_total",
+			"Searches degraded to a partial result because a hop failed inside the budget.", labels...),
 		interactions: reg.Histogram("index_interactions_per_query",
 			"User-system interaction rounds per successful search (Fig. 11).",
 			telemetry.InteractionBuckets, labels...),
@@ -259,8 +266,27 @@ type Response struct {
 // cache shortcuts, and data. This is the paper's "lookup(q)" primitive
 // plus the publication-layer read.
 func (s *Service) Lookup(q xpath.Query) (Response, error) {
+	return s.LookupCtx(context.Background(), q)
+}
+
+// LookupCtx is Lookup bounded by the caller's deadline budget. When the
+// substrate implements overlay.ContextNetwork the budget is threaded all
+// the way into its retry and failover machinery; otherwise an up-front
+// ctx check is the best that can be done. Any returned error is
+// transport-level (the substrate read is the only error source), which
+// is what lets the searcher degrade such failures to partial results.
+func (s *Service) LookupCtx(ctx context.Context, q xpath.Query) (Response, error) {
 	s.tel.recordLookup()
-	entries, route, err := s.net.Get(q.Key())
+	var (
+		entries []overlay.Entry
+		route   overlay.Route
+		err     error
+	)
+	if cn, ok := s.net.(overlay.ContextNetwork); ok {
+		entries, route, err = cn.GetCtx(ctx, q.Key())
+	} else if err = ctx.Err(); err == nil {
+		entries, route, err = s.net.Get(q.Key())
+	}
 	if err != nil {
 		return Response{}, fmt.Errorf("index: lookup %s: %w", q, err)
 	}

@@ -6,6 +6,8 @@
 package overlay
 
 import (
+	"context"
+
 	"dhtindex/internal/keyspace"
 )
 
@@ -57,4 +59,14 @@ type Network interface {
 	StatsOf(addr string) (NodeStats, error)
 	// Size returns the number of live nodes.
 	Size() int
+}
+
+// ContextNetwork is the optional deadline-aware extension of Network.
+// A substrate that implements it threads the caller's budget through its
+// reads, so retries, failover probes and backoff sleeps stop the moment
+// the budget is spent. Callers type-assert: substrates without it get a
+// best-effort up-front ctx check instead.
+type ContextNetwork interface {
+	// GetCtx is Get bounded by ctx.
+	GetCtx(ctx context.Context, key keyspace.Key) ([]Entry, Route, error)
 }

@@ -10,10 +10,13 @@
 package soak
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"dhtindex/internal/cache"
 	"dhtindex/internal/dataset"
+	"dhtindex/internal/descriptor"
 	"dhtindex/internal/index"
 	"dhtindex/internal/telemetry"
 	"dhtindex/internal/wire"
@@ -26,9 +29,20 @@ import (
 // the wire storm itself is configured through Wire.
 type Config struct {
 	// Wire is the underlying churn-soak configuration (ring size, fault
-	// schedule, retry policy). Its Telemetry/Setup/OnOp hooks are owned
-	// by this package and must be left nil.
+	// schedule, retry policy). Its Telemetry/Setup/OnOp/PostStorm hooks
+	// are owned by this package and must be left nil.
 	Wire wire.SoakConfig
+	// Repair turns the run into the self-healing soak: fresh nodes join
+	// and members leave gracefully during the storm (on top of crashes),
+	// the per-peer circuit breaker is armed, post-storm replica coverage
+	// is verified back to 100% (wire.SoakReport.ReplicaViolations), and
+	// a degraded-lookup probe crash-stops one key's entire replica set
+	// and asserts a search through it returns a partial result flagged
+	// Incomplete within the deadline budget instead of an error.
+	Repair bool
+	// ProbeBudget is the deadline budget of the repair mode's degraded-
+	// lookup probe (default 3s).
+	ProbeBudget time.Duration
 	// Articles is the corpus size published over the ring before the
 	// storm starts (default 24).
 	Articles int
@@ -69,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.LRUCapacity == 0 {
 		c.LRUCapacity = 30
 	}
+	if c.ProbeBudget == 0 {
+		c.ProbeBudget = 3 * time.Second
+	}
 	return c
 }
 
@@ -96,6 +113,27 @@ type Report struct {
 	// Traces is the number of LookupTrace records emitted (one per
 	// lookup, found or not).
 	Traces int
+	// IncompleteProbe is the degraded-lookup probe's outcome (Repair
+	// mode only; Ran is false otherwise).
+	IncompleteProbe ProbeResult
+}
+
+// ProbeResult is the outcome of the repair mode's degraded-lookup probe:
+// a search issued while one key's whole replica set is crash-stopped.
+type ProbeResult struct {
+	// Ran reports whether the probe executed.
+	Ran bool
+	// Incomplete reports whether the search degraded to a partial result
+	// (the required outcome) rather than erroring or fully succeeding.
+	Incomplete bool
+	// Unresolved is the number of branches the degraded search reported
+	// as unreachable.
+	Unresolved int
+	// Crashed is the number of nodes crash-stopped for the probe.
+	Crashed int
+	// Elapsed is how long the probe's search took; it must stay within
+	// the deadline budget.
+	Elapsed time.Duration
 }
 
 // Run executes the indexed churn soak. The error is non-nil only for
@@ -126,6 +164,25 @@ func Run(cfg Config) (Report, error) {
 	var searcher *index.Searcher
 	wcfg := cfg.Wire
 	wcfg.Telemetry = cfg.Telemetry
+	if cfg.Repair {
+		ops := wcfg.Ops
+		if ops == 0 {
+			ops = 150 // mirror wire.SoakConfig's default
+		}
+		if wcfg.JoinEvery == 0 {
+			wcfg.JoinEvery = ops / 4
+		}
+		if wcfg.LeaveEvery == 0 {
+			wcfg.LeaveEvery = ops / 3
+		}
+		if wcfg.Breaker == nil {
+			wcfg.Breaker = &wire.BreakerPolicy{Seed: wcfg.Seed + 9}
+		}
+		wcfg.VerifyReplicas = true
+		wcfg.PostStorm = func(c *wire.Cluster, ft *wire.FaultTransport) error {
+			return incompleteProbe(cfg, corpus.Articles[0], searcher, c, ft, &report.IncompleteProbe)
+		}
+	}
 	wcfg.Setup = func(c *wire.Cluster) error {
 		svc := index.New(c, cfg.Policy, cfg.LRUCapacity)
 		if cfg.Telemetry != nil {
@@ -162,4 +219,78 @@ func Run(cfg Config) (Report, error) {
 		return report, err
 	}
 	return report, nil
+}
+
+// incompleteProbe is the repair mode's degradation check, run by the
+// wire soak after the storm has healed and replica coverage has been
+// verified. It crash-stops the owner of one published article's MSD key
+// together with the whole failover window behind it, then issues a
+// directed search whose chain ends at that key under a deadline budget.
+// The required outcome is graceful degradation: a nil error, a trace
+// flagged Incomplete naming the unreachable branch, and a return within
+// the budget. The crashed nodes are restored before the probe returns.
+func incompleteProbe(cfg Config, target descriptor.Article, searcher *index.Searcher, c *wire.Cluster, ft *wire.FaultTransport, out *ProbeResult) error {
+	msd := dataset.MSD(target)
+	key := msd.Key()
+	route, err := c.FindOwner(key)
+	if err != nil {
+		return fmt.Errorf("probe: find owner of %s: %w", msd, err)
+	}
+	addrs := c.Addrs() // ring-ordered tracked members
+	idx := -1
+	for i, a := range addrs {
+		if a == route.Node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("probe: owner %s not tracked", route.Node)
+	}
+	// Crash the owner, its replica set, and the failover slack slot — the
+	// whole window a degraded read would otherwise fall back through.
+	rf := cfg.Wire.ReplicationFactor
+	if rf == 0 {
+		rf = 2 // mirror wire.SoakConfig's default
+	}
+	crashN := rf + 2
+	if crashN > len(addrs)-1 {
+		crashN = len(addrs) - 1 // always leave a live node to search from
+	}
+	crashed := make([]string, 0, crashN)
+	for i := 0; i < crashN; i++ {
+		a := addrs[(idx+i)%len(addrs)]
+		ft.Crash(a)
+		crashed = append(crashed, a)
+	}
+	defer func() {
+		for _, a := range crashed {
+			ft.Restore(a)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.ProbeBudget)
+	defer cancel()
+	start := time.Now()
+	trace, err := searcher.FindCtx(ctx, dataset.AuthorQuery(target.AuthorFirst, target.AuthorLast), msd)
+	elapsed := time.Since(start)
+	*out = ProbeResult{
+		Ran:        true,
+		Incomplete: trace.Incomplete,
+		Unresolved: len(trace.Unresolved),
+		Crashed:    len(crashed),
+		Elapsed:    elapsed,
+	}
+	if err != nil {
+		return fmt.Errorf("probe: search through crash-stopped replica set must degrade, not error: %w", err)
+	}
+	if !trace.Incomplete {
+		return fmt.Errorf("probe: search did not degrade (found=%v) with %d nodes crash-stopped", trace.Found, len(crashed))
+	}
+	// Grace on top of the budget: the ctx stops retries, not an RPC
+	// already on the wire.
+	if elapsed > cfg.ProbeBudget+2*time.Second {
+		return fmt.Errorf("probe: degraded search took %v, budget %v", elapsed, cfg.ProbeBudget)
+	}
+	return nil
 }

@@ -104,3 +104,70 @@ func TestIndexedSoakTracesComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexedRepairSoak runs the self-healing variant end-to-end: churn
+// with joins/leaves/crashes, breaker armed, post-storm replica coverage
+// verified back to 100%, and the degraded-lookup probe asserting a
+// search through a crash-stopped replica set returns a partial result
+// flagged Incomplete within its budget instead of an error.
+func TestIndexedRepairSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("indexed soak is a multi-second live-ring test")
+	}
+	reg := telemetry.NewRegistry()
+	report, err := soak.Run(soak.Config{
+		Wire: wire.SoakConfig{
+			Nodes:      10,
+			Ops:        80,
+			Seed:       23,
+			DropProb:   0.08,
+			Latency:    2 * time.Millisecond,
+			CrashEvery: 35,
+		},
+		Repair:       true,
+		Articles:     12,
+		QueriesPerOp: 1,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Converged || len(report.LostKeys) > 0 {
+		t.Fatalf("ring misbehaved: converged=%v lost=%v", report.Converged, report.LostKeys)
+	}
+	if len(report.ReplicaViolations) > 0 {
+		t.Fatalf("replica coverage did not return to 100%%: %v", report.ReplicaViolations)
+	}
+	if report.Joins == 0 || report.Leaves == 0 {
+		t.Errorf("repair-mode churn incomplete: joins=%d leaves=%d", report.Joins, report.Leaves)
+	}
+	if report.Repair.Pushes == 0 {
+		t.Errorf("repair loop pushed nothing under churn: %+v", report.Repair)
+	}
+	p := report.IncompleteProbe
+	if !p.Ran || !p.Incomplete || p.Crashed == 0 {
+		t.Fatalf("incomplete probe = %+v, want a degraded lookup through crashed nodes", p)
+	}
+	if p.Elapsed > 5*time.Second {
+		t.Errorf("probe took %v, want within the deadline budget", p.Elapsed)
+	}
+
+	// The new robustness metric families must be in the snapshot.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := sb.String()
+	for _, family := range []string{
+		"wire_repair_rounds_total",
+		"wire_repair_pushes_total",
+		"wire_repair_drops_total",
+		"wire_breaker_open",
+		"wire_hedged_gets_total",
+		"index_incomplete_lookups_total",
+	} {
+		if !strings.Contains(snapshot, family) {
+			t.Errorf("snapshot missing %s", family)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"dhtindex/internal/telemetry"
+)
+
+// BreakerPolicy parameterizes the per-peer circuit breaker in the retry
+// layer. A peer whose calls fail Threshold times in a row has its
+// circuit opened: further calls to it fail fast with ErrCircuitOpen
+// instead of re-spending the full retry budget on every hop through a
+// dead node. While open, seeded half-open probes (probability ProbeProb
+// per call, and always once Cooldown has elapsed since the circuit
+// opened or last probed) let a recovered peer close its circuit again.
+// The zero value is usable — defaults are applied on first use.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failed calls that opens the
+	// circuit (default 5).
+	Threshold int
+	// ProbeProb is the probability an open circuit lets a half-open
+	// probe through, in [0,1] (default 0.125). Probes are driven by the
+	// policy's seeded RNG, so fault schedules stay reproducible. A
+	// negative value disables random probes entirely — only the Cooldown
+	// path half-opens the circuit (useful in tests).
+	ProbeProb float64
+	// Cooldown is the open duration after which a probe is always
+	// allowed, bounding how long a recovered peer waits for the dice
+	// (default 500ms).
+	Cooldown time.Duration
+	// Seed makes the probe sequence reproducible.
+	Seed int64
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = 5
+	}
+	if p.ProbeProb == 0 {
+		p.ProbeProb = 0.125
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = 500 * time.Millisecond
+	}
+	return p
+}
+
+// BreakerStats is a point-in-time snapshot of the breaker layer's work.
+// The live counters behind it are atomic, so snapshots are race-free.
+type BreakerStats struct {
+	// Trips counts circuits opened (consecutive failures hit Threshold).
+	Trips int64
+	// FastFails counts calls refused without touching the wire because
+	// the peer's circuit was open.
+	FastFails int64
+	// Probes counts half-open probe calls let through an open circuit.
+	Probes int64
+	// Closes counts circuits closed again by a successful probe.
+	Closes int64
+	// Open is the number of circuits currently open.
+	Open int64
+}
+
+// Merge accumulates another snapshot into s (for fleet-wide totals).
+func (s *BreakerStats) Merge(o BreakerStats) {
+	s.Trips += o.Trips
+	s.FastFails += o.FastFails
+	s.Probes += o.Probes
+	s.Closes += o.Closes
+	s.Open += o.Open
+}
+
+// breakerState tracks one peer's circuit.
+type breakerState struct {
+	fails    int  // consecutive failures while closed
+	open     bool // circuit open: fail fast, probe occasionally
+	lastOpen time.Time
+}
+
+// breakerSet is the per-transport collection of peer circuits.
+type breakerSet struct {
+	policy BreakerPolicy
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	peers map[string]*breakerState
+
+	trips     *telemetry.Counter
+	fastFails *telemetry.Counter
+	probes    *telemetry.Counter
+	closes    *telemetry.Counter
+}
+
+func newBreakerSet(policy BreakerPolicy) *breakerSet {
+	policy = policy.withDefaults()
+	return &breakerSet{
+		policy: policy,
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+		peers:  make(map[string]*breakerState),
+		trips: telemetry.NewCounter("wire_breaker_trips_total",
+			"Peer circuits opened after consecutive call failures."),
+		fastFails: telemetry.NewCounter("wire_breaker_fast_fails_total",
+			"Calls refused without a wire send because the peer's circuit was open."),
+		probes: telemetry.NewCounter("wire_breaker_probes_total",
+			"Half-open probe calls let through an open circuit."),
+		closes: telemetry.NewCounter("wire_breaker_closes_total",
+			"Circuits closed again by a successful probe."),
+	}
+}
+
+// allow reports whether a call to addr may proceed. A false return means
+// the circuit is open and no probe was drawn — the caller must fail fast.
+func (b *breakerSet) allow(addr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.peers[addr]
+	if st == nil || !st.open {
+		return true
+	}
+	if b.rng.Float64() < b.policy.ProbeProb || time.Since(st.lastOpen) >= b.policy.Cooldown {
+		st.lastOpen = time.Now() // space cooldown-driven probes apart
+		b.probes.Inc()
+		return true
+	}
+	b.fastFails.Inc()
+	return false
+}
+
+// onResult records a completed call's outcome (after retries) for addr.
+func (b *breakerSet) onResult(addr string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.peers[addr]
+	if err == nil {
+		if st != nil {
+			if st.open {
+				b.closes.Inc()
+			}
+			delete(b.peers, addr)
+		}
+		return
+	}
+	if st == nil {
+		st = &breakerState{}
+		b.peers[addr] = st
+	}
+	if st.open {
+		st.lastOpen = time.Now()
+		return
+	}
+	st.fails++
+	if st.fails >= b.policy.Threshold {
+		st.open = true
+		st.lastOpen = time.Now()
+		b.trips.Inc()
+	}
+}
+
+// openCount returns the number of circuits currently open.
+func (b *breakerSet) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int64
+	for _, st := range b.peers {
+		if st.open {
+			n++
+		}
+	}
+	return n
+}
+
+// stats returns a snapshot of the breaker counters.
+func (b *breakerSet) stats() BreakerStats {
+	return BreakerStats{
+		Trips:     b.trips.Value(),
+		FastFails: b.fastFails.Value(),
+		Probes:    b.probes.Value(),
+		Closes:    b.closes.Value(),
+		Open:      b.openCount(),
+	}
+}
+
+// instrument attaches the breaker counters and the open-circuit gauge to
+// reg. Several breaker sets (one per node) may attach to one registry;
+// the snapshot then reports fleet-wide sums.
+func (b *breakerSet) instrument(reg *telemetry.Registry) {
+	reg.Attach(b.trips, b.fastFails, b.probes, b.closes)
+	reg.GaugeFunc("wire_breaker_open",
+		"Peer circuits currently open (fleet-wide when several nodes attach).",
+		func() float64 { return float64(b.openCount()) })
+}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyTransport is a scriptable Transport: it fails every Call while
+// failing is set and counts the wire sends that actually reach it, so
+// tests can prove a fast-fail never touched the network.
+type flakyTransport struct {
+	mu      sync.Mutex
+	failing bool
+	calls   int
+}
+
+func (f *flakyTransport) Call(addr string, req Message) (Message, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failing {
+		return Message{}, errors.New("flaky: down")
+	}
+	return Message{Op: req.Op, Ok: true}, nil
+}
+
+func (f *flakyTransport) Listen(addr string, handler Handler) (string, io.Closer, error) {
+	return addr, io.NopCloser(nil), nil
+}
+
+func (f *flakyTransport) setFailing(v bool) {
+	f.mu.Lock()
+	f.failing = v
+	f.mu.Unlock()
+}
+
+func (f *flakyTransport) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// noRetryPolicy keeps the breaker observable: one attempt per call, so
+// each logical failure is exactly one transport failure.
+func noRetryPolicy(b *BreakerPolicy) RetryPolicy {
+	return RetryPolicy{MaxAttempts: 1, Breaker: b}
+}
+
+func TestBreakerTripsAndFastFails(t *testing.T) {
+	ft := &flakyTransport{failing: true}
+	rt := NewRetryingTransport(ft, noRetryPolicy(&BreakerPolicy{
+		Threshold: 3,
+		ProbeProb: -1, // no random probes: only Cooldown can half-open
+		Cooldown:  time.Hour,
+	}))
+
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Call("peer-a", Message{Op: OpGet}); err == nil {
+			t.Fatalf("call %d: expected failure", i)
+		}
+	}
+	wire := ft.callCount()
+	if wire != 3 {
+		t.Fatalf("wire sends before trip = %d, want 3", wire)
+	}
+	if s := rt.BreakerStats(); s.Trips != 1 || s.Open != 1 {
+		t.Fatalf("after threshold: stats = %+v, want 1 trip and 1 open circuit", s)
+	}
+
+	// The circuit is open with an hour-long cooldown and no probes: the
+	// next calls must fast-fail with ErrCircuitOpen without a wire send.
+	for i := 0; i < 5; i++ {
+		_, err := rt.Call("peer-a", Message{Op: OpGet})
+		if !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("fast-fail %d: err = %v, want ErrCircuitOpen", i, err)
+		}
+	}
+	if got := ft.callCount(); got != wire {
+		t.Fatalf("wire sends grew %d -> %d during fast-fail window", wire, got)
+	}
+	if s := rt.BreakerStats(); s.FastFails != 5 {
+		t.Fatalf("FastFails = %d, want 5", s.FastFails)
+	}
+
+	// Other peers are unaffected: the breaker is per-peer.
+	ft.setFailing(false)
+	if _, err := rt.Call("peer-b", Message{Op: OpGet}); err != nil {
+		t.Fatalf("healthy peer blocked by another peer's circuit: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	ft := &flakyTransport{failing: true}
+	rt := NewRetryingTransport(ft, noRetryPolicy(&BreakerPolicy{
+		Threshold: 2,
+		ProbeProb: 1, // every allowed call through an open circuit is a probe
+		Cooldown:  time.Hour,
+	}))
+
+	for i := 0; i < 2; i++ {
+		rt.Call("peer-a", Message{Op: OpGet})
+	}
+	if s := rt.BreakerStats(); s.Open != 1 {
+		t.Fatalf("circuit not open after threshold: %+v", s)
+	}
+
+	// Still failing: the probe goes to the wire and fails, circuit stays
+	// open.
+	before := ft.callCount()
+	if _, err := rt.Call("peer-a", Message{Op: OpGet}); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe should reach the wire and fail, got %v", err)
+	}
+	if ft.callCount() != before+1 {
+		t.Fatalf("probe did not reach the wire")
+	}
+	if s := rt.BreakerStats(); s.Open != 1 || s.Probes == 0 {
+		t.Fatalf("after failed probe: %+v, want circuit still open with probes counted", s)
+	}
+
+	// Peer heals: the next probe succeeds and closes the circuit.
+	ft.setFailing(false)
+	if _, err := rt.Call("peer-a", Message{Op: OpGet}); err != nil {
+		t.Fatalf("healed probe failed: %v", err)
+	}
+	s := rt.BreakerStats()
+	if s.Open != 0 || s.Closes != 1 {
+		t.Fatalf("after healed probe: %+v, want closed circuit", s)
+	}
+	// And normal traffic flows again without fast-fails.
+	fastFails := s.FastFails
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Call("peer-a", Message{Op: OpGet}); err != nil {
+			t.Fatalf("post-close call %d failed: %v", i, err)
+		}
+	}
+	if s := rt.BreakerStats(); s.FastFails != fastFails {
+		t.Fatalf("fast-fails grew after close: %+v", s)
+	}
+}
+
+func TestBreakerCooldownAllowsProbe(t *testing.T) {
+	ft := &flakyTransport{failing: true}
+	rt := NewRetryingTransport(ft, noRetryPolicy(&BreakerPolicy{
+		Threshold: 2,
+		ProbeProb: -1, // cooldown is the only path to half-open
+		Cooldown:  10 * time.Millisecond,
+	}))
+	for i := 0; i < 2; i++ {
+		rt.Call("peer-a", Message{Op: OpGet})
+	}
+	if _, err := rt.Call("peer-a", Message{Op: OpGet}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("inside cooldown: err = %v, want ErrCircuitOpen", err)
+	}
+	ft.setFailing(false)
+	time.Sleep(20 * time.Millisecond)
+	if _, err := rt.Call("peer-a", Message{Op: OpGet}); err != nil {
+		t.Fatalf("post-cooldown probe failed: %v", err)
+	}
+	if s := rt.BreakerStats(); s.Open != 0 || s.Closes != 1 {
+		t.Fatalf("circuit did not close after cooldown probe: %+v", s)
+	}
+}
+
+func TestBreakerIgnoresSpentBudget(t *testing.T) {
+	ft := &flakyTransport{failing: true}
+	rt := NewRetryingTransport(ft, noRetryPolicy(&BreakerPolicy{
+		Threshold: 2,
+		ProbeProb: -1,
+		Cooldown:  time.Hour,
+	}))
+	// Calls that die because the CALLER's budget expired must not count
+	// against the peer.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := rt.CallCtx(ctx, "peer-a", Message{Op: OpGet}); err == nil {
+			t.Fatalf("expected ctx error")
+		}
+	}
+	if s := rt.BreakerStats(); s.Trips != 0 || s.Open != 0 {
+		t.Fatalf("spent budget tripped the breaker: %+v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -12,6 +13,12 @@ import (
 	"dhtindex/internal/telemetry"
 )
 
+// entryAttempts bounds how many entry points FindOwner tries before
+// giving up on routing. This is bootstrap redundancy, deliberately
+// independent of the replication factor: even an unreplicated ring wants
+// a second entry point when the first tracked member just crashed.
+const entryAttempts = 3
+
 // Cluster adapts a set of live wire nodes to the overlay contract, so the
 // indexing layer runs unchanged over a real message-passing network. The
 // cluster tracks member addresses (the deployment's bootstrap knowledge);
@@ -20,9 +27,17 @@ import (
 type Cluster struct {
 	transport Transport
 	ttl       int
-	// failoverWidth bounds how many ring members past the owner a read
-	// will try before giving up.
-	failoverWidth int
+	// replication mirrors the ring's Config.ReplicationFactor: reads
+	// fail over across exactly the owner's replication successors (the
+	// set writes fan out to, plus one slot of post-Leave migration
+	// slack) and removes sweep the same window.
+	replication int
+
+	// HedgeDelay, when positive, fires a hedged replica Get if the owner
+	// has not answered within the delay. Zero derives the delay from the
+	// caller's context deadline (half the remaining budget); with neither
+	// set, reads are unhedged. Set before serving traffic.
+	HedgeDelay time.Duration
 
 	mu    sync.Mutex
 	addrs []string
@@ -31,6 +46,8 @@ type Cluster struct {
 	ownerReadFailures *telemetry.Counter
 	failoverReads     *telemetry.Counter
 	entryRetries      *telemetry.Counter
+	hedgedGets        *telemetry.Counter
+	hedgeWins         *telemetry.Counter
 	// hops and rpcLatency are nil until Instrument is called; observing
 	// on nil histograms is a no-op, so the hot paths stay unconditional.
 	hops       *telemetry.Histogram
@@ -50,23 +67,39 @@ type ClusterMetrics struct {
 	// EntryRetries counts FindOwner attempts that had to switch to
 	// another entry point because the first was unreachable.
 	EntryRetries int64
+	// HedgedGets counts reads that fired a hedged replica Get because
+	// the owner was slow past the hedge delay.
+	HedgedGets int64
+	// HedgeWins counts hedged reads where the replica answered first.
+	HedgeWins int64
 }
 
-var _ overlay.Network = (*Cluster)(nil)
+var (
+	_ overlay.Network        = (*Cluster)(nil)
+	_ overlay.ContextNetwork = (*Cluster)(nil)
+)
 
-// NewCluster creates a cluster handle over the transport.
-func NewCluster(transport Transport, seed int64) *Cluster {
+// NewCluster creates a cluster handle over the transport. replication
+// must equal the ring nodes' Config.ReplicationFactor — it sizes the
+// read-failover and remove-sweep window, so passing the write fan-out
+// here is what keeps the two from ever disagreeing (0 for an
+// unreplicated ring).
+func NewCluster(transport Transport, seed int64, replication int) *Cluster {
 	return &Cluster{
-		transport:     transport,
-		ttl:           64,
-		failoverWidth: 3,
-		rng:           rand.New(rand.NewSource(seed)),
+		transport:   transport,
+		ttl:         64,
+		replication: replication,
+		rng:         rand.New(rand.NewSource(seed)),
 		ownerReadFailures: telemetry.NewCounter("wire_owner_read_failures_total",
 			"Gets whose routed owner could not serve."),
 		failoverReads: telemetry.NewCounter("wire_failover_reads_total",
 			"Gets answered by a replica instead of the owner."),
 		entryRetries: telemetry.NewCounter("wire_entry_retries_total",
 			"FindOwner attempts that switched entry points after an unreachable member."),
+		hedgedGets: telemetry.NewCounter("wire_hedged_gets_total",
+			"Reads that fired a hedged replica Get because the owner was slow."),
+		hedgeWins: telemetry.NewCounter("wire_hedge_wins_total",
+			"Hedged reads where the replica answered before the owner."),
 	}
 }
 
@@ -76,7 +109,7 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Attach(c.ownerReadFailures, c.failoverReads, c.entryRetries)
+	reg.Attach(c.ownerReadFailures, c.failoverReads, c.entryRetries, c.hedgedGets, c.hedgeWins)
 	c.mu.Lock()
 	c.hops = reg.Histogram("dht_lookup_hops",
 		"Routing hops taken to resolve the owner of a key.", telemetry.HopBuckets)
@@ -85,18 +118,38 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	c.mu.Unlock()
 }
 
+// ctxCaller is the optional transport extension for deadline-aware
+// calls. RetryingTransport implements it; plain transports are wrapped
+// with an up-front ctx check instead (their in-flight sends are
+// synchronous and cannot be interrupted anyway).
+type ctxCaller interface {
+	CallCtx(ctx context.Context, addr string, req Message) (Message, error)
+}
+
 // call issues one RPC through the transport, timing it into the RPC
 // latency histogram when the cluster is instrumented.
 func (c *Cluster) call(addr string, req Message) (Message, error) {
+	return c.callCtx(context.Background(), addr, req)
+}
+
+// callCtx is call with a deadline budget: the context is passed through
+// to the retry layer when the transport supports it, so retries and
+// their backoff sleeps stop the moment the caller's budget runs out.
+func (c *Cluster) callCtx(ctx context.Context, addr string, req Message) (Message, error) {
 	c.mu.Lock()
 	lat := c.rpcLatency
 	c.mu.Unlock()
-	if lat == nil {
-		return c.transport.Call(addr, req)
-	}
 	start := time.Now()
-	resp, err := c.transport.Call(addr, req)
-	lat.Observe(time.Since(start).Seconds())
+	var resp Message
+	var err error
+	if cc, ok := c.transport.(ctxCaller); ok {
+		resp, err = cc.CallCtx(ctx, addr, req)
+	} else if err = ctx.Err(); err == nil {
+		resp, err = c.transport.Call(addr, req)
+	}
+	if lat != nil {
+		lat.Observe(time.Since(start).Seconds())
+	}
 	return resp, err
 }
 
@@ -106,6 +159,8 @@ func (c *Cluster) Metrics() ClusterMetrics {
 		OwnerReadFailures: c.ownerReadFailures.Value(),
 		FailoverReads:     c.failoverReads.Value(),
 		EntryRetries:      c.entryRetries.Value(),
+		HedgedGets:        c.hedgedGets.Value(),
+		HedgeWins:         c.hedgeWins.Value(),
 	}
 }
 
@@ -147,17 +202,29 @@ func (c *Cluster) entry() (string, error) {
 }
 
 // FindOwner routes to the node responsible for key. An unreachable
-// entry point is not fatal: up to failoverWidth members are tried, so a
+// entry point is not fatal: up to entryAttempts members are tried, so a
 // lookup survives routing through a cluster whose member list includes
 // freshly-crashed nodes.
 func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
+	return c.FindOwnerCtx(context.Background(), key)
+}
+
+// FindOwnerCtx is FindOwner with a deadline budget: entry-point retries
+// stop once ctx is done.
+func (c *Cluster) FindOwnerCtx(ctx context.Context, key keyspace.Key) (overlay.Route, error) {
 	var firstErr error
-	for attempt := 0; attempt < c.failoverWidth; attempt++ {
+	for attempt := 0; attempt < entryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		via, err := c.entry()
 		if err != nil {
 			return overlay.Route{}, err
 		}
-		resp, err := c.call(via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
+		resp, err := c.callCtx(ctx, via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
 		if err == nil {
 			if rerr := remoteError(resp); rerr != nil {
 				return overlay.Route{}, rerr
@@ -202,42 +269,138 @@ func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) 
 // ring pushes copies to. This is the live-wire analogue of the
 // simulation's replica failover (FailoverReads).
 func (c *Cluster) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
-	route, err := c.FindOwner(key)
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx implements overlay.ContextNetwork: Get with a deadline budget.
+// The budget is threaded through routing, the owner read, and failover
+// reads, so a recursive multi-hop search stops burning retries on a
+// dead hop the moment its budget is spent. With a deadline (or an
+// explicit HedgeDelay) set, a slow owner also triggers a hedged replica
+// Get — first answer wins.
+func (c *Cluster) GetCtx(ctx context.Context, key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
+	route, err := c.FindOwnerCtx(ctx, key)
 	if err == nil {
-		resp, cerr := c.call(route.Node, Message{Op: OpGet, Key: key})
-		if cerr == nil {
-			if rerr := remoteError(resp); rerr != nil {
-				return nil, overlay.Route{}, rerr
-			}
-			entries := resp.Entries
-			if len(entries) == 0 {
-				entries = nil
-			}
-			return entries, route, nil
+		entries, sroute, gerr := c.hedgedGet(ctx, key, route)
+		if gerr == nil {
+			return entries, sroute, nil
 		}
-		err = cerr
+		err = gerr
 	}
-	entries, froute, ferr := c.failoverGet(key, route.Node)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, route, cerr
+	}
+	entries, froute, ferr := c.failoverGet(ctx, key, route.Node)
 	if ferr != nil {
 		return nil, route, err
 	}
 	return entries, froute, nil
 }
 
-// failoverGet reads key from the tracked members clockwise from the
-// key's ideal owner, skipping the member that already failed. It returns
-// the first successful replica's answer.
-func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry, overlay.Route, error) {
-	addrs := c.Addrs() // ring order
-	if len(addrs) == 0 {
-		return nil, overlay.Route{}, fmt.Errorf("wire: cluster has no members")
+// hedgedGet reads key from the routed owner, racing a hedged replica
+// read if the owner has not answered within the hedge delay. Without a
+// delay (no deadline, no HedgeDelay) it is a plain owner read.
+func (c *Cluster) hedgedGet(ctx context.Context, key keyspace.Key, route overlay.Route) ([]overlay.Entry, overlay.Route, error) {
+	delay := c.hedgeDelay(ctx)
+	if delay <= 0 {
+		resp, err := c.callCtx(ctx, route.Node, Message{Op: OpGet, Key: key})
+		if err != nil {
+			return nil, overlay.Route{}, err
+		}
+		if rerr := remoteError(resp); rerr != nil {
+			return nil, overlay.Route{}, rerr
+		}
+		return trimEntries(resp.Entries), route, nil
 	}
-	c.ownerReadFailures.Inc()
-	c.mu.Lock()
-	width := c.failoverWidth
-	c.mu.Unlock()
-	// Start at the ideal owner's position: its clockwise followers hold
-	// the replicas.
+	type result struct {
+		entries []overlay.Entry
+		node    string
+		err     error
+	}
+	// Buffered so a losing read's goroutine can deliver and exit even
+	// after the winner returned (transports cannot cancel in-flight
+	// sends).
+	ch := make(chan result, 2)
+	read := func(addr string) {
+		resp, err := c.callCtx(ctx, addr, Message{Op: OpGet, Key: key})
+		if err == nil {
+			err = remoteError(resp)
+		}
+		ch <- result{entries: trimEntries(resp.Entries), node: addr, err: err}
+	}
+	go read(route.Node)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.node == route.Node {
+					return r.entries, route, nil
+				}
+				c.hedgeWins.Inc()
+				return r.entries, overlay.Route{Node: r.node, Hops: route.Hops + 1}, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, overlay.Route{}, firstErr
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			if peer := c.hedgePeer(key, route.Node); peer != "" {
+				c.hedgedGets.Inc()
+				outstanding++
+				go read(peer)
+			}
+		case <-ctx.Done():
+			return nil, overlay.Route{}, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay resolves how long to wait for the owner before hedging.
+func (c *Cluster) hedgeDelay(ctx context.Context) time.Duration {
+	if c.HedgeDelay > 0 {
+		return c.HedgeDelay
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			return rem / 2
+		}
+	}
+	return 0
+}
+
+// hedgePeer picks the first tracked follower of key other than the
+// owner — the first replica a hedged read should try ("" when the
+// cluster has no other member or replication is off).
+func (c *Cluster) hedgePeer(key keyspace.Key, owner string) string {
+	if c.replication == 0 {
+		return ""
+	}
+	if cands := c.replicaFollowers(key, owner, 1); len(cands) > 0 {
+		return cands[0]
+	}
+	return ""
+}
+
+// replicaFollowers returns up to max tracked members clockwise from
+// key's ideal owner position, excluding exclude: the window a
+// replicating ring pushes copies to.
+func (c *Cluster) replicaFollowers(key keyspace.Key, exclude string, max int) []string {
+	addrs := c.Addrs() // ring order
+	if len(addrs) == 0 || max <= 0 {
+		return nil
+	}
 	start := 0
 	for i, addr := range addrs {
 		if idOf(addr).Cmp(key) >= 0 {
@@ -245,15 +408,42 @@ func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry,
 			break
 		}
 	}
-	tried := 0
-	var lastErr error = ErrUnreachable
-	for i := 0; i < len(addrs) && tried <= width; i++ {
+	out := make([]string, 0, max)
+	for i := 0; i < len(addrs) && len(out) < max; i++ {
 		cand := addrs[(start+i)%len(addrs)]
-		if cand == failed {
+		if cand == exclude {
 			continue
 		}
-		tried++
-		resp, err := c.call(cand, Message{Op: OpGet, Key: key})
+		out = append(out, cand)
+	}
+	return out
+}
+
+// trimEntries normalizes an empty wire slice to nil.
+func trimEntries(entries []overlay.Entry) []overlay.Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	return entries
+}
+
+// failoverGet reads key from the tracked members clockwise from the
+// key's ideal owner, skipping the member that already failed. The
+// window is replication+1 candidates — the replica set plus one slot of
+// post-Leave migration slack. It returns the first successful replica's
+// answer.
+func (c *Cluster) failoverGet(ctx context.Context, key keyspace.Key, failed string) ([]overlay.Entry, overlay.Route, error) {
+	cands := c.replicaFollowers(key, failed, c.replication+1)
+	if len(cands) == 0 {
+		return nil, overlay.Route{}, fmt.Errorf("wire: cluster has no members")
+	}
+	c.ownerReadFailures.Inc()
+	var lastErr error = ErrUnreachable
+	for i, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, overlay.Route{}, err
+		}
+		resp, err := c.callCtx(ctx, cand, Message{Op: OpGet, Key: key})
 		if err != nil {
 			lastErr = err
 			continue
@@ -263,16 +453,16 @@ func (c *Cluster) failoverGet(key keyspace.Key, failed string) ([]overlay.Entry,
 			continue
 		}
 		c.failoverReads.Inc()
-		entries := resp.Entries
-		if len(entries) == 0 {
-			entries = nil
-		}
-		return entries, overlay.Route{Node: cand, Hops: tried}, nil
+		return trimEntries(resp.Entries), overlay.Route{Node: cand, Hops: i + 1}, nil
 	}
 	return nil, overlay.Route{}, lastErr
 }
 
-// Remove implements overlay.Network.
+// Remove implements overlay.Network. The owner's handler already
+// propagates the delete to its CURRENT successors, but after churn the
+// key's tracked followers may not coincide with them — so the cluster
+// additionally sweeps the whole replica window best-effort, ensuring a
+// stale copy cannot be resurrected later by a failover read.
 func (c *Cluster) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
 	route, err := c.FindOwner(key)
 	if err != nil {
@@ -282,7 +472,13 @@ func (c *Cluster) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return resp.Ok, remoteError(resp)
+	if rerr := remoteError(resp); rerr != nil {
+		return resp.Ok, rerr
+	}
+	for _, cand := range c.replicaFollowers(key, route.Node, c.replication) {
+		_, _ = c.call(cand, Message{Op: OpRemoveReplica, Key: key, Entry: e})
+	}
+	return resp.Ok, nil
 }
 
 // Addrs implements overlay.Network (tracked members in ring order).

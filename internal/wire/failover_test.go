@@ -14,7 +14,7 @@ import (
 // top of the given base and waits for convergence.
 func startRingCfg(t *testing.T, transport func() Transport, count int, base Config) (*Cluster, []*Node) {
 	t.Helper()
-	cluster := NewCluster(transport(), 1)
+	cluster := NewCluster(transport(), 1, base.ReplicationFactor)
 	nodes := make([]*Node, 0, count)
 	var bootstrap string
 	for i := 0; i < count; i++ {

@@ -210,7 +210,7 @@ func TestFaultyRingSurvivesWithRetries(t *testing.T) {
 	ft := NewFaultTransport(NewMemTransport(), 5)
 	ft.SetDefaultRule(FaultRule{DropProb: 0.08})
 	policy := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 5}
-	cluster := NewCluster(NewRetryingTransport(ft, policy), 5)
+	cluster := NewCluster(NewRetryingTransport(ft, policy), 5, 0)
 	var bootstrap string
 	for i := 0; i < 6; i++ {
 		n, err := Start(Config{

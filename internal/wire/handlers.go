@@ -45,6 +45,8 @@ func (n *Node) handle(req Message) Message {
 		return Message{Op: req.Op, Ok: true}
 	case OpRemoveReplica:
 		return n.handleRemove(req)
+	case OpRepairSync:
+		return n.handleRepairSync(req)
 	case OpStats:
 		return n.handleStats(req)
 	default:

@@ -18,7 +18,7 @@ import (
 // stack, substrate included, exchanging real protocol messages.
 func TestIndexOverLiveRing(t *testing.T) {
 	transport := wire.NewMemTransport()
-	cluster := wire.NewCluster(transport, 1)
+	cluster := wire.NewCluster(transport, 1, 0)
 	var bootstrap string
 	for i := 0; i < 8; i++ {
 		n, err := wire.Start(wire.Config{Transport: transport, Addr: "mem:0"})
@@ -94,7 +94,7 @@ func TestIndexOverLiveRing(t *testing.T) {
 // gracefully.
 func TestIndexOverLiveRingSurvivesChurn(t *testing.T) {
 	transport := wire.NewMemTransport()
-	cluster := wire.NewCluster(transport, 1)
+	cluster := wire.NewCluster(transport, 1, 0)
 	nodes := make([]*wire.Node, 0, 10)
 	var bootstrap string
 	for i := 0; i < 10; i++ {

@@ -26,10 +26,17 @@ type Config struct {
 	// TTL bounds recursive routing (default 64).
 	TTL int
 	// ReplicationFactor is the number of successor replicas that receive
-	// copies of each stored entry (0 disables replication). Replicas are
-	// refreshed periodically by the maintenance loop, so data survives
-	// crashes once the ring re-stabilizes.
+	// copies of each stored entry (0 disables replication). Replica sets
+	// are continuously re-derived from the current ring by the
+	// anti-entropy repair loop, so data survives crashes once the ring
+	// re-stabilizes. The same value sizes the Cluster's read failover
+	// width, so reads always probe exactly the set writes fan out to.
 	ReplicationFactor int
+	// RepairEvery is the number of stabilize rounds between anti-entropy
+	// repair rounds (default 4). A repair round also fires immediately
+	// when the immediate successor changes, so a fresh successor is
+	// readable without waiting out the cadence.
+	RepairEvery int
 	// Retry, when set, wraps Transport in a RetryingTransport so every
 	// RPC this node issues (stabilization, routing, hand-offs) retries
 	// transient failures per the policy before a peer is declared dead.
@@ -55,6 +62,9 @@ func (c Config) withDefaults() Config {
 	if c.SuccFailThreshold == 0 {
 		c.SuccFailThreshold = 1
 	}
+	if c.RepairEvery == 0 {
+		c.RepairEvery = 4
+	}
 	return c
 }
 
@@ -65,7 +75,8 @@ type Node struct {
 	addr string
 	id   keyspace.Key
 
-	retry *RetryingTransport // non-nil iff cfg.Retry was set
+	retry  *RetryingTransport // non-nil iff cfg.Retry was set
+	repair repairCounters
 
 	mu        sync.Mutex
 	pred      string
@@ -94,9 +105,10 @@ func Start(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("wire: nil transport")
 	}
 	n := &Node{
-		cfg:   cfg,
-		store: make(map[keyspace.Key][]overlay.Entry),
-		stop:  make(chan struct{}),
+		cfg:    cfg,
+		store:  make(map[keyspace.Key][]overlay.Entry),
+		stop:   make(chan struct{}),
+		repair: newRepairCounters(),
 	}
 	if cfg.Retry != nil {
 		n.retry = NewRetryingTransport(cfg.Transport, *cfg.Retry)
@@ -224,6 +236,7 @@ func (n *Node) maintenanceLoop() {
 	ticker := time.NewTicker(n.cfg.StabilizeInterval)
 	defer ticker.Stop()
 	round := 0
+	lastSucc := ""
 	for {
 		select {
 		case <-ticker.C:
@@ -231,49 +244,20 @@ func (n *Node) maintenanceLoop() {
 			n.checkPredecessor()
 			n.fixFingers(16)
 			round++
-			if n.cfg.ReplicationFactor > 0 && round%4 == 0 {
-				n.replicateOnce()
+			if n.cfg.ReplicationFactor > 0 {
+				// Repair on cadence, and immediately when the immediate
+				// successor changed: a fresh successor (join, or failover
+				// promotion after a crash) must become readable without
+				// waiting out the repair interval.
+				succ := n.Successor()
+				if succ != lastSucc || round%n.cfg.RepairEvery == 0 {
+					lastSucc = succ
+					n.repairOnce()
+				}
 			}
 		case <-n.stop:
 			return
 		}
-	}
-}
-
-// replicateOnce pushes copies of the locally-OWNED keys (those in the
-// node's ownership interval) to the current successors, repairing replica
-// sets after churn. Replica copies held for other owners are not pushed
-// onward — re-replicating replicas would cascade copies around the ring.
-// Puts are idempotent, so repeated rounds converge.
-func (n *Node) replicateOnce() {
-	n.mu.Lock()
-	succs := make([]string, len(n.succs))
-	copy(succs, n.succs)
-	pred := n.pred
-	kv := make([]KeyEntries, 0, len(n.store))
-	for k, entries := range n.store {
-		if pred != "" && !k.Between(idOf(pred), n.id) {
-			continue // a replica we hold for another owner
-		}
-		out := make([]overlay.Entry, len(entries))
-		copy(out, entries)
-		kv = append(kv, KeyEntries{Key: k, Entries: out})
-	}
-	n.mu.Unlock()
-	if len(kv) == 0 {
-		return
-	}
-	sent := 0
-	for _, succ := range succs {
-		if succ == n.addr {
-			continue
-		}
-		if sent >= n.cfg.ReplicationFactor {
-			break
-		}
-		// Best effort: a dead successor is healed by stabilization.
-		_, _ = n.cfg.Transport.Call(succ, Message{Op: OpPutReplica, KV: kv})
-		sent++
 	}
 }
 
@@ -466,15 +450,37 @@ func (n *Node) RetryStats() RetryStats {
 	return n.retry.Stats()
 }
 
-// Instrument attaches the node's retry counters to reg (no-op if the
-// node was started without a retry policy). All nodes of a fleet may
-// attach to one registry: the snapshot reports fleet-wide sums while
-// RetryStats stays per-node.
-func (n *Node) Instrument(reg *telemetry.Registry) {
+// BreakerStats returns the node's circuit-breaker counters (zero when no
+// retry policy, or a policy without a breaker, is configured).
+func (n *Node) BreakerStats() BreakerStats {
 	if n.retry == nil {
+		return BreakerStats{}
+	}
+	return n.retry.BreakerStats()
+}
+
+// RepairStats returns the node's anti-entropy repair counters.
+func (n *Node) RepairStats() RepairStats {
+	return RepairStats{
+		Rounds:   n.repair.rounds.Value(),
+		Syncs:    n.repair.syncs.Value(),
+		Pushes:   n.repair.pushes.Value(),
+		Forwards: n.repair.forwards.Value(),
+		Drops:    n.repair.drops.Value(),
+	}
+}
+
+// Instrument attaches the node's retry and repair counters to reg. All
+// nodes of a fleet may attach to one registry: the snapshot reports
+// fleet-wide sums while RetryStats/RepairStats stay per-node.
+func (n *Node) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
 		return
 	}
-	n.retry.Instrument(reg)
+	n.repair.attach(reg)
+	if n.retry != nil {
+		n.retry.Instrument(reg)
+	}
 }
 
 // KeyCount returns the number of distinct keys stored locally.

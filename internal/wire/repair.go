@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
+)
+
+// Anti-entropy repair: instead of blindly re-pushing every owned entry to
+// the successors each round (the PR 1 behaviour), a node periodically
+// recomputes where each stored key belongs on the CURRENT ring and makes
+// the stored state match.
+//
+//  1. Sync: for each owned key, exchange a small (key, digest) pair with
+//     the first ReplicationFactor successors (OpRepairSync). Replicas
+//     answer with the keys whose digest differs; only those are shipped,
+//     with replace semantics so stale extra entries on the replica (e.g.
+//     a Remove it missed during a partition) are corrected too.
+//  2. Drop: keys this node no longer owes — outside the window
+//     (p_{R+1}, self], where p_i is the i-th predecessor — are first
+//     forwarded to their routed owner (they may be the only surviving
+//     copy, e.g. a write that landed on a stale owner during a
+//     partition) and only then deleted locally.
+//
+// Both halves are idempotent and best-effort: a failed RPC leaves the
+// key in place and a later round retries. A converged replica set costs
+// one digest message per successor per round.
+
+// RepairStats is a point-in-time snapshot of a node's anti-entropy
+// repair work. The counters behind it are atomic, so snapshots taken
+// while the node is live are race-free.
+type RepairStats struct {
+	// Rounds counts repair rounds started.
+	Rounds int64
+	// Syncs counts digest exchanges answered by a replica.
+	Syncs int64
+	// Pushes counts keys shipped to a replica that was missing them (or
+	// held a divergent copy).
+	Pushes int64
+	// Forwards counts misplaced keys routed back to their current owner
+	// before being dropped locally.
+	Forwards int64
+	// Drops counts local copies deleted because the node no longer owes
+	// them.
+	Drops int64
+}
+
+// Merge accumulates another snapshot into s (for fleet-wide totals).
+func (s *RepairStats) Merge(o RepairStats) {
+	s.Rounds += o.Rounds
+	s.Syncs += o.Syncs
+	s.Pushes += o.Pushes
+	s.Forwards += o.Forwards
+	s.Drops += o.Drops
+}
+
+// repairCounters holds the per-node repair telemetry.
+type repairCounters struct {
+	rounds   *telemetry.Counter
+	syncs    *telemetry.Counter
+	pushes   *telemetry.Counter
+	forwards *telemetry.Counter
+	drops    *telemetry.Counter
+}
+
+func newRepairCounters() repairCounters {
+	return repairCounters{
+		rounds: telemetry.NewCounter("wire_repair_rounds_total",
+			"Anti-entropy repair rounds started."),
+		syncs: telemetry.NewCounter("wire_repair_syncs_total",
+			"Digest exchanges answered by a replica."),
+		pushes: telemetry.NewCounter("wire_repair_pushes_total",
+			"Keys shipped to a replica that was missing them or held a divergent copy."),
+		forwards: telemetry.NewCounter("wire_repair_forwards_total",
+			"Misplaced keys routed back to their current owner before a local drop."),
+		drops: telemetry.NewCounter("wire_repair_drops_total",
+			"Local copies deleted because the node no longer owes them."),
+	}
+}
+
+func (c repairCounters) attach(reg *telemetry.Registry) {
+	reg.Attach(c.rounds, c.syncs, c.pushes, c.forwards, c.drops)
+}
+
+// entriesDigest hashes a key's entry set order-independently (FNV-1a
+// over the sorted entries), so two replicas agree on the digest no
+// matter what order writes arrived in. Empty sets digest to 0.
+func entriesDigest(entries []overlay.Entry) uint64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	sorted := make([]overlay.Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Kind != sorted[j].Kind {
+			return sorted[i].Kind < sorted[j].Kind
+		}
+		return sorted[i].Value < sorted[j].Value
+	})
+	h := fnv.New64a()
+	for _, e := range sorted {
+		_, _ = h.Write([]byte(e.Kind))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(e.Value))
+		_, _ = h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+// repairOnce runs one anti-entropy round (sync then drop). Called from
+// the maintenance goroutine; all RPCs happen outside the node lock.
+func (n *Node) repairOnce() {
+	n.repair.rounds.Inc()
+	n.syncReplicas()
+	n.dropStaleCopies()
+}
+
+// syncReplicas digest-syncs the locally-owned keys with the first
+// ReplicationFactor successors and ships only the divergent ones.
+func (n *Node) syncReplicas() {
+	n.mu.Lock()
+	succs := make([]string, len(n.succs))
+	copy(succs, n.succs)
+	pred := n.pred
+	var owned []KeyDigest
+	for k, entries := range n.store {
+		if pred != "" && !k.Between(idOf(pred), n.id) {
+			continue // a replica held for another owner
+		}
+		owned = append(owned, KeyDigest{Key: k, Digest: entriesDigest(entries)})
+	}
+	n.mu.Unlock()
+	if len(owned) == 0 {
+		return
+	}
+	sent := 0
+	for _, succ := range succs {
+		if succ == n.addr {
+			continue
+		}
+		if sent >= n.cfg.ReplicationFactor {
+			break
+		}
+		sent++
+		// Best effort: a dead successor is healed by stabilization and a
+		// later repair round.
+		resp, err := n.cfg.Transport.Call(succ, Message{Op: OpRepairSync, Digests: owned})
+		if err != nil || remoteError(resp) != nil {
+			continue
+		}
+		n.repair.syncs.Inc()
+		if len(resp.Digests) == 0 {
+			continue // replica already converged
+		}
+		n.mu.Lock()
+		kv := make([]KeyEntries, 0, len(resp.Digests))
+		for _, want := range resp.Digests {
+			entries := n.store[want.Key]
+			out := make([]overlay.Entry, len(entries))
+			copy(out, entries)
+			kv = append(kv, KeyEntries{Key: want.Key, Entries: out})
+		}
+		n.mu.Unlock()
+		if sresp, serr := n.cfg.Transport.Call(succ, Message{Op: OpRepairSync, KV: kv}); serr == nil && remoteError(sresp) == nil {
+			n.repair.pushes.Add(int64(len(kv)))
+		}
+	}
+}
+
+// dropStaleCopies deletes copies this node no longer owes. A node owes a
+// key iff the key's owner is within ReplicationFactor predecessors, i.e.
+// the key falls in (p_{R+1}, self]. The window start is found by walking
+// the predecessor chain; if the walk fails or wraps back to this node
+// (ring shorter than the window) every key is owed and nothing is
+// dropped — erring on the side of keeping data. Misplaced keys are
+// forwarded to their routed owner before the local delete so the last
+// surviving copy of a partition-era write cannot be destroyed.
+func (n *Node) dropStaleCopies() {
+	n.mu.Lock()
+	pred := n.pred
+	n.mu.Unlock()
+	if pred == "" || pred == n.addr {
+		return
+	}
+	start := pred
+	for i := 0; i < n.cfg.ReplicationFactor; i++ {
+		resp, err := n.cfg.Transport.Call(start, Message{Op: OpGetPredecessor})
+		if err != nil || resp.Addr == "" {
+			return // window unknown; keep everything this round
+		}
+		start = resp.Addr
+		if start == n.addr {
+			return // wrapped: the ring fits inside the window
+		}
+	}
+	windowFrom := idOf(start)
+
+	n.mu.Lock()
+	var stale []KeyEntries
+	for k, entries := range n.store {
+		if k.Between(windowFrom, n.id) {
+			continue // owed: owned or within the replica window
+		}
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		stale = append(stale, KeyEntries{Key: k, Entries: out})
+	}
+	n.mu.Unlock()
+
+	for _, item := range stale {
+		resp := n.handleFindSuccessor(Message{Op: OpFindSuccessor, Key: item.Key, TTL: n.cfg.TTL})
+		if resp.Err != "" {
+			continue // can't route; retry next round
+		}
+		owner := resp.Addr
+		if owner == n.addr {
+			continue // routing disagrees with the window; keep the copy
+		}
+		tresp, err := n.cfg.Transport.Call(owner, Message{Op: OpTransfer, KV: []KeyEntries{item}})
+		if err != nil || remoteError(tresp) != nil {
+			continue // owner unreachable; keep the copy and retry later
+		}
+		n.repair.forwards.Inc()
+		n.mu.Lock()
+		// Drop only if unchanged since the snapshot — an entry written in
+		// the meantime has not been forwarded and must not be lost.
+		if entriesDigest(n.store[item.Key]) == entriesDigest(item.Entries) {
+			delete(n.store, item.Key)
+			n.repair.drops.Inc()
+		}
+		n.mu.Unlock()
+	}
+}
+
+// handleRepairSync serves both halves of the repair exchange. A request
+// carrying KV is the ship phase: the owner's entry sets REPLACE the
+// local ones (an empty set deletes), so divergent extra entries — e.g. a
+// Remove this replica missed — are corrected, not merged back in. A
+// request carrying only Digests is the offer phase: the response lists
+// the keys whose local digest differs and should be shipped.
+func (n *Node) handleRepairSync(req Message) Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(req.KV) > 0 {
+		for _, item := range req.KV {
+			if len(item.Entries) == 0 {
+				delete(n.store, item.Key)
+				continue
+			}
+			entries := make([]overlay.Entry, len(item.Entries))
+			copy(entries, item.Entries)
+			n.store[item.Key] = entries
+		}
+		return Message{Op: req.Op, Ok: true}
+	}
+	var want []KeyDigest
+	for _, d := range req.Digests {
+		if entriesDigest(n.store[d.Key]) != d.Digest {
+			want = append(want, KeyDigest{Key: d.Key})
+		}
+	}
+	return Message{Op: req.Op, Ok: true, Digests: want}
+}
+
+// ownerOf is a small helper for tests and diagnostics: it routes key
+// from this node and returns the owner's address.
+func (n *Node) ownerOf(key keyspace.Key) (string, error) {
+	resp := n.handleFindSuccessor(Message{Op: OpFindSuccessor, Key: key, TTL: n.cfg.TTL})
+	if resp.Err != "" {
+		return "", remoteError(resp)
+	}
+	return resp.Addr, nil
+}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+func TestEntriesDigest(t *testing.T) {
+	a := []overlay.Entry{{Kind: "k1", Value: "v1"}, {Kind: "k2", Value: "v2"}}
+	b := []overlay.Entry{{Kind: "k2", Value: "v2"}, {Kind: "k1", Value: "v1"}}
+	if entriesDigest(a) != entriesDigest(b) {
+		t.Errorf("digest is order-dependent")
+	}
+	if entriesDigest(nil) != 0 {
+		t.Errorf("empty set must digest to 0")
+	}
+	c := []overlay.Entry{{Kind: "k1", Value: "v1"}}
+	if entriesDigest(a) == entriesDigest(c) {
+		t.Errorf("different sets collided")
+	}
+	// The separator bytes keep (Kind, Value) boundaries unambiguous.
+	d := []overlay.Entry{{Kind: "k1v", Value: "1"}}
+	e := []overlay.Entry{{Kind: "k1", Value: "v1"}}
+	if entriesDigest(d) == entriesDigest(e) {
+		t.Errorf("kind/value boundary ambiguity")
+	}
+}
+
+// TestRepairConvergence is the table-driven acceptance test for the
+// anti-entropy repair loop: after an arbitrary mix of joins, graceful
+// leaves and crashes, every key must settle at exactly
+// min(ReplicationFactor+1, live) physical copies, placed on the key's
+// current owner and its successors — newcomers gain the copies they now
+// owe, survivors re-replicate what crashes ate, and stale copies left
+// behind by ownership changes are dropped.
+func TestRepairConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair convergence skipped in -short mode")
+	}
+	cases := []struct {
+		name    string
+		nodes   int
+		rf      int
+		keys    int
+		joins   int
+		leaves  int
+		crashes int
+	}{
+		{name: "joins-only", nodes: 6, rf: 2, keys: 16, joins: 3},
+		{name: "leaves-only", nodes: 8, rf: 2, keys: 16, leaves: 3},
+		{name: "crashes-only", nodes: 8, rf: 2, keys: 16, crashes: 2},
+		{name: "mixed-churn", nodes: 8, rf: 2, keys: 20, joins: 2, leaves: 1, crashes: 2},
+		{name: "rf1-churn", nodes: 6, rf: 1, keys: 12, joins: 1, crashes: 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			transport := NewMemTransport()
+			cfg := Config{
+				Transport:         transport,
+				Addr:              "mem:0",
+				StabilizeInterval: 10 * time.Millisecond,
+				ReplicationFactor: tc.rf,
+			}
+			cluster := NewCluster(transport, 1, tc.rf)
+			alive := map[string]*Node{}
+			var bootstrap string
+			boot := func(i int) *Node {
+				n, err := Start(cfg)
+				if err != nil {
+					t.Fatalf("start node %d: %v", i, err)
+				}
+				t.Cleanup(n.Stop)
+				if bootstrap == "" {
+					bootstrap = n.Addr()
+				} else if err := n.Join(bootstrap); err != nil {
+					t.Fatalf("join node %d: %v", i, err)
+				}
+				cluster.Track(n.Addr())
+				alive[n.Addr()] = n
+				return n
+			}
+			for i := 0; i < tc.nodes; i++ {
+				boot(i)
+			}
+			if err := cluster.WaitConverged(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			keys := make([]keyspace.Key, tc.keys)
+			for i := range keys {
+				keys[i] = keyspace.NewKey(fmt.Sprintf("%s-key-%d", tc.name, i))
+				e := overlay.Entry{Kind: "repair", Value: fmt.Sprintf("v%d", i)}
+				if _, err := cluster.Put(keys[i], e); err != nil {
+					t.Fatalf("put key %d: %v", i, err)
+				}
+			}
+
+			// Churn: joins first, then graceful leaves, then crashes. Each
+			// event mutates the ideal replica set of some keys; no repair
+			// round is awaited in between — the loop must untangle the
+			// aggregate.
+			for i := 0; i < tc.joins; i++ {
+				boot(tc.nodes + i)
+			}
+			for i := 0; i < tc.leaves; i++ {
+				victim := pickAnyAlive(alive)
+				cluster.Untrack(victim.Addr())
+				delete(alive, victim.Addr())
+				if err := victim.Leave(); err != nil {
+					t.Fatalf("leave %s: %v", victim.Addr(), err)
+				}
+			}
+			for i := 0; i < tc.crashes; i++ {
+				victim := pickAnyAlive(alive)
+				victim.Stop() // no handoff: a crash loses the local store
+				cluster.Untrack(victim.Addr())
+				delete(alive, victim.Addr())
+			}
+			if err := cluster.WaitConverged(10 * time.Second); err != nil {
+				t.Fatalf("ring did not re-converge after churn: %v", err)
+			}
+
+			expected := tc.rf + 1
+			if len(alive) < expected {
+				expected = len(alive)
+			}
+			waitReplicaCounts(t, transport, cluster, alive, keys, expected)
+		})
+	}
+}
+
+// pickAnyAlive returns an arbitrary live node (map order is fine — the
+// scenario must hold for any victim).
+func pickAnyAlive(alive map[string]*Node) *Node {
+	for _, n := range alive {
+		return n
+	}
+	return nil
+}
+
+// waitReplicaCounts polls until every key has exactly expected physical
+// copies across the live nodes AND the key's routed owner is one of the
+// holders, failing the test with a per-key report on timeout.
+func waitReplicaCounts(t *testing.T, transport Transport, cluster *Cluster, alive map[string]*Node, keys []keyspace.Key, expected int) {
+	t.Helper()
+	anyNode := pickAnyAlive(alive)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		badKey := ""
+		for _, k := range keys {
+			if got := countCopies(transport, cluster.Addrs(), k); got != expected {
+				badKey = fmt.Sprintf("%s: %d copies, want %d", k, got, expected)
+				break
+			}
+			owner, err := anyNode.ownerOf(k)
+			if err != nil {
+				badKey = fmt.Sprintf("%s: routing failed: %v", k, err)
+				break
+			}
+			resp, err := transport.Call(owner, Message{Op: OpGet, Key: k})
+			if err != nil || len(resp.Entries) == 0 {
+				badKey = fmt.Sprintf("%s: owner %s holds no copy", k, owner)
+				break
+			}
+		}
+		if badKey == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica sets did not converge: %s", badKey)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

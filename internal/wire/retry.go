@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"sync"
@@ -33,6 +34,11 @@ type RetryPolicy struct {
 	// PerOpAttempts overrides MaxAttempts for specific ops (e.g. give
 	// OpTransfer more tries than OpPing).
 	PerOpAttempts map[Op]int
+	// Breaker, when non-nil, enables the per-peer circuit breaker: a
+	// peer whose calls keep failing gets further calls refused with
+	// ErrCircuitOpen (fail fast) until a half-open probe succeeds. Nil
+	// keeps the PR 1 retry behaviour byte-for-byte.
+	Breaker *BreakerPolicy
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -71,6 +77,7 @@ var retryableByDefault = map[Op]bool{
 	OpStats:          true,
 	OpLeave:          true,
 	OpPutReplica:     true,
+	OpRepairSync:     true,
 }
 
 // attemptsFor resolves how many times op may be tried under p.
@@ -133,8 +140,9 @@ func (s RetryStats) Amplification() float64 {
 // FaultTransport (retry outside, faults inside) to model a lossy network
 // being survived.
 type RetryingTransport struct {
-	inner  Transport
-	policy RetryPolicy
+	inner   Transport
+	policy  RetryPolicy
+	breaker *breakerSet
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -148,7 +156,7 @@ type RetryingTransport struct {
 
 // NewRetryingTransport wraps inner with policy.
 func NewRetryingTransport(inner Transport, policy RetryPolicy) *RetryingTransport {
-	return &RetryingTransport{
+	t := &RetryingTransport{
 		inner:     inner,
 		policy:    policy.withDefaults(),
 		rng:       rand.New(rand.NewSource(policy.Seed)),
@@ -158,6 +166,10 @@ func NewRetryingTransport(inner Transport, policy RetryPolicy) *RetryingTranspor
 		recovered: telemetry.NewCounter("wire_retry_recovered_total", "Calls that failed at least once then succeeded on a retry."),
 		gaveUp:    telemetry.NewCounter("wire_retry_gave_up_total", "Calls that exhausted every attempt."),
 	}
+	if policy.Breaker != nil {
+		t.breaker = newBreakerSet(*policy.Breaker)
+	}
+	return t
 }
 
 // Listen implements Transport (pass-through: retries apply to calls).
@@ -177,6 +189,15 @@ func (t *RetryingTransport) Stats() RetryStats {
 	}
 }
 
+// BreakerStats returns a snapshot of the circuit-breaker counters, or a
+// zero snapshot when no breaker policy is configured.
+func (t *RetryingTransport) BreakerStats() BreakerStats {
+	if t.breaker == nil {
+		return BreakerStats{}
+	}
+	return t.breaker.stats()
+}
+
 // Instrument attaches the transport's retry counters to reg. Several
 // transports may attach to the same registry: the snapshot then reports
 // fleet-wide sums while each transport keeps its per-instance Stats.
@@ -185,19 +206,40 @@ func (t *RetryingTransport) Instrument(reg *telemetry.Registry) {
 		return
 	}
 	reg.Attach(t.calls, t.attempts, t.retries, t.recovered, t.gaveUp)
+	if t.breaker != nil {
+		t.breaker.instrument(reg)
+	}
 }
 
 // Call implements Transport.
 func (t *RetryingTransport) Call(addr string, req Message) (Message, error) {
+	return t.CallCtx(context.Background(), addr, req)
+}
+
+// CallCtx is Call with a deadline budget: retries stop once ctx is done,
+// so a multi-hop lookup stops burning backoff time on a dead peer when
+// its caller's budget has run out. The in-flight wire send itself is not
+// interrupted (transports are synchronous); only further retries are.
+func (t *RetryingTransport) CallCtx(ctx context.Context, addr string, req Message) (Message, error) {
+	if t.breaker != nil && !t.breaker.allow(addr) {
+		return Message{}, ErrCircuitOpen
+	}
 	attempts := t.policy.attemptsFor(req.Op)
 	t.calls.Inc()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
 		t.attempts.Inc()
 		resp, err := t.inner.Call(addr, req)
 		if err == nil {
 			if attempt > 1 {
 				t.recovered.Inc()
+			}
+			if t.breaker != nil {
+				t.breaker.onResult(addr, nil)
 			}
 			return resp, nil
 		}
@@ -206,12 +248,37 @@ func (t *RetryingTransport) Call(addr string, req Message) (Message, error) {
 			break
 		}
 		t.retries.Inc()
-		time.Sleep(t.backoff(attempt))
+		if !sleepCtx(ctx, t.backoff(attempt)) {
+			lastErr = ctx.Err()
+			break
+		}
 	}
 	if attempts > 1 {
 		t.gaveUp.Inc()
 	}
+	// A spent caller budget is not the peer's fault: only transport
+	// failures feed the breaker.
+	if t.breaker != nil && ctx.Err() == nil {
+		t.breaker.onResult(addr, lastErr)
+	}
 	return Message{}, lastErr
+}
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // backoff computes the jittered exponential delay before retry number

@@ -60,6 +60,27 @@ type SoakConfig struct {
 	// OnOp, when set, runs once per storm op after the op's own put and
 	// read-back — e.g. to drive indexed lookups through the faulted ring.
 	OnOp func(op int, c *Cluster)
+	// JoinEvery, when > 0, starts and joins a fresh node every JoinEvery
+	// storm ops — the repair loop must make newcomers readable replicas,
+	// not just tolerate departures.
+	JoinEvery int
+	// LeaveEvery, when > 0, gracefully Leaves one live node every
+	// LeaveEvery storm ops (on top of the crash schedule).
+	LeaveEvery int
+	// Breaker, when non-nil, arms the per-peer circuit breaker on every
+	// retry transport in the run (the cluster's and each node's).
+	Breaker *BreakerPolicy
+	// VerifyReplicas, when true, additionally holds the ring to full
+	// replica convergence after the storm: every acked key must settle
+	// at exactly min(ReplicationFactor+1, live) physical copies across
+	// the live nodes' local stores. Violations are reported in
+	// ReplicaViolations.
+	VerifyReplicas bool
+	// PostStorm, when set, runs after the storm has healed, the ring
+	// re-converged and all verification passed — e.g. to probe degraded
+	// lookups against freshly crash-stopped nodes. Its error is returned
+	// as the run's error.
+	PostStorm func(c *Cluster, ft *FaultTransport) error
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -106,6 +127,11 @@ type SoakReport struct {
 	Faults FaultStats
 	// Retry is the fleet-wide retry work (all nodes + the cluster).
 	Retry RetryStats
+	// Repair is the fleet-wide anti-entropy repair work.
+	Repair RepairStats
+	// Breaker is the fleet-wide circuit-breaker work (zero when no
+	// breaker policy was configured).
+	Breaker BreakerStats
 	// Cluster is the adapter's failover accounting.
 	Cluster ClusterMetrics
 
@@ -121,12 +147,19 @@ type SoakReport struct {
 	// Crashes and Partitions count the schedule's executed events.
 	Crashes    int
 	Partitions int
+	// Joins and Leaves count the churn schedule's executed member
+	// additions and graceful departures.
+	Joins  int
+	Leaves int
 	// Converged reports whether the surviving ring re-converged to the
 	// ideal successor cycle after the storm.
 	Converged bool
 	// LostKeys lists acked write-once keys that could not be read back
 	// after the storm — must be empty with replication ≥ 1.
 	LostKeys []string
+	// ReplicaViolations lists acked keys whose physical copy count never
+	// settled at the expected replica count (VerifyReplicas only).
+	ReplicaViolations []string
 	// SurvivingNodes is the ring size after the storm.
 	SurvivingNodes int
 	// Elapsed is the wall-clock duration of the whole run.
@@ -149,8 +182,9 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	schedule := rand.New(rand.NewSource(cfg.Seed + 1))
 	policy := cfg.Retry.withDefaults()
 	policy.Seed = cfg.Seed + 2
+	policy.Breaker = cfg.Breaker
 
-	cluster := NewCluster(NewRetryingTransport(ft, policy), cfg.Seed+3)
+	cluster := NewCluster(NewRetryingTransport(ft, policy), cfg.Seed+3, cfg.ReplicationFactor)
 
 	// Boot and converge the ring on a clean network: the soak measures
 	// survival under faults, not formation under faults (joins retried
@@ -250,6 +284,60 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			partitioned = false
 			cfg.Log("soak: op %d: partition healed", op)
 		}
+		if cfg.JoinEvery > 0 && op > 0 && op%cfg.JoinEvery == 0 {
+			p := policy
+			p.Seed = cfg.Seed + 1000 + int64(op)
+			n, err := Start(Config{
+				Transport:         ft.Endpoint(),
+				Addr:              "mem:0",
+				StabilizeInterval: cfg.StabilizeInterval,
+				ReplicationFactor: cfg.ReplicationFactor,
+				Retry:             &p,
+				SuccFailThreshold: 2,
+			})
+			if err != nil {
+				return report, fmt.Errorf("soak: op %d: start joiner: %w", op, err)
+			}
+			// Joins happen under the storm, so a bootstrap attempt can fail
+			// end-to-end even with RPC retries; try a few live members.
+			joined := false
+			ring := cluster.Addrs()
+			for try := 0; try < 3 && !joined; try++ {
+				boot := ring[schedule.Intn(len(ring))]
+				joined = n.Join(boot) == nil
+			}
+			if joined {
+				cluster.Track(n.Addr())
+				nodes = append(nodes, n)
+				alive[n.Addr()] = n
+				aliveCount.Store(int64(len(alive)))
+				if cfg.Telemetry != nil {
+					n.Instrument(cfg.Telemetry)
+				}
+				report.Joins++
+				cfg.Log("soak: op %d: joined %s (%d nodes)", op, n.Addr(), len(alive))
+			} else {
+				n.Stop()
+				cfg.Log("soak: op %d: join attempt drowned in the storm", op)
+			}
+		}
+		if cfg.LeaveEvery > 0 && op > 0 && op%cfg.LeaveEvery == 0 && len(alive) > cfg.Nodes/2 {
+			victim := pickVictim(schedule, cluster.Addrs(), alive, partA, partB)
+			if victim != nil {
+				// Untrack first so the adapter stops routing reads into a
+				// member that is mid-handoff.
+				cluster.Untrack(victim.Addr())
+				delete(alive, victim.Addr())
+				aliveCount.Store(int64(len(alive)))
+				if err := victim.Leave(); err != nil {
+					// Partial handoff under the storm: the repair loop owns
+					// re-replicating whatever the departure dropped.
+					cfg.Log("soak: op %d: leave handoff incomplete: %v", op, err)
+				}
+				report.Leaves++
+				cfg.Log("soak: op %d: %s left gracefully (%d nodes left)", op, victim.Addr(), len(alive))
+			}
+		}
 
 		key := fmt.Sprintf("soak-%d", op)
 		entry := overlay.Entry{Kind: "soak", Value: fmt.Sprintf("v%d", op)}
@@ -303,18 +391,56 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		}
 	}
 
+	// With VerifyReplicas the run is additionally held to the repair
+	// loop's invariant: every acked key settles at exactly the ideal
+	// replica count — no under-replication (a crash ate a copy nobody
+	// re-pushed) and no over-replication (a stale copy nobody dropped).
+	if cfg.VerifyReplicas && cfg.ReplicationFactor > 0 {
+		expected := cfg.ReplicationFactor + 1
+		if len(alive) < expected {
+			expected = len(alive)
+		}
+		verifyDeadline := time.Now().Add(45 * time.Second)
+		for _, key := range acked {
+			k := keyspace.NewKey(key)
+			for {
+				got := countCopies(ft, cluster.Addrs(), k)
+				if got == expected {
+					break
+				}
+				if time.Now().After(verifyDeadline) {
+					report.ReplicaViolations = append(report.ReplicaViolations,
+						fmt.Sprintf("%s: %d copies, want %d", key, got, expected))
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
+	if cfg.PostStorm != nil {
+		if err := cfg.PostStorm(cluster, ft); err != nil {
+			return report, fmt.Errorf("soak: post-storm probe: %w", err)
+		}
+	}
+
 	report.Faults = ft.Stats()
 	for _, n := range nodes {
 		report.Retry.Merge(n.RetryStats())
+		report.Repair.Merge(n.RepairStats())
+		report.Breaker.Merge(n.BreakerStats())
 	}
 	if rt, ok := cluster.transport.(*RetryingTransport); ok {
 		report.Retry.Merge(rt.Stats())
+		report.Breaker.Merge(rt.BreakerStats())
 	}
 	report.Cluster = cluster.Metrics()
 	report.Elapsed = time.Since(start)
-	cfg.Log("soak: done in %v: acked=%d lost=%d crashes=%d partitions=%d amplification=%.2f",
+	cfg.Log("soak: done in %v: acked=%d lost=%d badreplicas=%d crashes=%d partitions=%d joins=%d leaves=%d amplification=%.2f repair=[pushes=%d drops=%d]",
 		report.Elapsed.Round(time.Millisecond), report.Acked, len(report.LostKeys),
-		report.Crashes, report.Partitions, report.RetryAmplification())
+		len(report.ReplicaViolations), report.Crashes, report.Partitions,
+		report.Joins, report.Leaves, report.RetryAmplification(),
+		report.Repair.Pushes, report.Repair.Drops)
 	return report, nil
 }
 
@@ -349,6 +475,20 @@ func pickVictim(rng *rand.Rand, ringOrder []string, alive map[string]*Node, part
 		return nil
 	}
 	return alive[candidates[rng.Intn(len(candidates))]]
+}
+
+// countCopies counts how many of the given nodes hold the key in their
+// LOCAL store. OpGet never forwards, so a direct per-node call observes
+// the key's physical replica placement rather than routed availability.
+func countCopies(t Transport, addrs []string, key keyspace.Key) int {
+	copies := 0
+	for _, addr := range addrs {
+		resp, err := t.Call(addr, Message{Op: OpGet, Key: key})
+		if err == nil && resp.Err == "" && len(resp.Entries) > 0 {
+			copies++
+		}
+	}
+	return copies
 }
 
 // adjacentPair picks a ring-adjacent pair of tracked members — adjacency

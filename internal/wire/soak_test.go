@@ -82,6 +82,50 @@ func TestChurnSoak(t *testing.T) {
 	}
 }
 
+// TestRepairSoak is the self-healing acceptance soak: on top of the
+// fault storm, fresh nodes join and members leave gracefully mid-run,
+// the per-peer circuit breaker is armed, and after the storm the ring is
+// held to the repair loop's full invariant — every acked key at exactly
+// ReplicationFactor+1 live copies, not merely readable. This is the
+// "entry coverage returns to 100% after churn" check.
+func TestRepairSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	report, err := RunSoak(SoakConfig{
+		Nodes:          12,
+		Ops:            120,
+		Seed:           1,
+		CrashEvery:     50,
+		JoinEvery:      35,
+		LeaveEvery:     55,
+		Breaker:        &BreakerPolicy{},
+		VerifyReplicas: true,
+		Log:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak harness: %v", err)
+	}
+	if !report.Converged {
+		t.Errorf("ring did not re-converge after the storm")
+	}
+	if len(report.LostKeys) > 0 {
+		t.Errorf("lost %d write-once entries: %v", len(report.LostKeys), report.LostKeys)
+	}
+	if len(report.ReplicaViolations) > 0 {
+		t.Errorf("replica sets did not heal to full coverage: %v", report.ReplicaViolations)
+	}
+	if report.Crashes < 1 || report.Joins < 1 || report.Leaves < 1 {
+		t.Errorf("churn schedule incomplete: crashes=%d joins=%d leaves=%d",
+			report.Crashes, report.Joins, report.Leaves)
+	}
+	// The repair loop must have done real work: digest syncs every round,
+	// and pushes re-covering what the churn disturbed.
+	if report.Repair.Rounds == 0 || report.Repair.Syncs == 0 || report.Repair.Pushes == 0 {
+		t.Errorf("repair loop idle under churn: %+v", report.Repair)
+	}
+}
+
 // TestSoakDeterministicFaultSchedule runs two small soaks with the same
 // seed and asserts the injected-fault totals that are scheduling-
 // independent (crash and partition events) match, and that both runs

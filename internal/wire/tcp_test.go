@@ -15,7 +15,7 @@ import (
 // full protocol: join, converge, put/get, graceful leave.
 func TestTCPRingEndToEnd(t *testing.T) {
 	transport := NewTCPTransport()
-	cluster := NewCluster(transport, 1)
+	cluster := NewCluster(transport, 1, 0)
 	const count = 5
 	nodes := make([]*Node, 0, count)
 	var bootstrap string

@@ -35,6 +35,7 @@ const (
 	OpLeave
 	OpPutReplica
 	OpRemoveReplica
+	OpRepairSync
 )
 
 // String returns the wire name of the operation.
@@ -66,6 +67,8 @@ func (o Op) String() string {
 		return "put-replica"
 	case OpRemoveReplica:
 		return "remove-replica"
+	case OpRepairSync:
+		return "repair-sync"
 	default:
 		return "unknown"
 	}
@@ -75,6 +78,14 @@ func (o Op) String() string {
 type KeyEntries struct {
 	Key     keyspace.Key
 	Entries []overlay.Entry
+}
+
+// KeyDigest summarizes one key's entry set for the anti-entropy repair
+// protocol: replicas compare digests instead of shipping entries, so a
+// converged replica set costs one small message per repair round.
+type KeyDigest struct {
+	Key    keyspace.Key
+	Digest uint64
 }
 
 // Message is the single request/response envelope (flat for gob).
@@ -89,6 +100,10 @@ type Message struct {
 	Entry   overlay.Entry
 	Entries []overlay.Entry
 	KV      []KeyEntries
+	// Digests carries the anti-entropy offer (OpRepairSync requests) and
+	// the keys the replica wants shipped (OpRepairSync responses, digest
+	// field unused).
+	Digests []KeyDigest
 	// Addrs carries successor lists.
 	Addrs []string
 	Ok    bool
@@ -120,6 +135,10 @@ var (
 	ErrStopped = errors.New("wire: node stopped")
 	// ErrTTLExceeded is returned when routing fails to converge.
 	ErrTTLExceeded = errors.New("wire: routing TTL exceeded")
+	// ErrCircuitOpen is returned by the retry layer when a peer's circuit
+	// breaker is open: the peer failed repeatedly and calls to it fail
+	// fast instead of burning the caller's budget on fresh timeouts.
+	ErrCircuitOpen = errors.New("wire: circuit open")
 )
 
 // remoteError converts an error carried in a response into a Go error.

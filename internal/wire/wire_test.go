@@ -13,7 +13,7 @@ import (
 // first, and waits for ring convergence.
 func startRing(t *testing.T, transport Transport, count int) (*Cluster, []*Node) {
 	t.Helper()
-	cluster := NewCluster(transport, 1)
+	cluster := NewCluster(transport, 1, 0)
 	nodes := make([]*Node, 0, count)
 	var bootstrap string
 	for i := 0; i < count; i++ {
@@ -245,7 +245,7 @@ func TestClusterStatsOf(t *testing.T) {
 }
 
 func TestClusterNoMembers(t *testing.T) {
-	cluster := NewCluster(NewMemTransport(), 1)
+	cluster := NewCluster(NewMemTransport(), 1, 0)
 	if _, err := cluster.FindOwner(keyspace.NewKey("x")); err == nil {
 		t.Fatal("empty cluster routed a lookup")
 	}
@@ -292,7 +292,7 @@ func TestMemTransportErrors(t *testing.T) {
 // take over.
 func TestReplicationSurvivesCrash(t *testing.T) {
 	transport := NewMemTransport()
-	cluster := NewCluster(transport, 1)
+	cluster := NewCluster(transport, 1, 2)
 	const count = 8
 	nodes := make([]*Node, 0, count)
 	var bootstrap string
@@ -356,7 +356,7 @@ func TestReplicationSurvivesCrash(t *testing.T) {
 // replicas too (no zombie resurrection by the repair loop).
 func TestReplicatedRemovePropagates(t *testing.T) {
 	transport := NewMemTransport()
-	cluster := NewCluster(transport, 1)
+	cluster := NewCluster(transport, 1, 2)
 	var bootstrap string
 	for i := 0; i < 5; i++ {
 		n, err := Start(Config{Transport: transport, Addr: "mem:0", ReplicationFactor: 2})
