@@ -6,11 +6,16 @@
 //
 // With -soak it instead runs the live-wire indexed churn soak
 // (internal/soak): a message-passing ring under drops, latency,
-// partitions and crashes while indexed queries keep resolving. Every
-// layer reports into one telemetry registry; -metrics-addr serves the
-// Prometheus-style snapshot over HTTP, -metrics-out writes it to a file,
-// and -trace records every LookupTrace as JSONL (soak default:
-// soak-traces.jsonl). See docs/OBSERVABILITY.md for the full catalog.
+// partitions and crashes while indexed queries keep resolving. -repair
+// adds joins/leaves and the self-healing verification; -restart puts
+// every member on a disk-backed durable store and crash-restarts whole
+// replica sets from their data directories mid-storm (-data-dir keeps
+// the directories around for offline inspection with `indexctl
+// snapshot`). Every layer reports into one telemetry registry;
+// -metrics-addr serves the Prometheus-style snapshot over HTTP,
+// -metrics-out writes it to a file, and -trace records every
+// LookupTrace as JSONL (soak default: soak-traces.jsonl). See
+// docs/OBSERVABILITY.md for the full catalog.
 package main
 
 import (
@@ -40,6 +45,8 @@ func main() {
 
 		soakMode    = flag.Bool("soak", false, "run the live-wire indexed churn soak instead of the simulation sweeps")
 		soakRepair  = flag.Bool("repair", false, "soak: self-healing mode — joins/leaves during the storm, circuit breaker armed, post-storm replica coverage verified to 100%, degraded-lookup probe")
+		soakRestart = flag.Bool("restart", false, "soak: crash-restart mode — members run on disk-backed durable stores and whole replica sets are crash-restarted from their data directories mid-storm")
+		soakDataDir = flag.String("data-dir", "", "soak: root directory for the restart mode's per-member stores (default: a temp dir, removed after the run)")
 		soakNodes   = flag.Int("soak-nodes", 16, "soak: ring size")
 		soakOps     = flag.Int("soak-ops", 150, "soak: write-once operations")
 		soakDrop    = flag.Float64("soak-drop", 0.10, "soak: per-message drop probability")
@@ -58,6 +65,7 @@ func main() {
 			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries,
 			drop: *soakDrop, latency: *soakLatency, seed: *seed,
 			trace: *tracePath, repair: *soakRepair,
+			restart: *soakRestart, dataDir: *soakDataDir,
 		}, reg, *metricsAddr, *metricsOut)
 	} else {
 		err = run(*maxNodes, *lookups, *churn, *seed, *substrate, reg, *metricsAddr, *metricsOut)
@@ -76,6 +84,8 @@ type soakOpts struct {
 	seed                int64
 	trace               string
 	repair              bool
+	restart             bool
+	dataDir             string
 }
 
 // runSoak exercises the LIVE wire layer (message-passing nodes, fault
@@ -105,6 +115,8 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 			},
 		},
 		Repair:       o.repair,
+		Restart:      o.restart,
+		DataDir:      o.dataDir,
 		QueriesPerOp: o.queries,
 		Telemetry:    reg,
 		TraceSink:    sink,
@@ -143,6 +155,12 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		fmt.Printf("  degradation: probe crashed %d nodes, incomplete=%v (%d unresolved) in %v\n",
 			p.Crashed, p.Incomplete, p.Unresolved, p.Elapsed.Round(time.Millisecond))
 	}
+	if o.restart {
+		rec := report.Recovery
+		fmt.Printf("  restarts:    %d members crash-restarted from %s\n", report.Restarts, report.DataDir)
+		fmt.Printf("  recovery:    %d snapshot keys, %d WAL records replayed, %d skipped, %d torn tails truncated\n",
+			rec.SnapshotKeys, rec.ReplayedRecords, rec.SkippedRecords, rec.TornRecords)
+	}
 	if err := emitMetrics(reg, metricsOut); err != nil {
 		return err
 	}
@@ -156,6 +174,15 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		}
 		if p := report.IncompleteProbe; !p.Ran || !p.Incomplete {
 			return fmt.Errorf("repair soak failed: degraded-lookup probe = %+v", p)
+		}
+	}
+	if o.restart {
+		if report.Restarts == 0 {
+			return fmt.Errorf("restart soak failed: no crash-restarts executed")
+		}
+		if len(report.ReplicaViolations) > 0 {
+			return fmt.Errorf("restart soak failed: %d keys off full replica coverage after recovery: %v",
+				len(report.ReplicaViolations), report.ReplicaViolations)
 		}
 	}
 	return serveMetrics(reg, metricsAddr)

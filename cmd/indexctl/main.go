@@ -5,6 +5,11 @@
 // driven by scripts:
 //
 //	printf 'network 20\nload 100\nfind /article/author/last/Smith\n' | indexctl
+//
+// The `snapshot` subcommand inspects a durable node's data directory
+// offline instead of starting the shell:
+//
+//	indexctl snapshot [-keys] <data-dir>
 package main
 
 import (
@@ -13,6 +18,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		if err := runSnapshot(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "indexctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "indexctl:", err)
 		os.Exit(1)

@@ -12,6 +12,8 @@ package soak
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"dhtindex/internal/cache"
@@ -20,6 +22,7 @@ import (
 	"dhtindex/internal/index"
 	"dhtindex/internal/telemetry"
 	"dhtindex/internal/wire"
+	"dhtindex/internal/wire/durable"
 	"dhtindex/internal/workload"
 )
 
@@ -40,6 +43,18 @@ type Config struct {
 	// and asserts a search through it returns a partial result flagged
 	// Incomplete within the deadline budget instead of an error.
 	Repair bool
+	// Restart turns the run into the crash-restart soak: every member
+	// runs on a disk-backed durable store (internal/wire/durable), and
+	// the storm periodically crash-stops a whole replica set of adjacent
+	// members keeping their data directories, then restarts them from
+	// disk (wire.SoakConfig.RestartEvery). Post-storm the run verifies
+	// zero acked-write loss and exact replica coverage — the writes that
+	// lived only on the downed replica set must come back from the WAL.
+	Restart bool
+	// DataDir is the root directory for the Restart mode's per-member
+	// stores. Empty means a fresh temporary directory, removed when the
+	// run finishes; a caller-provided directory is kept.
+	DataDir string
 	// ProbeBudget is the deadline budget of the repair mode's degraded-
 	// lookup probe (default 3s).
 	ProbeBudget time.Duration
@@ -116,6 +131,9 @@ type Report struct {
 	// IncompleteProbe is the degraded-lookup probe's outcome (Repair
 	// mode only; Ran is false otherwise).
 	IncompleteProbe ProbeResult
+	// DataDir is where the Restart mode's member stores lived (empty
+	// unless Restart; already removed when Config.DataDir was empty).
+	DataDir string
 }
 
 // ProbeResult is the outcome of the repair mode's degraded-lookup probe:
@@ -164,6 +182,29 @@ func Run(cfg Config) (Report, error) {
 	var searcher *index.Searcher
 	wcfg := cfg.Wire
 	wcfg.Telemetry = cfg.Telemetry
+	if cfg.Restart {
+		dir := cfg.DataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "dht-restart-soak-")
+			if err != nil {
+				return report, fmt.Errorf("soak: data dir: %w", err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		report.DataDir = dir
+		wcfg.StoreFor = func(member int) (wire.Store, error) {
+			return durable.Open(filepath.Join(dir, fmt.Sprintf("node-%03d", member)),
+				durable.Options{SnapshotEvery: 256})
+		}
+		if wcfg.RestartEvery == 0 {
+			ops := wcfg.Ops
+			if ops == 0 {
+				ops = 150 // mirror wire.SoakConfig's default
+			}
+			wcfg.RestartEvery = ops / 3
+		}
+		wcfg.VerifyReplicas = true
+	}
 	if cfg.Repair {
 		ops := wcfg.Ops
 		if ops == 0 {

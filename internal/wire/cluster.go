@@ -13,11 +13,12 @@ import (
 	"dhtindex/internal/telemetry"
 )
 
-// entryAttempts bounds how many entry points FindOwner tries before
-// giving up on routing. This is bootstrap redundancy, deliberately
-// independent of the replication factor: even an unreplicated ring wants
-// a second entry point when the first tracked member just crashed.
-const entryAttempts = 3
+// defaultEntryAttempts bounds how many entry points FindOwner tries
+// before giving up on routing when Cluster.EntryAttempts is unset. This
+// is bootstrap redundancy, deliberately independent of the replication
+// factor: even an unreplicated ring wants a second entry point when the
+// first tracked member just crashed.
+const defaultEntryAttempts = 3
 
 // Cluster adapts a set of live wire nodes to the overlay contract, so the
 // indexing layer runs unchanged over a real message-passing network. The
@@ -38,6 +39,10 @@ type Cluster struct {
 	// caller's context deadline (half the remaining budget); with neither
 	// set, reads are unhedged. Set before serving traffic.
 	HedgeDelay time.Duration
+
+	// EntryAttempts bounds how many entry points FindOwner tries before
+	// giving up on routing (default 3). Set before serving traffic.
+	EntryAttempts int
 
 	mu    sync.Mutex
 	addrs []string
@@ -202,7 +207,7 @@ func (c *Cluster) entry() (string, error) {
 }
 
 // FindOwner routes to the node responsible for key. An unreachable
-// entry point is not fatal: up to entryAttempts members are tried, so a
+// entry point is not fatal: up to EntryAttempts members are tried, so a
 // lookup survives routing through a cluster whose member list includes
 // freshly-crashed nodes.
 func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
@@ -212,8 +217,12 @@ func (c *Cluster) FindOwner(key keyspace.Key) (overlay.Route, error) {
 // FindOwnerCtx is FindOwner with a deadline budget: entry-point retries
 // stop once ctx is done.
 func (c *Cluster) FindOwnerCtx(ctx context.Context, key keyspace.Key) (overlay.Route, error) {
+	attempts := c.EntryAttempts
+	if attempts <= 0 {
+		attempts = defaultEntryAttempts
+	}
 	var firstErr error
-	for attempt := 0; attempt < entryAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -1,0 +1,574 @@
+// Package durable is the disk-backed wire.Store: an append-only,
+// checksummed write-ahead log compacted by periodic snapshots. It turns
+// a wire node's crash-stop into crash-recovery — reopen the same
+// directory, restart the node on the same address (the ring ID is
+// derived from it) and rejoin; the anti-entropy repair loop reconciles
+// whatever the node missed while it was down.
+//
+// Durability contract: every mutation is framed into the WAL before it
+// touches the in-memory map, and a failed append refuses the write (the
+// node then refuses the ack). By default the WAL is NOT fsynced per
+// write — an acked write survives a process crash but the last few may
+// be lost to a kernel crash or power cut; set Options.FsyncEvery to 1
+// for full fsync-per-append at the obvious throughput cost. Because an
+// append whose error was reported may still have reached the disk,
+// replay is at-least-once: records are idempotent (dedup on put,
+// replace semantics otherwise), so double-apply is harmless.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/wire"
+)
+
+const (
+	walFile  = "wal.log"
+	snapFile = "snapshot.db"
+	tmpFile  = "snapshot.tmp"
+
+	defaultSnapshotEvery = 1024
+)
+
+// Faults injects storage-level failures, mirroring what wire's
+// FaultTransport does for the network. Both hooks may be called with
+// the store's lock held and must not call back into the store.
+type Faults struct {
+	// AppendErr, when non-nil, is consulted before every WAL append; a
+	// non-nil result fails the append before anything is written.
+	AppendErr func() error
+	// SyncErr, when non-nil, is consulted before every fsync (WAL and
+	// snapshot alike); a non-nil result fails the flush.
+	SyncErr func() error
+}
+
+// Options tunes a durable store. The zero value is a sensible default.
+type Options struct {
+	// SnapshotEvery compacts the WAL into a fresh snapshot once it holds
+	// this many records (default 1024; negative disables automatic
+	// compaction — Snapshot can still be called explicitly).
+	SnapshotEvery int
+	// FsyncEvery fsyncs the WAL every N appends. 0 (the default) never
+	// fsyncs on the write path: appends reach the kernel immediately and
+	// the OS flushes them, so acked writes survive a process crash but
+	// not necessarily a power cut. 1 gives fsync-per-append.
+	FsyncEvery int
+	// Faults injects storage failures for tests and soak harnesses.
+	Faults Faults
+}
+
+// Store implements wire.Store on top of a data directory holding a WAL
+// (wal.log) and its compacting snapshot (snapshot.db). The wire node
+// serializes access through its own mutex; Store nonetheless carries
+// its own lock so telemetry snapshots and offline inspection stay safe.
+type Store struct {
+	mu         sync.Mutex
+	dir        string
+	opts       Options
+	mem        map[keyspace.Key][]overlay.Entry
+	wal        *os.File
+	seq        uint64
+	walRecords int
+	sinceSync  int
+	closed     bool
+	recovery   wire.RecoveryStats
+	c          counters
+}
+
+var (
+	_ wire.RecoverableStore  = (*Store)(nil)
+	_ wire.InstrumentedStore = (*Store)(nil)
+)
+
+// counters holds the store's telemetry instruments (attached to a
+// registry by Instrument; counted regardless).
+type counters struct {
+	walAppends      *telemetry.Counter
+	walAppendErrs   *telemetry.Counter
+	walBytes        *telemetry.Counter
+	walFsyncs       *telemetry.Counter
+	walFsyncErrs    *telemetry.Counter
+	snapWrites      *telemetry.Counter
+	snapWriteErrs   *telemetry.Counter
+	recoveryRuns    *telemetry.Counter
+	recoveryReplays *telemetry.Counter
+	recoveryTorn    *telemetry.Counter
+}
+
+func newCounters() counters {
+	return counters{
+		walAppends: telemetry.NewCounter("wire_wal_appends_total",
+			"WAL records appended."),
+		walAppendErrs: telemetry.NewCounter("wire_wal_append_errors_total",
+			"WAL appends that failed (the write was refused, no ack)."),
+		walBytes: telemetry.NewCounter("wire_wal_bytes_total",
+			"Bytes appended to the WAL, framing included."),
+		walFsyncs: telemetry.NewCounter("wire_wal_fsyncs_total",
+			"Explicit WAL fsyncs issued."),
+		walFsyncErrs: telemetry.NewCounter("wire_wal_fsync_errors_total",
+			"WAL fsyncs that failed."),
+		snapWrites: telemetry.NewCounter("wire_snapshot_writes_total",
+			"Compacting snapshots written and renamed into place."),
+		snapWriteErrs: telemetry.NewCounter("wire_snapshot_write_errors_total",
+			"Snapshot attempts abandoned by a write, sync or rename error."),
+		recoveryRuns: telemetry.NewCounter("wire_recovery_runs_total",
+			"Store opens that replayed persistent state."),
+		recoveryReplays: telemetry.NewCounter("wire_recovery_replayed_records_total",
+			"WAL records applied during recovery replays."),
+		recoveryTorn: telemetry.NewCounter("wire_recovery_torn_records_total",
+			"Torn or corrupt WAL tails truncated during recovery."),
+	}
+}
+
+// Open loads (or creates) the durable store rooted at dir, replaying
+// snapshot plus WAL. A torn WAL tail — the expected shape of a crash
+// mid-append — is truncated back to the last complete record and
+// reported in RecoveryStats, not treated as an error.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		mem:  make(map[keyspace.Key][]overlay.Entry),
+		c:    newCounters(),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	s.recovery.LastSeq = s.seq
+	s.c.recoveryRuns.Inc()
+	s.c.recoveryReplays.Add(s.recovery.ReplayedRecords)
+	s.c.recoveryTorn.Add(s.recovery.TornRecords)
+	return s, nil
+}
+
+// loadSnapshot replays snapshot.db into the in-memory map, if present.
+// Snapshots are written atomically (temp + rename), so a malformed one
+// is genuine corruption and fails the open rather than silently losing
+// a full compaction's worth of state.
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.dir, snapFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	seq, err := parseHeader(data, snapMagic)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot %s corrupt: bad header", path)
+	}
+	rest := data[headerSize:]
+	for len(rest) > 0 {
+		rec, n, err := parseFrame(rest)
+		if err != nil {
+			return fmt.Errorf("durable: snapshot %s corrupt: %w", path, err)
+		}
+		s.apply(rec)
+		rest = rest[n:]
+	}
+	s.seq = seq
+	s.recovery.SnapshotKeys = int64(len(s.mem))
+	return nil
+}
+
+// openWAL replays wal.log on top of the snapshot and leaves the file
+// open for appending. Records whose sequence the snapshot already
+// covers are skipped (a crash landed between the snapshot rename and
+// the WAL rotation); a torn tail is truncated.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: read wal: %w", err)
+	}
+	fresh := len(data) == 0
+	base, herr := parseHeader(data, walMagic)
+	if herr != nil && !fresh {
+		// Unreadable header: a crash mid-rotation. The snapshot covers
+		// everything up to s.seq, so resetting the WAL loses nothing
+		// that was ever acked from a complete record.
+		s.recovery.TornRecords++
+		fresh = true
+	}
+	offset := headerSize
+	if !fresh {
+		i := 0
+		rest := data[headerSize:]
+		for len(rest) > 0 {
+			rec, n, perr := parseFrame(rest)
+			if perr != nil {
+				s.recovery.TornRecords++
+				break
+			}
+			i++
+			if base+uint64(i) <= s.seq {
+				s.recovery.SkippedRecords++
+			} else {
+				s.apply(rec)
+				s.seq = base + uint64(i)
+				s.recovery.ReplayedRecords++
+			}
+			rest = rest[n:]
+			offset += n
+		}
+		s.walRecords = i
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: open wal: %w", err)
+	}
+	if fresh {
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt(encodeHeader(walMagic, s.seq), 0)
+		}
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("durable: init wal: %w", err)
+		}
+		offset = headerSize
+		s.walRecords = 0
+	} else if offset < len(data) {
+		// Torn tail: cut back to the last complete record.
+		if err := f.Truncate(int64(offset)); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("durable: truncate torn wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(offset), 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: seek wal: %w", err)
+	}
+	s.wal = f
+	return nil
+}
+
+// apply folds one replayed record into the in-memory map.
+func (s *Store) apply(rec record) {
+	switch rec.op {
+	case recPut:
+	put:
+		for _, e := range rec.entries {
+			for _, have := range s.mem[rec.key] {
+				if have == e {
+					continue put
+				}
+			}
+			s.mem[rec.key] = append(s.mem[rec.key], e)
+		}
+	case recReplace:
+		if len(rec.entries) == 0 {
+			delete(s.mem, rec.key)
+			return
+		}
+		entries := make([]overlay.Entry, len(rec.entries))
+		copy(entries, rec.entries)
+		s.mem[rec.key] = entries
+	}
+}
+
+// appendLocked frames rec into the WAL (write-ahead: the caller updates
+// the map only after this succeeds). A non-nil return means the write
+// must not be acked; it may still have partially reached the disk,
+// where replay either truncates it (torn) or re-applies it (complete —
+// harmless, records are idempotent).
+func (s *Store) appendLocked(rec record) error {
+	if s.closed {
+		return os.ErrClosed
+	}
+	if f := s.opts.Faults.AppendErr; f != nil {
+		if err := f(); err != nil {
+			s.c.walAppendErrs.Inc()
+			return err
+		}
+	}
+	frame := encodeRecord(rec)
+	if _, err := s.wal.Write(frame); err != nil {
+		s.c.walAppendErrs.Inc()
+		return err
+	}
+	s.seq++
+	s.walRecords++
+	s.c.walAppends.Inc()
+	s.c.walBytes.Add(int64(len(frame)))
+	if s.opts.FsyncEvery > 0 {
+		s.sinceSync++
+		if s.sinceSync >= s.opts.FsyncEvery {
+			if err := s.syncWALLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked snapshots when the WAL has grown past the
+// configured bound. Compaction failure is deliberately swallowed: the
+// WAL stays long but correct, and a later mutation retries.
+func (s *Store) maybeCompactLocked() {
+	if s.opts.SnapshotEvery > 0 && s.walRecords >= s.opts.SnapshotEvery {
+		_ = s.snapshotLocked()
+	}
+}
+
+// syncWALLocked fsyncs the WAL, honouring injected sync faults.
+func (s *Store) syncWALLocked() error {
+	s.sinceSync = 0
+	if f := s.opts.Faults.SyncErr; f != nil {
+		if err := f(); err != nil {
+			s.c.walFsyncErrs.Inc()
+			return err
+		}
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.c.walFsyncErrs.Inc()
+		return err
+	}
+	s.c.walFsyncs.Inc()
+	return nil
+}
+
+// snapshotLocked writes the whole map to a temp file, renames it over
+// snapshot.db and resets the WAL to an empty file based at the
+// snapshot's sequence. Crash windows are covered by sequence skipping:
+// after the rename but before the rotation, the old WAL's records are
+// all ≤ the snapshot sequence and replay ignores them.
+func (s *Store) snapshotLocked() error {
+	fail := func(err error) error {
+		s.c.snapWriteErrs.Inc()
+		_ = os.Remove(filepath.Join(s.dir, tmpFile))
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, tmpFile)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fail(err)
+	}
+	buf := encodeHeader(snapMagic, s.seq)
+	for k, entries := range s.mem {
+		buf = append(buf, encodeRecord(record{op: recReplace, key: k, entries: entries})...)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if sf := s.opts.Faults.SyncErr; sf != nil {
+		if err := sf(); err != nil {
+			_ = f.Close()
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapFile)); err != nil {
+		return fail(err)
+	}
+	s.syncDir()
+	// Rotate the WAL under the snapshot.
+	if err := s.wal.Truncate(0); err != nil {
+		return fail(err)
+	}
+	if _, err := s.wal.WriteAt(encodeHeader(walMagic, s.seq), 0); err != nil {
+		return fail(err)
+	}
+	if _, err := s.wal.Seek(headerSize, 0); err != nil {
+		return fail(err)
+	}
+	s.walRecords = 0
+	s.c.snapWrites.Inc()
+	return nil
+}
+
+// syncDir best-effort-fsyncs the data directory so the snapshot rename
+// itself is durable.
+func (s *Store) syncDir() {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Get implements wire.Store.
+func (s *Store) Get(key keyspace.Key) []overlay.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.mem[key]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]overlay.Entry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// Put implements wire.Store: WAL append first, map second.
+func (s *Store) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.mem[key] {
+		if have == e {
+			return false, nil
+		}
+	}
+	if err := s.appendLocked(record{op: recPut, key: key, entries: []overlay.Entry{e}}); err != nil {
+		return false, err
+	}
+	s.mem[key] = append(s.mem[key], e)
+	s.maybeCompactLocked()
+	return true, nil
+}
+
+// Remove implements wire.Store. The WAL records the post-removal entry
+// set (replace semantics), keeping replay idempotent without
+// tombstones.
+func (s *Store) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.mem[key]
+	at := -1
+	for i, have := range entries {
+		if have == e {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false, nil
+	}
+	post := make([]overlay.Entry, 0, len(entries)-1)
+	post = append(post, entries[:at]...)
+	post = append(post, entries[at+1:]...)
+	if err := s.appendLocked(record{op: recReplace, key: key, entries: post}); err != nil {
+		return false, err
+	}
+	if len(post) == 0 {
+		delete(s.mem, key)
+	} else {
+		s.mem[key] = post
+	}
+	s.maybeCompactLocked()
+	return true, nil
+}
+
+// Replace implements wire.Store.
+func (s *Store) Replace(key keyspace.Key, entries []overlay.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]overlay.Entry, len(entries))
+	copy(out, entries)
+	if err := s.appendLocked(record{op: recReplace, key: key, entries: out}); err != nil {
+		return err
+	}
+	if len(out) == 0 {
+		delete(s.mem, key)
+	} else {
+		s.mem[key] = out
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// ForEach implements wire.Store.
+func (s *Store) ForEach(fn func(key keyspace.Key, entries []overlay.Entry) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, entries := range s.mem {
+		if !fn(k, entries) {
+			return
+		}
+	}
+}
+
+// Len implements wire.Store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Sync implements wire.Store: an explicit WAL fsync regardless of
+// FsyncEvery.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.syncWALLocked()
+}
+
+// Snapshot forces a compaction now, regardless of SnapshotEvery.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// Close implements wire.Store: flush, then release the WAL handle. The
+// directory can be re-opened afterwards to restart the node.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	serr := s.syncWALLocked()
+	cerr := s.wal.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// RecoveryStats implements wire.RecoverableStore.
+func (s *Store) RecoveryStats() wire.RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Instrument implements wire.InstrumentedStore, attaching the
+// wire_wal_* / wire_snapshot_* / wire_recovery_* series plus a
+// wire_wal_records gauge of the WAL's current (uncompacted) length.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c := s.c
+	reg.Attach(c.walAppends, c.walAppendErrs, c.walBytes, c.walFsyncs,
+		c.walFsyncErrs, c.snapWrites, c.snapWriteErrs,
+		c.recoveryRuns, c.recoveryReplays, c.recoveryTorn)
+	reg.GaugeFunc("wire_wal_records",
+		"Records currently in the WAL (resets at each compaction).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.walRecords)
+		})
+}

@@ -1,0 +1,170 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// On-disk format, shared by the WAL and the snapshot.
+//
+// Both files start with a 16-byte header: an 8-byte magic string
+// followed by a uint64 little-endian sequence number. For the snapshot
+// that number is the last operation the snapshot covers; for the WAL it
+// is the sequence number BEFORE the file's first record, so record i
+// (0-based) carries sequence base+i+1 implicitly — no per-record
+// sequence field is needed because records are strictly ordered.
+//
+// After the header come length-prefixed, checksummed frames:
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// A frame's payload is one record: an op byte (recPut appends a single
+// entry, recReplace sets a key's whole entry set — zero entries means
+// delete), the 20-byte ring key, then a uvarint entry count followed by
+// uvarint-length-prefixed kind and value strings per entry.
+//
+// Replay reads frames until end of file. A short frame, an impossible
+// length, or a checksum mismatch marks the frame — and therefore
+// everything after it — torn: the WAL is truncated back to the last
+// complete record and the store opens cleanly (the write behind the
+// torn frame was never acked, so dropping it loses nothing the client
+// was promised). The snapshot is written to a temp file and renamed
+// into place, so a torn snapshot means real corruption and fails Open.
+
+const (
+	walMagic  = "DHTWAL1\n"
+	snapMagic = "DHTSNP1\n"
+
+	headerSize = 16
+
+	// recPut appends one entry to a key's set.
+	recPut = 1
+	// recReplace sets a key's whole entry set (empty = delete). Removes
+	// are logged as recReplace of the post-removal set, which keeps
+	// replay idempotent without tombstones.
+	recReplace = 2
+
+	// maxRecordSize bounds a frame payload; anything larger is treated
+	// as a torn length prefix rather than an allocation request.
+	maxRecordSize = 16 << 20
+)
+
+// errTorn marks a torn or corrupt frame found during replay.
+var errTorn = errors.New("durable: torn record")
+
+// record is one decoded WAL/snapshot frame.
+type record struct {
+	op      byte
+	key     keyspace.Key
+	entries []overlay.Entry
+}
+
+// encodeHeader renders a 16-byte magic+sequence file header.
+func encodeHeader(magic string, seq uint64) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[:8], magic)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	return buf
+}
+
+// parseHeader validates a file's 16-byte header and returns its
+// sequence number. A short or mismatched header returns errTorn so
+// callers can decide between reset-and-continue (WAL) and fail
+// (snapshot).
+func parseHeader(b []byte, magic string) (uint64, error) {
+	if len(b) < headerSize || string(b[:8]) != magic {
+		return 0, errTorn
+	}
+	return binary.LittleEndian.Uint64(b[8:headerSize]), nil
+}
+
+// encodeRecord renders one record as a complete frame (length prefix,
+// checksum, payload).
+func encodeRecord(rec record) []byte {
+	payload := make([]byte, 0, 1+keyspace.Size+8)
+	payload = append(payload, rec.op)
+	payload = append(payload, rec.key[:]...)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.entries)))
+	for _, e := range rec.entries {
+		payload = binary.AppendUvarint(payload, uint64(len(e.Kind)))
+		payload = append(payload, e.Kind...)
+		payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
+		payload = append(payload, e.Value...)
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// parseFrame decodes the frame starting at b[0], returning the record
+// and the number of bytes consumed. len(b) == 0 signals a clean end;
+// any malformed or partial frame returns errTorn.
+func parseFrame(b []byte) (record, int, error) {
+	if len(b) < 8 {
+		return record{}, 0, errTorn
+	}
+	length := binary.LittleEndian.Uint32(b[0:])
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if length == 0 || length > maxRecordSize || uint32(len(b)-8) < length {
+		return record{}, 0, errTorn
+	}
+	payload := b[8 : 8+length]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return record{}, 0, errTorn
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return record{}, 0, err
+	}
+	return rec, 8 + int(length), nil
+}
+
+// decodePayload parses one frame payload into a record.
+func decodePayload(payload []byte) (record, error) {
+	if len(payload) < 1+keyspace.Size {
+		return record{}, errTorn
+	}
+	var rec record
+	rec.op = payload[0]
+	if rec.op != recPut && rec.op != recReplace {
+		return record{}, errTorn
+	}
+	copy(rec.key[:], payload[1:1+keyspace.Size])
+	rest := payload[1+keyspace.Size:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > maxRecordSize {
+		return record{}, errTorn
+	}
+	rest = rest[n:]
+	rec.entries = make([]overlay.Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, rem, err := readString(rest)
+		if err != nil {
+			return record{}, err
+		}
+		value, rem, err := readString(rem)
+		if err != nil {
+			return record{}, err
+		}
+		rest = rem
+		rec.entries = append(rec.entries, overlay.Entry{Kind: kind, Value: value})
+	}
+	if len(rest) != 0 {
+		return record{}, errTorn
+	}
+	return rec, nil
+}
+
+// readString decodes one uvarint-length-prefixed string.
+func readString(b []byte) (string, []byte, error) {
+	length, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < length {
+		return "", nil, errTorn
+	}
+	return string(b[n : n+int(length)]), b[n+int(length):], nil
+}

@@ -27,21 +27,26 @@ func (n *Node) handle(req Message) Message {
 		return n.handleNotify(req)
 	case OpPut:
 		n.mu.Lock()
-		n.putLocked(req.Key, req.Entry)
+		_, err := n.store.Put(req.Key, req.Entry)
 		n.mu.Unlock()
+		if err != nil {
+			// The write never became durable; refuse the ack so the client
+			// retries against a healthy replica instead of trusting a copy
+			// that would not survive a restart.
+			return Message{Op: req.Op, Err: err.Error()}
+		}
 		n.replicateEntry(req.Key, req.Entry, OpPutReplica)
 		return Message{Op: req.Op, Ok: true}
 	case OpGet:
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		entries := n.store[req.Key]
-		out := make([]overlay.Entry, len(entries))
-		copy(out, entries)
-		return Message{Op: req.Op, Entries: out, Ok: true}
+		return Message{Op: req.Op, Entries: n.store.Get(req.Key), Ok: true}
 	case OpRemove:
 		return n.handleRemove(req)
 	case OpTransfer, OpPutReplica:
-		n.adoptKeys(req.KV)
+		if err := n.adoptKeys(req.KV); err != nil {
+			return Message{Op: req.Op, Err: err.Error()}
+		}
 		return Message{Op: req.Op, Ok: true}
 	case OpRemoveReplica:
 		return n.handleRemove(req)
@@ -136,14 +141,19 @@ func (n *Node) handleNotify(req Message) Message {
 	// them.
 	var kv []KeyEntries
 	predID := idOf(cand)
-	for k, entries := range n.store {
+	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
 		if !k.Between(predID, n.id) {
-			kv = append(kv, KeyEntries{Key: k, Entries: entries})
+			out := make([]overlay.Entry, len(entries))
+			copy(out, entries)
+			kv = append(kv, KeyEntries{Key: k, Entries: out})
 		}
-	}
+		return true
+	})
 	if n.cfg.ReplicationFactor == 0 {
 		for _, item := range kv {
-			delete(n.store, item.Key)
+			// Best effort: the predecessor holds the entries now, so a
+			// failed local delete only costs a duplicate copy.
+			_ = n.store.Replace(item.Key, nil)
 		}
 	}
 	return Message{Op: req.Op, Ok: true, KV: kv}
@@ -177,26 +187,14 @@ func (n *Node) replicateEntry(key keyspace.Key, e overlay.Entry, op Op) {
 
 func (n *Node) handleRemove(req Message) Message {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	entries := n.store[req.Key]
-	removed := false
-	for i, have := range entries {
-		if have == req.Entry {
-			entries = append(entries[:i], entries[i+1:]...)
-			if len(entries) == 0 {
-				delete(n.store, req.Key)
-			} else {
-				n.store[req.Key] = entries
-			}
-			removed = true
-			break
-		}
+	removed, err := n.store.Remove(req.Key, req.Entry)
+	n.mu.Unlock()
+	if err != nil {
+		return Message{Op: req.Op, Err: err.Error()}
 	}
 	if removed && req.Op == OpRemove {
 		// Propagate the deletion to replicas outside the lock.
-		n.mu.Unlock()
 		n.replicateEntry(req.Key, req.Entry, OpRemoveReplica)
-		n.mu.Lock()
 	}
 	return Message{Op: req.Op, Ok: removed}
 }
@@ -207,11 +205,11 @@ func (n *Node) handleStats(req Message) Message {
 	resp := Message{
 		Op:            req.Op,
 		Ok:            true,
-		Keys:          len(n.store),
+		Keys:          n.store.Len(),
 		EntriesByKind: make(map[string]int),
 		BytesByKind:   make(map[string]int64),
 	}
-	for _, entries := range n.store {
+	n.store.ForEach(func(_ keyspace.Key, entries []overlay.Entry) bool {
 		kinds := make(map[string]bool, 2)
 		for _, e := range entries {
 			resp.EntriesByKind[e.Kind]++
@@ -221,6 +219,7 @@ func (n *Node) handleStats(req Message) Message {
 		for k := range kinds {
 			resp.BytesByKind[k] += keyspace.Size
 		}
-	}
+		return true
+	})
 	return resp
 }

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// TestLeaveRacingRepair races a graceful Leave against the anti-entropy
+// repair loop: with repair running every stabilize round, a departure's
+// handoff overlaps in-flight digest syncs and drop scans. The ring must
+// neither resurrect removed entries (a stale replica shipping a copy
+// the owner just deleted) nor double-ship survivors (every key must
+// settle at EXACTLY the ideal copy count, with single-entry sets).
+func TestLeaveRacingRepair(t *testing.T) {
+	const (
+		nodes       = 5
+		replication = 2
+		keyCount    = 12
+	)
+	mt := NewMemTransport()
+	ring := make([]*Node, 0, nodes)
+	var bootstrap string
+	for i := 0; i < nodes; i++ {
+		n, err := Start(Config{
+			Transport:         mt,
+			Addr:              "mem:0",
+			StabilizeInterval: 5 * time.Millisecond,
+			ReplicationFactor: replication,
+			RepairEvery:       1,
+		})
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			t.Fatalf("join node %d: %v", i, err)
+		}
+		ring = append(ring, n)
+	}
+	defer func() {
+		for _, n := range ring {
+			n.Stop()
+		}
+	}()
+	cluster := NewCluster(mt, 7, replication)
+	for _, n := range ring {
+		cluster.Track(n.Addr())
+	}
+	if err := cluster.WaitConverged(15 * time.Second); err != nil {
+		t.Fatalf("ring never formed: %v", err)
+	}
+
+	keys := make([]keyspace.Key, keyCount)
+	entries := make([]overlay.Entry, keyCount)
+	for i := range keys {
+		keys[i] = keyspace.NewKey(fmt.Sprintf("race-%d", i))
+		entries[i] = overlay.Entry{Kind: "race", Value: fmt.Sprintf("v%d", i)}
+		if _, err := cluster.Put(keys[i], entries[i]); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// Let the repair loop settle every key at the ideal copy count
+	// before the race, so the removes below act on converged state (no
+	// stale pre-remove ship can still be in flight when they land).
+	waitCopies := func(deadline time.Time, want func(i int) int) {
+		t.Helper()
+		for i, k := range keys {
+			for {
+				got := countCopies(mt, cluster.Addrs(), k)
+				if got == want(i) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("key %d stuck at %d copies, want %d", i, got, want(i))
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	full := replication + 1
+	waitCopies(time.Now().Add(20*time.Second), func(int) int { return full })
+
+	// The race: remove half the entries and immediately Leave a node
+	// mid-repair. The leaver's handoff ships its whole store — including
+	// copies of keys whose removal is propagating concurrently.
+	leaver := ring[2]
+	cluster.Untrack(leaver.Addr())
+	done := make(chan error, 1)
+	go func() { done <- leaver.Leave() }()
+	for i := 0; i < keyCount; i += 2 {
+		if _, err := cluster.Remove(keys[i], entries[i]); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Logf("leave handoff incomplete (tolerated, repair owns the rest): %v", err)
+	}
+	ring = append(ring[:2], ring[3:]...)
+
+	// Post-race invariants, held with a deadline so the repair loop gets
+	// its rounds: removed keys stay gone on every node (no resurrection),
+	// surviving keys settle at exactly the ideal count again (no
+	// double-ship leftovers, no under-replication from the departure).
+	waitCopies(time.Now().Add(30*time.Second), func(i int) int {
+		if i%2 == 0 {
+			return 0
+		}
+		return full
+	})
+	for i := 1; i < keyCount; i += 2 {
+		got, _, err := cluster.Get(keys[i])
+		if err != nil {
+			t.Fatalf("get survivor %d: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != entries[i] {
+			t.Fatalf("survivor %d diverged: %v", i, got)
+		}
+	}
+}

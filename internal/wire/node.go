@@ -47,6 +47,19 @@ type Config struct {
 	// pre-retry behaviour). Raise it so a slow peer — one that fails
 	// even its retried RPC once — is distinguished from a dead one.
 	SuccFailThreshold int
+	// FingerFixesPerRound is the number of finger-table entries
+	// refreshed per stabilize round (default 16; the table has
+	// keyspace.Bits = 160 slots, so the default sweeps the whole table
+	// every 10 rounds).
+	FingerFixesPerRound int
+	// Store is the node's local entry store (default: a fresh
+	// MemStore). Pass a durable store (internal/wire/durable) to make
+	// the node's state survive restarts: re-open the same directory,
+	// Start with the same Addr — the ring ID is derived from it — and
+	// Join; the anti-entropy repair loop reconciles whatever was missed
+	// while down. The node assumes ownership and closes the store on
+	// Stop/Leave.
+	Store Store
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +77,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RepairEvery == 0 {
 		c.RepairEvery = 4
+	}
+	if c.FingerFixesPerRound == 0 {
+		c.FingerFixesPerRound = 16
+	}
+	if c.Store == nil {
+		c.Store = NewMemStore()
 	}
 	return c
 }
@@ -84,7 +103,7 @@ type Node struct {
 	succFails int      // consecutive failed stabilize contacts of succs[0]
 	fingers   [keyspace.Bits]string
 	fingerIdx int
-	store     map[keyspace.Key][]overlay.Entry
+	store     Store
 	stopped   bool
 	leftTo    string // peer that accepted the Leave hand-off
 
@@ -106,7 +125,7 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:    cfg,
-		store:  make(map[keyspace.Key][]overlay.Entry),
+		store:  cfg.Store,
 		stop:   make(chan struct{}),
 		repair: newRepairCounters(),
 	}
@@ -164,6 +183,7 @@ func (n *Node) Stop() {
 	close(n.stop)
 	n.done.Wait()
 	_ = n.listener.Close()
+	_ = n.store.Close()
 }
 
 // Leave transfers this node's keys to the first reachable entry of its
@@ -188,9 +208,12 @@ func (n *Node) Leave() error {
 	succs := make([]string, len(n.succs))
 	copy(succs, n.succs)
 	var kv []KeyEntries
-	for k, entries := range n.store {
-		kv = append(kv, KeyEntries{Key: k, Entries: entries})
-	}
+	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		kv = append(kv, KeyEntries{Key: k, Entries: out})
+		return true
+	})
 	n.mu.Unlock()
 	var handoffErr error
 	if len(kv) > 0 {
@@ -219,6 +242,7 @@ func (n *Node) Leave() error {
 		}
 	}
 	_ = n.listener.Close()
+	_ = n.store.Close()
 	return handoffErr
 }
 
@@ -242,7 +266,7 @@ func (n *Node) maintenanceLoop() {
 		case <-ticker.C:
 			n.stabilizeOnce()
 			n.checkPredecessor()
-			n.fixFingers(16)
+			n.fixFingers(n.cfg.FingerFixesPerRound)
 			round++
 			if n.cfg.ReplicationFactor > 0 {
 				// Repair on cadence, and immediately when the immediate
@@ -396,24 +420,22 @@ func (n *Node) fixFingers(count int) {
 	}
 }
 
-// adoptKeys stores transferred entries locally.
-func (n *Node) adoptKeys(kv []KeyEntries) {
+// adoptKeys stores transferred entries locally. The first store
+// failure is returned (remaining items are still attempted): a durable
+// store that cannot append its WAL must not silently ack a transfer, or
+// the sender would drop its only copy.
+func (n *Node) adoptKeys(kv []KeyEntries) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var firstErr error
 	for _, item := range kv {
 		for _, e := range item.Entries {
-			n.putLocked(item.Key, e)
+			if _, err := n.store.Put(item.Key, e); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-}
-
-func (n *Node) putLocked(key keyspace.Key, e overlay.Entry) {
-	for _, have := range n.store[key] {
-		if have == e {
-			return
-		}
-	}
-	n.store[key] = append(n.store[key], e)
+	return firstErr
 }
 
 // Snapshot support for tests and diagnostics.
@@ -481,11 +503,14 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 	if n.retry != nil {
 		n.retry.Instrument(reg)
 	}
+	if is, ok := n.store.(InstrumentedStore); ok {
+		is.Instrument(reg)
+	}
 }
 
 // KeyCount returns the number of distinct keys stored locally.
 func (n *Node) KeyCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.store)
+	return n.store.Len()
 }

@@ -126,12 +126,13 @@ func (n *Node) syncReplicas() {
 	copy(succs, n.succs)
 	pred := n.pred
 	var owned []KeyDigest
-	for k, entries := range n.store {
+	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
 		if pred != "" && !k.Between(idOf(pred), n.id) {
-			continue // a replica held for another owner
+			return true // a replica held for another owner
 		}
 		owned = append(owned, KeyDigest{Key: k, Digest: entriesDigest(entries)})
-	}
+		return true
+	})
 	n.mu.Unlock()
 	if len(owned) == 0 {
 		return
@@ -158,10 +159,7 @@ func (n *Node) syncReplicas() {
 		n.mu.Lock()
 		kv := make([]KeyEntries, 0, len(resp.Digests))
 		for _, want := range resp.Digests {
-			entries := n.store[want.Key]
-			out := make([]overlay.Entry, len(entries))
-			copy(out, entries)
-			kv = append(kv, KeyEntries{Key: want.Key, Entries: out})
+			kv = append(kv, KeyEntries{Key: want.Key, Entries: n.store.Get(want.Key)})
 		}
 		n.mu.Unlock()
 		if sresp, serr := n.cfg.Transport.Call(succ, Message{Op: OpRepairSync, KV: kv}); serr == nil && remoteError(sresp) == nil {
@@ -200,14 +198,15 @@ func (n *Node) dropStaleCopies() {
 
 	n.mu.Lock()
 	var stale []KeyEntries
-	for k, entries := range n.store {
+	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
 		if k.Between(windowFrom, n.id) {
-			continue // owed: owned or within the replica window
+			return true // owed: owned or within the replica window
 		}
 		out := make([]overlay.Entry, len(entries))
 		copy(out, entries)
 		stale = append(stale, KeyEntries{Key: k, Entries: out})
-	}
+		return true
+	})
 	n.mu.Unlock()
 
 	for _, item := range stale {
@@ -227,9 +226,10 @@ func (n *Node) dropStaleCopies() {
 		n.mu.Lock()
 		// Drop only if unchanged since the snapshot — an entry written in
 		// the meantime has not been forwarded and must not be lost.
-		if entriesDigest(n.store[item.Key]) == entriesDigest(item.Entries) {
-			delete(n.store, item.Key)
-			n.repair.drops.Inc()
+		if entriesDigest(n.store.Get(item.Key)) == entriesDigest(item.Entries) {
+			if n.store.Replace(item.Key, nil) == nil {
+				n.repair.drops.Inc()
+			}
 		}
 		n.mu.Unlock()
 	}
@@ -246,19 +246,17 @@ func (n *Node) handleRepairSync(req Message) Message {
 	defer n.mu.Unlock()
 	if len(req.KV) > 0 {
 		for _, item := range req.KV {
-			if len(item.Entries) == 0 {
-				delete(n.store, item.Key)
-				continue
+			if err := n.store.Replace(item.Key, item.Entries); err != nil {
+				// Refuse the ack: the owner keeps counting this replica as
+				// divergent and re-ships next round.
+				return Message{Op: req.Op, Err: err.Error()}
 			}
-			entries := make([]overlay.Entry, len(item.Entries))
-			copy(entries, item.Entries)
-			n.store[item.Key] = entries
 		}
 		return Message{Op: req.Op, Ok: true}
 	}
 	var want []KeyDigest
 	for _, d := range req.Digests {
-		if entriesDigest(n.store[d.Key]) != d.Digest {
+		if entriesDigest(n.store.Get(d.Key)) != d.Digest {
 			want = append(want, KeyDigest{Key: d.Key})
 		}
 	}

@@ -35,8 +35,8 @@ type SoakConfig struct {
 	// CrashEvery crashes one node per this many ops (default 100).
 	CrashEvery int
 	// PartitionAt is the op index where an adjacent pair of nodes is
-	// partitioned (default Ops/3); PartitionLen ops later it heals
-	// (default Ops/5).
+	// partitioned (default Ops/3; negative disables partitions);
+	// PartitionLen ops later it heals (default Ops/5).
 	PartitionAt  int
 	PartitionLen int
 	// ReplicationFactor for the ring (default 2).
@@ -81,6 +81,41 @@ type SoakConfig struct {
 	// lookups against freshly crash-stopped nodes. Its error is returned
 	// as the run's error.
 	PostStorm func(c *Cluster, ft *FaultTransport) error
+
+	// StoreFor, when set, supplies each member's Store by its stable
+	// member index — the hook that makes the soak's nodes durable (the
+	// caller typically opens internal/wire/durable stores in per-index
+	// directories). A restarting member re-invokes StoreFor with the
+	// SAME index, so the implementation must return a fresh handle onto
+	// the same underlying data. Nil members fall back to MemStore.
+	StoreFor func(member int) (Store, error)
+	// RestartEvery, when > 0, crash-restarts a burst of ring-adjacent
+	// members every RestartEvery storm ops: each is crash-stopped (no
+	// handoff) KEEPING its data directory, sits out RestartDowntime ops,
+	// then reopens its store, restarts on the same address — reclaiming
+	// its ring ID — and rejoins. With RestartBurst covering a whole
+	// replica set, the burst's key ranges survive only if the durable
+	// store brings them back.
+	RestartEvery int
+	// RestartBurst is how many adjacent members each restart event takes
+	// down (default ReplicationFactor+1 — a full replica set).
+	RestartBurst int
+	// RestartDowntime is how many ops a restarted member stays down
+	// (default 15).
+	RestartDowntime int
+
+	// ConvergeTimeout bounds the WaitConverged calls at ring formation
+	// and after the storm (default 30s).
+	ConvergeTimeout time.Duration
+	// ReadbackTimeout bounds the post-storm probe that re-reads every
+	// acked key (default 30s).
+	ReadbackTimeout time.Duration
+	// ReplicaVerifyTimeout bounds the VerifyReplicas convergence hold
+	// (default 45s).
+	ReplicaVerifyTimeout time.Duration
+	// PutRetries is the op-level put retry budget on top of RPC retries
+	// (default 8).
+	PutRetries int
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -113,6 +148,24 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	}
 	if c.StabilizeInterval == 0 {
 		c.StabilizeInterval = 25 * time.Millisecond
+	}
+	if c.RestartBurst == 0 {
+		c.RestartBurst = c.ReplicationFactor + 1
+	}
+	if c.RestartDowntime == 0 {
+		c.RestartDowntime = 15
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	if c.ReadbackTimeout == 0 {
+		c.ReadbackTimeout = 30 * time.Second
+	}
+	if c.ReplicaVerifyTimeout == 0 {
+		c.ReplicaVerifyTimeout = 45 * time.Second
+	}
+	if c.PutRetries == 0 {
+		c.PutRetries = 8
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -151,6 +204,12 @@ type SoakReport struct {
 	// additions and graceful departures.
 	Joins  int
 	Leaves int
+	// Restarts counts members crash-restarted from their data directory
+	// (RestartEvery schedule).
+	Restarts int
+	// Recovery aggregates what the restarted members' durable stores
+	// replayed (zero without StoreFor).
+	Recovery RecoveryStats
 	// Converged reports whether the surviving ring re-converged to the
 	// ideal successor cycle after the storm.
 	Converged bool
@@ -186,26 +245,50 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 
 	cluster := NewCluster(NewRetryingTransport(ft, policy), cfg.Seed+3, cfg.ReplicationFactor)
 
+	// startMember boots one member. Each member has a stable index that
+	// survives restarts — it keys StoreFor, so a revived member reopens
+	// the same data directory. addr is "mem:0" for a fresh member or the
+	// previous address for a restart (same address ⇒ same ring ID).
+	startMember := func(idx int, addr string) (*Node, Store, error) {
+		var st Store
+		if cfg.StoreFor != nil {
+			var err error
+			if st, err = cfg.StoreFor(idx); err != nil {
+				return nil, nil, fmt.Errorf("soak: store for member %d: %w", idx, err)
+			}
+		}
+		p := policy
+		p.Seed = cfg.Seed + 10 + int64(idx)
+		n, err := Start(Config{
+			Transport:         ft.Endpoint(),
+			Addr:              addr,
+			StabilizeInterval: cfg.StabilizeInterval,
+			ReplicationFactor: cfg.ReplicationFactor,
+			Retry:             &p,
+			SuccFailThreshold: 2,
+			Store:             st,
+		})
+		if err != nil && st != nil {
+			_ = st.Close()
+		}
+		return n, st, err
+	}
+
 	// Boot and converge the ring on a clean network: the soak measures
 	// survival under faults, not formation under faults (joins retried
 	// under loss are a separate scenario the retry layer also covers).
 	nodes := make([]*Node, 0, cfg.Nodes)
 	alive := make(map[string]*Node, cfg.Nodes)
+	memberIdx := make(map[string]int, cfg.Nodes)
+	nextIdx := 0
 	var bootstrap string
 	for i := 0; i < cfg.Nodes; i++ {
-		p := policy
-		p.Seed = cfg.Seed + 10 + int64(i)
-		n, err := Start(Config{
-			Transport:         ft.Endpoint(),
-			Addr:              "mem:0",
-			StabilizeInterval: cfg.StabilizeInterval,
-			ReplicationFactor: cfg.ReplicationFactor,
-			Retry:             &p,
-			SuccFailThreshold: 2,
-		})
+		n, _, err := startMember(nextIdx, "mem:0")
 		if err != nil {
 			return report, fmt.Errorf("soak: start node %d: %w", i, err)
 		}
+		memberIdx[n.Addr()] = nextIdx
+		nextIdx++
 		if bootstrap == "" {
 			bootstrap = n.Addr()
 		} else if err := n.Join(bootstrap); err != nil {
@@ -235,7 +318,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			"Live nodes in the soak ring.",
 			func() float64 { return float64(aliveCount.Load()) })
 	}
-	if err := cluster.WaitConverged(30 * time.Second); err != nil {
+	if err := cluster.WaitConverged(cfg.ConvergeTimeout); err != nil {
 		return report, fmt.Errorf("soak: ring never formed: %w", err)
 	}
 	if cfg.Setup != nil {
@@ -253,10 +336,100 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		LatencyProb: cfg.LatencyProb,
 	})
 
+	// Crash-restart bookkeeping: members taken down with their data
+	// directory intact, waiting out their downtime before revival.
+	type downedMember struct {
+		addr     string
+		idx      int
+		reviveAt int
+	}
+	var downed []downedMember
+
+	// revive restarts one downed member on its old address (reclaiming
+	// its ring ID) and rejoins it. Returns false when the join drowned in
+	// the storm; the caller re-queues the member for a later attempt.
+	revive := func(d downedMember) (bool, error) {
+		ft.Restore(d.addr)
+		n, st, err := startMember(d.idx, d.addr)
+		if err != nil {
+			return false, err
+		}
+		joined := false
+		ring := cluster.Addrs()
+		for try := 0; try < 3 && !joined && len(ring) > 0; try++ {
+			boot := ring[schedule.Intn(len(ring))]
+			joined = n.Join(boot) == nil
+		}
+		if !joined {
+			n.Stop() // closes the store; the retry reopens it
+			return false, nil
+		}
+		cluster.Track(d.addr)
+		nodes = append(nodes, n)
+		alive[d.addr] = n
+		aliveCount.Store(int64(len(alive)))
+		if cfg.Telemetry != nil {
+			n.Instrument(cfg.Telemetry)
+		}
+		if rc, ok := st.(RecoverableStore); ok {
+			report.Recovery.Merge(rc.RecoveryStats())
+		}
+		report.Restarts++
+		return true, nil
+	}
+
 	var acked []string
 	partitioned := false
 	var partA, partB string
 	for op := 0; op < cfg.Ops; op++ {
+		// Revive downed members whose downtime has elapsed. A failed
+		// rejoin re-queues the member a few ops out — its data directory
+		// is durable, so nothing is lost by waiting.
+		for i := 0; i < len(downed); {
+			d := downed[i]
+			if d.reviveAt > op {
+				i++
+				continue
+			}
+			ok, err := revive(d)
+			if err != nil {
+				return report, err
+			}
+			if ok {
+				downed = append(downed[:i], downed[i+1:]...)
+				cfg.Log("soak: op %d: restarted %s from its data dir (%d nodes)", op, d.addr, len(alive))
+			} else {
+				downed[i].reviveAt = op + 5
+				cfg.Log("soak: op %d: restart of %s drowned in the storm; retrying", op, d.addr)
+				i++
+			}
+		}
+		// Crash-restart schedule: take down a run of ring-adjacent
+		// members — a whole replica set when RestartBurst ≥ R+1 — keeping
+		// their data directories. Until they return, their key ranges
+		// live only on disk (plus whatever replicas survive outside the
+		// burst), which is exactly the property under test.
+		if cfg.RestartEvery > 0 && op > 0 && op%cfg.RestartEvery == 0 {
+			ring := cluster.Addrs()
+			if len(ring) >= cfg.RestartBurst+2 {
+				at := schedule.Intn(len(ring))
+				for b := 0; b < cfg.RestartBurst; b++ {
+					addr := ring[(at+b)%len(ring)]
+					n, ok := alive[addr]
+					if !ok || addr == partA || addr == partB {
+						continue
+					}
+					ft.Crash(addr)
+					n.Stop()
+					cluster.Untrack(addr)
+					delete(alive, addr)
+					aliveCount.Store(int64(len(alive)))
+					downed = append(downed, downedMember{addr: addr, idx: memberIdx[addr], reviveAt: op + cfg.RestartDowntime})
+					cfg.Log("soak: op %d: crash-restarting %s (down for %d ops, %d nodes left)",
+						op, addr, cfg.RestartDowntime, len(alive))
+				}
+			}
+		}
 		// Fault schedule first, so writes land on the faulted topology.
 		if op > 0 && op%cfg.CrashEvery == 0 && len(alive) > cfg.Nodes/2 {
 			victim := pickVictim(schedule, cluster.Addrs(), alive, partA, partB)
@@ -285,19 +458,12 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			cfg.Log("soak: op %d: partition healed", op)
 		}
 		if cfg.JoinEvery > 0 && op > 0 && op%cfg.JoinEvery == 0 {
-			p := policy
-			p.Seed = cfg.Seed + 1000 + int64(op)
-			n, err := Start(Config{
-				Transport:         ft.Endpoint(),
-				Addr:              "mem:0",
-				StabilizeInterval: cfg.StabilizeInterval,
-				ReplicationFactor: cfg.ReplicationFactor,
-				Retry:             &p,
-				SuccFailThreshold: 2,
-			})
+			n, _, err := startMember(nextIdx, "mem:0")
 			if err != nil {
 				return report, fmt.Errorf("soak: op %d: start joiner: %w", op, err)
 			}
+			memberIdx[n.Addr()] = nextIdx
+			nextIdx++
 			// Joins happen under the storm, so a bootstrap attempt can fail
 			// end-to-end even with RPC retries; try a few live members.
 			joined := false
@@ -341,7 +507,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 
 		key := fmt.Sprintf("soak-%d", op)
 		entry := overlay.Entry{Kind: "soak", Value: fmt.Sprintf("v%d", op)}
-		if putWithRetry(cluster, keyspace.NewKey(key), entry, 8) {
+		if putWithRetry(cluster, keyspace.NewKey(key), entry, cfg.PutRetries) {
 			acked = append(acked, key)
 		} else {
 			report.PutFailures++
@@ -362,11 +528,26 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	}
 	report.Acked = len(acked)
 
-	// Storm off: heal everything and let the ring repair, then hold it
-	// to its promises on a clean network.
+	// Storm off: heal everything, bring every still-downed member back
+	// from its data directory, and let the ring repair — then hold it to
+	// its promises on a clean network.
 	ft.Heal()
 	ft.SetDefaultRule(FaultRule{})
-	if err := cluster.WaitConverged(30 * time.Second); err == nil {
+	for _, d := range downed {
+		ok, err := revive(d)
+		for try := 0; err == nil && !ok && try < 5; try++ {
+			time.Sleep(50 * time.Millisecond)
+			ok, err = revive(d)
+		}
+		if err != nil {
+			return report, err
+		}
+		if !ok {
+			return report, fmt.Errorf("soak: member %s never rejoined after restart", d.addr)
+		}
+	}
+	downed = nil
+	if err := cluster.WaitConverged(cfg.ConvergeTimeout); err == nil {
 		report.Converged = true
 	} else {
 		cfg.Log("soak: ring did not re-converge: %v", err)
@@ -375,7 +556,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 
 	// Every acked write-once entry must still be served. Replica repair
 	// may need a few rounds to resettle keys, so poll with a deadline.
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(cfg.ReadbackTimeout)
 	for _, key := range acked {
 		k := keyspace.NewKey(key)
 		for {
@@ -400,7 +581,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		if len(alive) < expected {
 			expected = len(alive)
 		}
-		verifyDeadline := time.Now().Add(45 * time.Second)
+		verifyDeadline := time.Now().Add(cfg.ReplicaVerifyTimeout)
 		for _, key := range acked {
 			k := keyspace.NewKey(key)
 			for {
@@ -436,11 +617,12 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	}
 	report.Cluster = cluster.Metrics()
 	report.Elapsed = time.Since(start)
-	cfg.Log("soak: done in %v: acked=%d lost=%d badreplicas=%d crashes=%d partitions=%d joins=%d leaves=%d amplification=%.2f repair=[pushes=%d drops=%d]",
+	cfg.Log("soak: done in %v: acked=%d lost=%d badreplicas=%d crashes=%d partitions=%d joins=%d leaves=%d restarts=%d amplification=%.2f repair=[pushes=%d drops=%d] recovery=[snap=%d replayed=%d torn=%d]",
 		report.Elapsed.Round(time.Millisecond), report.Acked, len(report.LostKeys),
 		len(report.ReplicaViolations), report.Crashes, report.Partitions,
-		report.Joins, report.Leaves, report.RetryAmplification(),
-		report.Repair.Pushes, report.Repair.Drops)
+		report.Joins, report.Leaves, report.Restarts, report.RetryAmplification(),
+		report.Repair.Pushes, report.Repair.Drops,
+		report.Recovery.SnapshotKeys, report.Recovery.ReplayedRecords, report.Recovery.TornRecords)
 	return report, nil
 }
 

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
+)
+
+// Store is a node's local entry store: the map from ring keys to the
+// entry sets this node currently holds (owned keys plus replica
+// copies). The node serializes all access through its own mutex, so
+// implementations need not be safe for concurrent use by themselves —
+// but they may be called from the node's handler goroutines and its
+// maintenance loop interleaved, one call at a time.
+//
+// Two implementations exist: MemStore (the default, a plain RAM map
+// that dies with the process) and the disk-backed WAL+snapshot store in
+// internal/wire/durable, which turns a crash-stop into crash-recovery.
+// Mutators return an error when the write could not be made durable;
+// the node then refuses to acknowledge the operation, so "acked" always
+// means "recorded to the configured durability level".
+type Store interface {
+	// Get returns a copy of the entries stored under key (nil if none).
+	Get(key keyspace.Key) []overlay.Entry
+	// Put appends e under key unless an identical entry is already
+	// present, reporting whether it was added.
+	Put(key keyspace.Key, e overlay.Entry) (bool, error)
+	// Remove deletes the exact entry under key, reporting whether it
+	// existed. Removing the last entry removes the key.
+	Remove(key keyspace.Key, e overlay.Entry) (bool, error)
+	// Replace sets key's whole entry set at once (repair-sync ship
+	// semantics); an empty set deletes the key.
+	Replace(key keyspace.Key, entries []overlay.Entry) error
+	// ForEach calls fn for every stored key until fn returns false. The
+	// entries slice is the store's internal state: callers must copy it
+	// before retaining or mutating, and must not call other Store
+	// methods from within fn.
+	ForEach(fn func(key keyspace.Key, entries []overlay.Entry) bool)
+	// Len returns the number of distinct keys stored.
+	Len() int
+	// Sync flushes buffered writes to stable storage (no-op for
+	// memory-backed stores).
+	Sync() error
+	// Close releases the store's resources, flushing first. The node
+	// owns its store and closes it on Stop/Leave; a durable store can
+	// then be re-opened from the same directory to restart the node.
+	Close() error
+}
+
+// RecoveryStats describes what a durable store replayed when it was
+// opened: how much state came back from the snapshot and the WAL, and
+// whether a torn tail had to be truncated.
+type RecoveryStats struct {
+	// SnapshotKeys is the number of keys loaded from the snapshot.
+	SnapshotKeys int64
+	// ReplayedRecords is the number of WAL records applied on top.
+	ReplayedRecords int64
+	// SkippedRecords is the number of WAL records skipped because the
+	// snapshot already covered their sequence numbers (a crash landed
+	// between the snapshot rename and the WAL rotation).
+	SkippedRecords int64
+	// TornRecords counts torn or checksum-corrupt trailing records
+	// truncated from the WAL (replay stops at the first bad frame).
+	TornRecords int64
+	// LastSeq is the last applied sequence number.
+	LastSeq uint64
+}
+
+// Merge accumulates another recovery snapshot into s (for fleet-wide
+// totals); LastSeq keeps the maximum.
+func (s *RecoveryStats) Merge(o RecoveryStats) {
+	s.SnapshotKeys += o.SnapshotKeys
+	s.ReplayedRecords += o.ReplayedRecords
+	s.SkippedRecords += o.SkippedRecords
+	s.TornRecords += o.TornRecords
+	if o.LastSeq > s.LastSeq {
+		s.LastSeq = o.LastSeq
+	}
+}
+
+// RecoverableStore is the optional Store extension implemented by
+// stores that replay persistent state at open (internal/wire/durable).
+// The soak harness uses it to account restart-recovery work.
+type RecoverableStore interface {
+	Store
+	// RecoveryStats reports what the store replayed when it was opened.
+	RecoveryStats() RecoveryStats
+}
+
+// InstrumentedStore is the optional Store extension for stores that
+// export telemetry; Node.Instrument forwards to it when present.
+type InstrumentedStore interface {
+	Store
+	// Instrument attaches the store's metric series to reg.
+	Instrument(reg *telemetry.Registry)
+}
+
+// MemStore is the default Store: a plain in-memory map with no
+// durability. Mutators never fail; a crash-stop loses everything, which
+// is exactly the behaviour the replicated ring's anti-entropy repair is
+// sized for.
+type MemStore struct {
+	m map[keyspace.Key][]overlay.Entry
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[keyspace.Key][]overlay.Entry)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key keyspace.Key) []overlay.Entry {
+	entries := s.m[key]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]overlay.Entry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
+	for _, have := range s.m[key] {
+		if have == e {
+			return false, nil
+		}
+	}
+	s.m[key] = append(s.m[key], e)
+	return true, nil
+}
+
+// Remove implements Store.
+func (s *MemStore) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
+	entries := s.m[key]
+	for i, have := range entries {
+		if have == e {
+			entries = append(entries[:i], entries[i+1:]...)
+			if len(entries) == 0 {
+				delete(s.m, key)
+			} else {
+				s.m[key] = entries
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Replace implements Store.
+func (s *MemStore) Replace(key keyspace.Key, entries []overlay.Entry) error {
+	if len(entries) == 0 {
+		delete(s.m, key)
+		return nil
+	}
+	out := make([]overlay.Entry, len(entries))
+	copy(out, entries)
+	s.m[key] = out
+	return nil
+}
+
+// ForEach implements Store.
+func (s *MemStore) ForEach(fn func(key keyspace.Key, entries []overlay.Entry) bool) {
+	for k, entries := range s.m {
+		if !fn(k, entries) {
+			return
+		}
+	}
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.m) }
+
+// Sync implements Store (no-op).
+func (s *MemStore) Sync() error { return nil }
+
+// Close implements Store (no-op).
+func (s *MemStore) Close() error { return nil }
