@@ -1,0 +1,358 @@
+package main
+
+// The -bench-out mode: an in-process microbenchmark harness for the
+// wire fast path. It measures the pooled transport against
+// dial-per-call, batched cluster puts against sequential routed puts,
+// batched article publish against per-mapping inserts, and parallel
+// against sequential automated search — and writes one JSON report
+// (ops/s, p50/p99 latency, wire bytes per op) for CI to archive as
+// BENCH_wire.json. The same scenarios exist as `go test -bench`
+// benchmarks in internal/wire; this mode exists so a deployment can
+// produce the report without the Go toolchain's test machinery.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
+)
+
+// benchResult is one scenario's row in the JSON report.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Ops        int     `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the whole BENCH_wire.json document.
+type benchReport struct {
+	GeneratedBy string             `json:"generated_by"`
+	Seed        int64              `json:"seed"`
+	Results     []benchResult      `json:"results"`
+	Ratios      map[string]float64 `json:"ratios"`
+}
+
+// seqPublishNet hides the cluster's BatchNetwork extension so the index
+// layer publishes over the sequential per-entry path.
+type seqPublishNet struct{ overlay.Network }
+
+// runBenchOut executes every wire fast-path scenario and writes the
+// JSON report to path.
+func runBenchOut(path string, seed int64) error {
+	var report benchReport
+	report.GeneratedBy = "dhtbench -bench-out"
+	report.Seed = seed
+	report.Ratios = make(map[string]float64)
+
+	add := func(r benchResult, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("%-28s %8d ops  %12.0f ops/s  p50 %8.1fµs  p99 %8.1fµs  %7d B/op\n",
+			r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.BytesPerOp)
+		return nil
+	}
+
+	// Transport round-trips: pooled vs dial-per-call.
+	const callOps = 2000
+	pooled, err := benchTransport(false, callOps)
+	if err := add(pooled, err); err != nil {
+		return err
+	}
+	dial, err := benchTransport(true, callOps)
+	if err := add(dial, err); err != nil {
+		return err
+	}
+	report.Ratios["transport_pooled_vs_dial"] = ratio(pooled, dial)
+
+	// Cluster puts: one 16-key batch vs 16 sequential routed puts.
+	const putOps = 200
+	batch, err := benchClusterPut(true, putOps, seed)
+	if err := add(batch, err); err != nil {
+		return err
+	}
+	seqPut, err := benchClusterPut(false, putOps, seed)
+	if err := add(seqPut, err); err != nil {
+		return err
+	}
+	report.Ratios["put_batch_vs_sequential"] = ratio(batch, seqPut)
+
+	// Article publish with the Complex scheme (1 data entry + 9 index
+	// mappings): batched vs per-mapping inserts.
+	const pubOps = 200
+	pubBatch, err := benchPublish(true, pubOps, seed)
+	if err := add(pubBatch, err); err != nil {
+		return err
+	}
+	pubSeq, err := benchPublish(false, pubOps, seed)
+	if err := add(pubSeq, err); err != nil {
+		return err
+	}
+	report.Ratios["publish_batch_vs_sequential"] = ratio(pubBatch, pubSeq)
+
+	// Automated search over the index DAG: parallel frontier vs
+	// sequential BFS.
+	const searchOps = 100
+	searchPar, err := benchSearchAll(8, searchOps, seed)
+	if err := add(searchPar, err); err != nil {
+		return err
+	}
+	searchSeq, err := benchSearchAll(1, searchOps, seed)
+	if err := add(searchSeq, err); err != nil {
+		return err
+	}
+	report.Ratios["search_parallel_vs_sequential"] = ratio(searchPar, searchSeq)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		return fmt.Errorf("write bench report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "dhtbench: bench report written to %s\n", path)
+	for name, r := range report.Ratios {
+		fmt.Printf("ratio %-32s %.2fx\n", name, r)
+	}
+	return nil
+}
+
+// ratio compares two scenarios by throughput (fast / slow baseline).
+func ratio(fast, slow benchResult) float64 {
+	if slow.OpsPerSec == 0 {
+		return 0
+	}
+	return fast.OpsPerSec / slow.OpsPerSec
+}
+
+// summarize folds per-op latencies and a wire byte count into one row.
+func summarize(name string, lats []time.Duration, bytes int64) benchResult {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	n := len(lats)
+	pct := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return float64(lats[i].Nanoseconds()) / 1e3
+	}
+	return benchResult{
+		Name:       name,
+		Ops:        n,
+		OpsPerSec:  float64(n) / total.Seconds(),
+		P50Micros:  pct(0.50),
+		P99Micros:  pct(0.99),
+		BytesPerOp: bytes / int64(n),
+	}
+}
+
+// measure times n runs of fn and returns the per-op latencies plus the
+// transport bytes (sent + received) the runs moved.
+func measure(tp *wire.TCPTransport, n int, fn func(i int) error) ([]time.Duration, int64, error) {
+	before := tp.PoolStats()
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(i); err != nil {
+			return nil, 0, err
+		}
+		lats = append(lats, time.Since(start))
+	}
+	after := tp.PoolStats()
+	moved := (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived)
+	return lats, moved, nil
+}
+
+// benchTransport measures one echo round-trip per op on loopback TCP.
+func benchTransport(disablePool bool, ops int) (benchResult, error) {
+	name := "transport_call/pooled"
+	if disablePool {
+		name = "transport_call/dial-per-call"
+	}
+	server := wire.NewTCPTransport()
+	addr, closer, err := server.Listen("127.0.0.1:0", func(req wire.Message) wire.Message {
+		return wire.Message{Op: req.Op, Ok: true, Addr: req.Addr}
+	})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	defer closer.Close()
+	client := wire.NewTCPTransport()
+	client.DisablePool = disablePool
+	req := wire.Message{Op: wire.OpPing, Addr: "bench"}
+	if _, err := client.Call(addr, req); err != nil { // warm the pool / gob types
+		return benchResult{Name: name}, err
+	}
+	lats, bytes, err := measure(client, ops, func(int) error {
+		_, err := client.Call(addr, req)
+		return err
+	})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	return summarize(name, lats, bytes), nil
+}
+
+// benchOutRing boots a converged 4-node loopback ring for the cluster
+// scenarios.
+func benchOutRing(seed int64) (*wire.Cluster, *wire.TCPTransport, func(), error) {
+	tp := wire.NewTCPTransport()
+	cluster := wire.NewCluster(tp, seed, 0)
+	var stops []func()
+	stop := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	var bootstrap string
+	for i := 0; i < 4; i++ {
+		n, err := wire.Start(wire.Config{
+			Transport:         tp,
+			Addr:              "127.0.0.1:0",
+			StabilizeInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+		stops = append(stops, n.Stop)
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+		cluster.Track(n.Addr())
+	}
+	if err := cluster.WaitConverged(20 * time.Second); err != nil {
+		stop()
+		return nil, nil, nil, err
+	}
+	return cluster, tp, stop, nil
+}
+
+// benchClusterPut stores 16 distinct keys per op, batched or one routed
+// put at a time.
+func benchClusterPut(batched bool, ops int, seed int64) (benchResult, error) {
+	name := "cluster_put/sequential"
+	if batched {
+		name = "cluster_put/batch"
+	}
+	cluster, tp, stop, err := benchOutRing(seed)
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	defer stop()
+	items := func(round int) []overlay.KeyEntry {
+		out := make([]overlay.KeyEntry, 16)
+		for i := range out {
+			out[i] = overlay.KeyEntry{
+				Key:   keyspace.NewKey(fmt.Sprintf("bench-%s-%d-%d", name, round, i)),
+				Entry: overlay.Entry{Kind: "index", Value: fmt.Sprintf("v-%d-%d", round, i)},
+			}
+		}
+		return out
+	}
+	lats, bytes, err := measure(tp, ops, func(i int) error {
+		if batched {
+			return cluster.PutBatch(context.Background(), items(i))
+		}
+		for _, it := range items(i) {
+			if _, err := cluster.Put(it.Key, it.Entry); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	return summarize(name, lats, bytes), nil
+}
+
+// benchPublish publishes one article per op with the Complex scheme.
+func benchPublish(batched bool, ops int, seed int64) (benchResult, error) {
+	name := "publish/sequential"
+	if batched {
+		name = "publish/batch"
+	}
+	corpus, err := dataset.Generate(dataset.Config{Articles: 64, Seed: seed})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	cluster, tp, stop, err := benchOutRing(seed)
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	defer stop()
+	var net overlay.Network = cluster
+	if !batched {
+		net = seqPublishNet{cluster}
+	}
+	svc := index.New(net, cache.None, 0)
+	lats, bytes, err := measure(tp, ops, func(i int) error {
+		a := corpus.Articles[i%len(corpus.Articles)]
+		return svc.PublishArticle(fmt.Sprintf("bench-%s-%d.pdf", name, i), a, index.Complex)
+	})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	return summarize(name, lats, bytes), nil
+}
+
+// benchSearchAll explores a published corpus's index DAG per op.
+func benchSearchAll(parallelism, ops int, seed int64) (benchResult, error) {
+	name := fmt.Sprintf("search_all/parallel-%d", parallelism)
+	if parallelism <= 1 {
+		name = "search_all/sequential"
+	}
+	corpus, err := dataset.Generate(dataset.Config{Articles: 48, Seed: seed})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	cluster, tp, stop, err := benchOutRing(seed)
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	defer stop()
+	svc := index.New(cluster, cache.None, 0)
+	for i, a := range corpus.Articles {
+		if err := svc.PublishArticle(fmt.Sprintf("s-%d.pdf", i), a, index.Complex); err != nil {
+			return benchResult{Name: name}, err
+		}
+	}
+	searcher := index.NewSearcher(svc)
+	searcher.Parallelism = parallelism
+	query := dataset.ConfQuery(corpus.Articles[0].Conf)
+	if _, _, err := searcher.SearchAll(query); err != nil { // warm up
+		return benchResult{Name: name}, err
+	}
+	lats, bytes, err := measure(tp, ops, func(int) error {
+		results, _, err := searcher.SearchAll(query)
+		if err == nil && len(results) == 0 {
+			err = fmt.Errorf("search returned nothing")
+		}
+		return err
+	})
+	if err != nil {
+		return benchResult{Name: name}, err
+	}
+	return summarize(name, lats, bytes), nil
+}

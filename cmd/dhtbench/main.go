@@ -16,6 +16,12 @@
 // -metrics-out writes it to a file, and -trace records every
 // LookupTrace as JSONL (soak default: soak-traces.jsonl). See
 // docs/OBSERVABILITY.md for the full catalog.
+//
+// With -bench-out it runs the wire fast-path microbenchmarks instead
+// (pooled vs dial-per-call transport, batched vs sequential puts and
+// publish, parallel vs sequential search) and writes the ops/s and
+// latency-percentile report to the given JSON file — the source of the
+// repo's committed BENCH_wire.json.
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 		soakLatency = flag.Duration("soak-latency", 50*time.Millisecond, "soak: injected latency")
 		soakQueries = flag.Int("soak-queries", 2, "soak: indexed lookups per storm op")
 
+		benchOut = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve the telemetry snapshot on this address (e.g. :8080) after the run")
 		metricsOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this file after the run")
 		tracePath   = flag.String("trace", "", "write every LookupTrace to this JSONL file (soak default: soak-traces.jsonl)")
@@ -60,7 +68,9 @@ func main() {
 	flag.Parse()
 	reg := telemetry.NewRegistry()
 	var err error
-	if *soakMode {
+	if *benchOut != "" {
+		err = runBenchOut(*benchOut, *seed)
+	} else if *soakMode {
 		err = runSoak(soakOpts{
 			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries,
 			drop: *soakDrop, latency: *soakLatency, seed: *seed,

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 
 	"dhtindex/internal/dataset"
@@ -142,17 +143,64 @@ func (fig4Scheme) Chains(a descriptor.Article) [][]xpath.Query {
 
 // PublishArticle stores the article's file reference and inserts every
 // index entry the scheme prescribes. file is the opaque content reference
-// (e.g. "x.pdf").
+// (e.g. "x.pdf"). When the substrate supports batched mutation
+// (overlay.BatchNetwork), the data entry and every index mapping ship as
+// ONE batch — one owner-resolution round with parallel fan-out instead
+// of a sequential routed put per mapping. Other substrates (the
+// simulations, which account per-insert RPCs) take the sequential path.
 func (s *Service) PublishArticle(file string, a descriptor.Article, scheme Scheme) error {
+	if bn, ok := s.net.(overlay.BatchNetwork); ok {
+		return s.publishArticleBatch(bn, file, a, scheme)
+	}
 	if _, err := s.Publish(file, a.Descriptor()); err != nil {
 		return err
 	}
 	return s.IndexArticle(a, scheme)
 }
 
+// publishArticleBatch is the batched PublishArticle: every mapping is
+// validated up front (covering requirement, self mappings, duplicate
+// chain suffixes), then the data entry and the mappings go out in one
+// PutBatch.
+func (s *Service) publishArticleBatch(bn overlay.BatchNetwork, file string, a descriptor.Article, scheme Scheme) error {
+	d := a.Descriptor()
+	msd := xpath.MostSpecific(d)
+	if msd.IsZero() {
+		return fmt.Errorf("index: publish %q: %w", file, xpath.ErrEmptyQuery)
+	}
+	mappings, err := mappingItems(a, scheme)
+	if err != nil {
+		return err
+	}
+	items := make([]overlay.KeyEntry, 0, len(mappings)+1)
+	items = append(items, overlay.KeyEntry{Key: msd.Key(), Entry: overlay.Entry{Kind: KindData, Value: file}})
+	items = append(items, mappings...)
+	if err := bn.PutBatch(context.Background(), items); err != nil {
+		return fmt.Errorf("index: publish %q: %w", file, err)
+	}
+	if s.vocabulary {
+		return s.RegisterVocabulary(d)
+	}
+	return nil
+}
+
 // IndexArticle inserts the scheme's index entries for an article that is
-// already published.
+// already published. Batch-capable substrates receive all mappings in
+// one PutBatch; others get one routed put per mapping.
 func (s *Service) IndexArticle(a descriptor.Article, scheme Scheme) error {
+	if bn, ok := s.net.(overlay.BatchNetwork); ok {
+		items, err := mappingItems(a, scheme)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		if err := bn.PutBatch(context.Background(), items); err != nil {
+			return fmt.Errorf("index: scheme %s: %w", scheme.Name(), err)
+		}
+		return nil
+	}
 	for _, chain := range scheme.Chains(a) {
 		for i := 0; i+1 < len(chain); i++ {
 			if err := s.InsertMapping(chain[i], chain[i+1]); err != nil {
@@ -161,6 +209,33 @@ func (s *Service) IndexArticle(a descriptor.Article, scheme Scheme) error {
 		}
 	}
 	return nil
+}
+
+// mappingItems flattens a scheme's chains into batch items with the
+// same validation InsertMapping applies, deduplicating pairs that occur
+// in several chains (e.g. conf+year → MSD appears in both the conf and
+// the year chain) so the batch carries each mapping once.
+func mappingItems(a descriptor.Article, scheme Scheme) ([]overlay.KeyEntry, error) {
+	var items []overlay.KeyEntry
+	seen := make(map[string]bool)
+	for _, chain := range scheme.Chains(a) {
+		for i := 0; i+1 < len(chain); i++ {
+			q, target := chain[i], chain[i+1]
+			if q.Equal(target) {
+				return nil, fmt.Errorf("index: scheme %s: %w: %s", scheme.Name(), ErrSelfMapping, q)
+			}
+			if !q.Covers(target) {
+				return nil, fmt.Errorf("index: scheme %s: %w: (%s ; %s)", scheme.Name(), ErrNotCovering, q, target)
+			}
+			pair := q.String() + "\x00" + target.String()
+			if seen[pair] {
+				continue
+			}
+			seen[pair] = true
+			items = append(items, overlay.KeyEntry{Key: q.Key(), Entry: overlay.Entry{Kind: KindIndex, Value: target.String()}})
+		}
+	}
+	return items, nil
 }
 
 // UnpublishArticle removes the article's data and cleans up the scheme's

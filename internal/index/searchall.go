@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"dhtindex/internal/xpath"
 )
@@ -34,6 +35,13 @@ func (s *Searcher) SearchAll(q xpath.Query) ([]Result, Trace, error) {
 // with the remaining frontier, so callers get every result the live part
 // of the index DAG could deliver plus an exact account of what is
 // missing — instead of an all-or-nothing error.
+//
+// With Parallelism > 1 the frontier expands in waves: up to Parallelism
+// pending branches are looked up concurrently, and the wave's responses
+// are then processed in submission order, so the exploration order, the
+// result set and the trace accounting match the sequential walk. The
+// first wave is always the original query alone, which keeps the
+// not-indexed generalization fallback exact.
 func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, Trace, error) {
 	var trace Trace
 	if q.IsZero() {
@@ -45,16 +53,84 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 	seen[q.String()] = true
 	explored := 0
 
+	type lookupOut struct {
+		resp Response
+		err  error
+	}
 	for len(frontier) > 0 && explored < s.maxFanout() {
-		current := frontier[0]
-		frontier = frontier[1:]
-		explored++
-		resp, err := s.svc.LookupCtx(ctx, current)
-		if err != nil {
-			trace.Incomplete = true
-			trace.Unresolved = append(trace.Unresolved, Unresolved{
-				Query: current.String(), Reason: err.Error(),
-			})
+		wave := s.parallelism()
+		if wave > len(frontier) {
+			wave = len(frontier)
+		}
+		if rem := s.maxFanout() - explored; wave > rem {
+			wave = rem
+		}
+		batch := frontier[:wave:wave]
+		frontier = frontier[wave:]
+
+		outs := make([]lookupOut, len(batch))
+		if len(batch) == 1 {
+			resp, err := s.svc.LookupCtx(ctx, batch[0])
+			outs[0] = lookupOut{resp: resp, err: err}
+		} else {
+			var wg sync.WaitGroup
+			for i := range batch {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := s.svc.LookupCtx(ctx, batch[i])
+					outs[i] = lookupOut{resp: resp, err: err}
+				}(i)
+			}
+			wg.Wait()
+		}
+
+		erred := false
+		for i, current := range batch {
+			explored++
+			resp, err := outs[i].resp, outs[i].err
+			if err != nil {
+				erred = true
+				trace.Incomplete = true
+				trace.Unresolved = append(trace.Unresolved, Unresolved{
+					Query: current.String(), Reason: err.Error(),
+				})
+				continue
+			}
+			s.account(&trace, current, resp, resp.Bytes)
+
+			for _, file := range resp.Files {
+				if q.Covers(current) {
+					results = append(results, Result{File: file, MSD: current})
+					trace.Found = true
+				}
+			}
+			next := make([]xpath.Query, 0, len(resp.Index)+len(resp.Cached))
+			next = append(next, resp.Index...)
+			next = append(next, resp.Cached...)
+			if explored == 1 && len(next) == 0 && len(resp.Files) == 0 {
+				// Original query not indexed: generalize, keep filtering by q.
+				trace.NonIndexed = true
+				for _, g := range q.Generalizations() {
+					if !seen[g.String()] {
+						seen[g.String()] = true
+						frontier = append(frontier, g)
+					}
+				}
+				continue
+			}
+			for _, cand := range next {
+				if seen[cand.String()] {
+					continue
+				}
+				if !xpath.Compatible(q, cand) {
+					continue // definite conflict: nothing below matches q
+				}
+				seen[cand.String()] = true
+				frontier = append(frontier, cand)
+			}
+		}
+		if erred {
 			if cerr := ctx.Err(); cerr != nil {
 				// Budget spent: the rest of the frontier is unreachable too.
 				for _, rest := range frontier {
@@ -64,39 +140,6 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 				}
 				break
 			}
-			continue
-		}
-		s.account(&trace, current, resp, resp.Bytes)
-
-		for _, file := range resp.Files {
-			if q.Covers(current) {
-				results = append(results, Result{File: file, MSD: current})
-				trace.Found = true
-			}
-		}
-		next := make([]xpath.Query, 0, len(resp.Index)+len(resp.Cached))
-		next = append(next, resp.Index...)
-		next = append(next, resp.Cached...)
-		if explored == 1 && len(next) == 0 && len(resp.Files) == 0 {
-			// Original query not indexed: generalize, keep filtering by q.
-			trace.NonIndexed = true
-			for _, g := range q.Generalizations() {
-				if !seen[g.String()] {
-					seen[g.String()] = true
-					frontier = append(frontier, g)
-				}
-			}
-			continue
-		}
-		for _, cand := range next {
-			if seen[cand.String()] {
-				continue
-			}
-			if !xpath.Compatible(q, cand) {
-				continue // definite conflict: nothing below matches q
-			}
-			seen[cand.String()] = true
-			frontier = append(frontier, cand)
 		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].File < results[j].File })

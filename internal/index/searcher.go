@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"dhtindex/internal/cache"
@@ -31,6 +32,21 @@ type Searcher struct {
 	// Find call: every interaction becomes a hop with its node, latency
 	// and cache outcome. A nil recorder disables tracing at zero cost.
 	Recorder *telemetry.Recorder
+
+	// Parallelism bounds the concurrent lookups of the automated search
+	// mode's frontier expansion and the generalization fallback's probes.
+	// Values ≤ 1 keep the exact sequential behaviour (and byte-for-byte
+	// accounting) of the paper's model; higher values need a thread-safe
+	// substrate (the live wire Cluster is, the simulations are not).
+	Parallelism int
+}
+
+// parallelism resolves the fan-out bound (≥ 1).
+func (s *Searcher) parallelism() int {
+	if s.Parallelism > 1 {
+		return s.Parallelism
+	}
+	return 1
 }
 
 // NewSearcher creates a searcher over the service.
@@ -273,33 +289,71 @@ func responseCost(resp Response, hit xpath.Query) int64 {
 // failed original lookup already cost one interaction, and each candidate
 // probe costs one more — matching the paper's "one extra interaction is
 // generally necessary (two in a few rare cases)".
+//
+// With Parallelism > 1 the candidates are probed in waves: the wave's
+// lookups run concurrently, but their outcomes are booked in candidate
+// order up to the first decisive one — probes issued speculatively after
+// the winner stay unbooked, so the trace's interaction accounting matches
+// the sequential walk.
 func (s *Searcher) generalize(ctx context.Context, trace *Trace, at *telemetry.Active, q, target xpath.Query) (xpath.Query, Response, bool, error) {
+	var cands []xpath.Query
 	for _, g := range q.Generalizations() {
-		if !g.Covers(target) {
-			continue
+		if g.Covers(target) {
+			cands = append(cands, g)
 		}
-		start := time.Now()
-		resp, err := s.svc.LookupCtx(ctx, g)
-		lat := time.Since(start).Microseconds()
-		if err != nil {
+	}
+	type probe struct {
+		resp Response
+		err  error
+		lat  int64
+	}
+	for off := 0; off < len(cands); {
+		wave := s.parallelism()
+		if wave > len(cands)-off {
+			wave = len(cands) - off
+		}
+		batch := cands[off : off+wave]
+		off += wave
+		outs := make([]probe, len(batch))
+		if len(batch) == 1 {
+			start := time.Now()
+			resp, err := s.svc.LookupCtx(ctx, batch[0])
+			outs[0] = probe{resp: resp, err: err, lat: time.Since(start).Microseconds()}
+		} else {
+			var wg sync.WaitGroup
+			for i := range batch {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					start := time.Now()
+					resp, err := s.svc.LookupCtx(ctx, batch[i])
+					outs[i] = probe{resp: resp, err: err, lat: time.Since(start).Microseconds()}
+				}(i)
+			}
+			wg.Wait()
+		}
+		for i, g := range batch {
+			out := outs[i]
+			if out.err != nil {
+				at.Hop(telemetry.TraceHop{
+					Kind: "generalization", Key: g.String(),
+					LatencyMicros: out.lat, Err: out.err.Error(),
+				})
+				return xpath.Query{}, Response{}, false, out.err
+			}
+			hit := findEqual(out.resp.Cached, target.String())
+			s.account(trace, g, out.resp, responseCost(out.resp, hit))
+			trace.GeneralizationProbes++
 			at.Hop(telemetry.TraceHop{
-				Kind: "generalization", Key: g.String(),
-				LatencyMicros: lat, Err: err.Error(),
+				Kind: "generalization", Key: g.String(), Node: out.resp.Node,
+				CacheHit:      !hit.IsZero(),
+				Entries:       len(out.resp.Index) + len(out.resp.Cached) + len(out.resp.Files),
+				DHTHops:       out.resp.Hops,
+				LatencyMicros: out.lat,
 			})
-			return xpath.Query{}, Response{}, false, err
-		}
-		hit := findEqual(resp.Cached, target.String())
-		s.account(trace, g, resp, responseCost(resp, hit))
-		trace.GeneralizationProbes++
-		at.Hop(telemetry.TraceHop{
-			Kind: "generalization", Key: g.String(), Node: resp.Node,
-			CacheHit:      !hit.IsZero(),
-			Entries:       len(resp.Index) + len(resp.Cached) + len(resp.Files),
-			DHTHops:       resp.Hops,
-			LatencyMicros: lat,
-		})
-		if len(resp.Index) > 0 || len(resp.Cached) > 0 {
-			return g, resp, true, nil
+			if len(out.resp.Index) > 0 || len(out.resp.Cached) > 0 {
+				return g, out.resp, true, nil
+			}
 		}
 	}
 	return xpath.Query{}, Response{}, false, nil

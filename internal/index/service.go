@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dhtindex/internal/cache"
 	"dhtindex/internal/descriptor"
@@ -55,7 +56,12 @@ type Service struct {
 	net      overlay.Network
 	policy   cache.Policy
 	capacity int
-	caches   map[string]*cache.Store
+
+	// mu guards caches and parsed: the parallel search fan-out issues
+	// concurrent LookupCtx calls against one service, and the memo table
+	// and per-node shortcut stores are its only shared mutable state.
+	mu     sync.Mutex
+	caches map[string]*cache.Store
 
 	// parsed memoizes canonical-form parsing: stored entries are re-read
 	// on every lookup and large result sets would otherwise dominate the
@@ -291,10 +297,12 @@ func (s *Service) LookupCtx(ctx context.Context, q xpath.Query) (Response, error
 		return Response{}, fmt.Errorf("index: lookup %s: %w", q, err)
 	}
 	resp := Response{Node: route.Node, Hops: route.Hops}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, e := range entries {
 		switch e.Kind {
 		case KindIndex:
-			target, ok := s.parseCached(e.Value)
+			target, ok := s.parseCachedLocked(e.Value)
 			if !ok {
 				// A corrupted entry must not poison the lookup.
 				continue
@@ -308,7 +316,7 @@ func (s *Service) LookupCtx(ctx context.Context, q xpath.Query) (Response, error
 	}
 	if store := s.caches[resp.Node]; store != nil {
 		for _, tgt := range store.Targets(q.String()) {
-			target, ok := s.parseCached(tgt)
+			target, ok := s.parseCachedLocked(tgt)
 			if !ok {
 				continue
 			}
@@ -328,6 +336,13 @@ func (s *Service) LookupCtx(ctx context.Context, q xpath.Query) (Response, error
 
 // parseCached parses a canonical query string through the memo table.
 func (s *Service) parseCached(canonical string) (xpath.Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parseCachedLocked(canonical)
+}
+
+// parseCachedLocked is parseCached with s.mu already held.
+func (s *Service) parseCachedLocked(canonical string) (xpath.Query, bool) {
 	if q, ok := s.parsed[canonical]; ok {
 		return q, !q.IsZero()
 	}
@@ -347,6 +362,8 @@ func (s *Service) AddShortcut(nodeAddr string, q xpath.Query, target string) (bo
 	if s.policy == cache.None {
 		return false, 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	store := s.caches[nodeAddr]
 	if store == nil {
 		capacity := 0
@@ -366,13 +383,19 @@ func (s *Service) AddShortcut(nodeAddr string, q xpath.Query, target string) (bo
 
 // TouchShortcut freshens a followed shortcut's LRU recency.
 func (s *Service) TouchShortcut(nodeAddr string, q xpath.Query, target string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if store := s.caches[nodeAddr]; store != nil {
 		store.Touch(q.String(), target)
 	}
 }
 
 // CacheStore returns the shortcut store of a node (nil if none exists).
-func (s *Service) CacheStore(nodeAddr string) *cache.Store { return s.caches[nodeAddr] }
+func (s *Service) CacheStore(nodeAddr string) *cache.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.caches[nodeAddr]
+}
 
 // CacheStats summarizes the distributed cache state (Fig. 14's metrics).
 type CacheStats struct {
@@ -399,6 +422,8 @@ func (s *Service) CacheStats() CacheStats {
 		return stats
 	}
 	full, empty := 0, 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, addr := range addrs {
 		store := s.caches[addr]
 		if store == nil || store.Len() == 0 {

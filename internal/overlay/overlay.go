@@ -61,6 +61,30 @@ type Network interface {
 	Size() int
 }
 
+// KeyEntry is one (key, entry) pair of a batched mutation.
+type KeyEntry struct {
+	// Key is the DHT key the entry is stored under.
+	Key keyspace.Key
+	// Entry is the stored value.
+	Entry Entry
+}
+
+// BatchNetwork is the optional bulk-mutation extension of Network: a
+// substrate that implements it applies many (key, entry) mutations in
+// one round — grouping items by owner so each responsible node receives
+// a single batched message, with bounded parallel fan-out across
+// distinct owners. Callers type-assert; substrates without it are
+// driven through the per-entry Network methods instead, so simulation
+// substrates keep their one-RPC-per-insert accounting.
+type BatchNetwork interface {
+	// PutBatch stores every item (same idempotency contract as Put).
+	// Puts are idempotent, so a caller may retry a failed batch whole.
+	PutBatch(ctx context.Context, items []KeyEntry) error
+	// RemoveBatch deletes every item, returning how many entries
+	// actually existed and were removed.
+	RemoveBatch(ctx context.Context, items []KeyEntry) (int, error)
+}
+
 // ContextNetwork is the optional deadline-aware extension of Network.
 // A substrate that implements it threads the caller's budget through its
 // reads, so retries, failover probes and backoff sleeps stop the moment

@@ -1,0 +1,97 @@
+package wire_test
+
+// External test package: the durable store imports wire, so exercising
+// batched puts against a durable-backed node has to live outside the
+// wire package to avoid an import cycle.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
+	"dhtindex/internal/wire/durable"
+)
+
+// TestPutBatchAtomicThroughWALFaults drives OpPutBatch against a node
+// whose durable store fails WAL appends: the batch must be NACKed (the
+// client sees a remote error), and once the fault heals a whole-batch
+// retry must converge with NO duplicate entries — the handler's
+// single-lock batch application through the WAL plus put idempotency.
+func TestPutBatchAtomicThroughWALFaults(t *testing.T) {
+	dir := t.TempDir()
+	var failAppends atomic.Bool
+	st, err := durable.Open(dir, durable.Options{Faults: durable.Faults{
+		AppendErr: func() error {
+			if failAppends.Load() {
+				return errors.New("injected WAL append failure")
+			}
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatalf("open durable store: %v", err)
+	}
+	mt := wire.NewMemTransport()
+	nd, err := wire.Start(wire.Config{
+		Transport:         mt,
+		Addr:              "mem:0",
+		StabilizeInterval: 10 * time.Millisecond,
+		Store:             st,
+	})
+	if err != nil {
+		t.Fatalf("start node: %v", err)
+	}
+	defer nd.Stop()
+
+	kv := []wire.KeyEntries{
+		{Key: keyspace.NewKey("wal-a"), Entries: []overlay.Entry{{Kind: "index", Value: "a1"}, {Kind: "index", Value: "a2"}}},
+		{Key: keyspace.NewKey("wal-b"), Entries: []overlay.Entry{{Kind: "index", Value: "b1"}}},
+	}
+
+	failAppends.Store(true)
+	resp, err := mt.Call(nd.Addr(), wire.Message{Op: wire.OpPutBatch, KV: kv})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if resp.Err == "" {
+		t.Fatal("OpPutBatch acked despite WAL append failure")
+	}
+
+	// Heal and retry the WHOLE batch, as the retry layer would.
+	failAppends.Store(false)
+	resp, err = mt.Call(nd.Addr(), wire.Message{Op: wire.OpPutBatch, KV: kv})
+	if err != nil || resp.Err != "" {
+		t.Fatalf("healed retry failed: err=%v remote=%q", err, resp.Err)
+	}
+
+	// Converged with no duplicates — whatever prefix the failed attempt
+	// applied must have deduplicated against the retry.
+	for _, item := range kv {
+		got, err := mt.Call(nd.Addr(), wire.Message{Op: wire.OpGet, Key: item.Key})
+		if err != nil || got.Err != "" {
+			t.Fatalf("get %v: err=%v remote=%q", item.Key, err, got.Err)
+		}
+		if len(got.Entries) != len(item.Entries) {
+			t.Fatalf("key %v: got %d entries, want %d: %v",
+				item.Key, len(got.Entries), len(item.Entries), got.Entries)
+		}
+	}
+
+	// The durable contract survives a restart: reopen the directory and
+	// expect the batch back.
+	nd.Stop()
+	st2, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatalf("reopen durable store: %v", err)
+	}
+	defer st2.Close()
+	for _, item := range kv {
+		if got := st2.Get(item.Key); len(got) != len(item.Entries) {
+			t.Fatalf("after restart key %v: got %d entries, want %d", item.Key, len(got), len(item.Entries))
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package wire_test
+
+// Wire fast-path benchmarks: pooled vs dial-per-call transport, batched
+// vs sequential cluster puts, batched vs sequential article publish, and
+// parallel vs sequential automated search. These are the numbers behind
+// BENCH_wire.json (cmd/dhtbench -bench-out) and CI's bench smoke step.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
+)
+
+// benchEcho answers immediately; transport cost dominates.
+func benchEcho(req wire.Message) wire.Message {
+	return wire.Message{Op: req.Op, Ok: true, Addr: req.Addr}
+}
+
+// BenchmarkTransportCall measures one round-trip RPC on loopback TCP:
+// the pooled fast path (persistent framed conns, gob descriptors sent
+// once) against the legacy dial-per-call mode (fresh conn and codec per
+// RPC). The acceptance bar for the fast path is ≥ 3× dial-per-call.
+func BenchmarkTransportCall(b *testing.B) {
+	server := wire.NewTCPTransport()
+	addr, closer, err := server.Listen("127.0.0.1:0", benchEcho)
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	defer closer.Close()
+
+	run := func(b *testing.B, client *wire.TCPTransport) {
+		req := wire.Message{Op: wire.OpPing, Addr: "bench"}
+		if _, err := client.Call(addr, req); err != nil { // warm the pool / types
+			b.Fatalf("warmup call: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Call(addr, req); err != nil {
+				b.Fatalf("call: %v", err)
+			}
+		}
+	}
+	b.Run("pooled", func(b *testing.B) {
+		run(b, wire.NewTCPTransport())
+	})
+	b.Run("dial-per-call", func(b *testing.B) {
+		client := wire.NewTCPTransport()
+		client.DisablePool = true
+		run(b, client)
+	})
+}
+
+// startBenchRing boots a converged live TCP ring and returns its
+// cluster handle.
+func startBenchRing(b *testing.B, nodes int) (*wire.Cluster, *wire.TCPTransport) {
+	b.Helper()
+	tp := wire.NewTCPTransport()
+	cluster := wire.NewCluster(tp, 5, 0)
+	var bootstrap string
+	for i := 0; i < nodes; i++ {
+		n, err := wire.Start(wire.Config{
+			Transport:         tp,
+			Addr:              "127.0.0.1:0",
+			StabilizeInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatalf("start node %d: %v", i, err)
+		}
+		b.Cleanup(n.Stop)
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			b.Fatalf("join node %d: %v", i, err)
+		}
+		cluster.Track(n.Addr())
+	}
+	if err := cluster.WaitConverged(20 * time.Second); err != nil {
+		b.Fatalf("ring never converged: %v", err)
+	}
+	return cluster, tp
+}
+
+// BenchmarkClusterPutBatch stores 16 distinct keys per iteration over a
+// live TCP ring: one PutBatch (parallel owner resolution, one message
+// per owner) against 16 sequential routed Puts.
+func BenchmarkClusterPutBatch(b *testing.B) {
+	const keysPerOp = 16
+	items := func(round int) []overlay.KeyEntry {
+		out := make([]overlay.KeyEntry, keysPerOp)
+		for i := range out {
+			out[i] = overlay.KeyEntry{
+				Key:   keyspace.NewKey(fmt.Sprintf("bench-batch-%d-%d", round, i)),
+				Entry: overlay.Entry{Kind: "index", Value: fmt.Sprintf("v-%d-%d", round, i)},
+			}
+		}
+		return out
+	}
+	b.Run("batch", func(b *testing.B) {
+		cluster, _ := startBenchRing(b, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cluster.PutBatch(context.Background(), items(i)); err != nil {
+				b.Fatalf("PutBatch: %v", err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		cluster, _ := startBenchRing(b, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items(i) {
+				if _, err := cluster.Put(it.Key, it.Entry); err != nil {
+					b.Fatalf("Put: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// seqNet hides the cluster's BatchNetwork extension, forcing the index
+// layer onto its sequential per-entry path — the publish baseline.
+type seqNet struct{ overlay.Network }
+
+// BenchmarkPublish publishes one article per iteration with the Complex
+// scheme (1 data entry + 9 distinct index mappings) over a live TCP
+// ring: the batch fast path against the sequential per-mapping inserts.
+// The acceptance bar for the batch path is ≥ 2×.
+func BenchmarkPublish(b *testing.B) {
+	corpus, err := dataset.Generate(dataset.Config{Articles: 64, Seed: 3})
+	if err != nil {
+		b.Fatalf("corpus: %v", err)
+	}
+	arts := corpus.Articles
+	run := func(b *testing.B, wrap func(*wire.Cluster) overlay.Network) {
+		cluster, _ := startBenchRing(b, 4)
+		svc := index.New(wrap(cluster), cache.None, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := arts[i%len(arts)]
+			file := fmt.Sprintf("bench-%d.pdf", i)
+			if err := svc.PublishArticle(file, a, index.Complex); err != nil {
+				b.Fatalf("publish: %v", err)
+			}
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		run(b, func(c *wire.Cluster) overlay.Network { return c })
+	})
+	b.Run("sequential", func(b *testing.B) {
+		run(b, func(c *wire.Cluster) overlay.Network { return seqNet{c} })
+	})
+}
+
+// BenchmarkSearchAllParallel explores the index DAG of a published
+// corpus from a one-constraint query: the sequential BFS against the
+// wave-parallel frontier expansion (Parallelism 8).
+func BenchmarkSearchAllParallel(b *testing.B) {
+	corpus, err := dataset.Generate(dataset.Config{Articles: 48, Seed: 4})
+	if err != nil {
+		b.Fatalf("corpus: %v", err)
+	}
+	run := func(b *testing.B, parallelism int) {
+		cluster, _ := startBenchRing(b, 4)
+		svc := index.New(cluster, cache.None, 0)
+		for i, a := range corpus.Articles {
+			if err := svc.PublishArticle(fmt.Sprintf("s-%d.pdf", i), a, index.Complex); err != nil {
+				b.Fatalf("publish: %v", err)
+			}
+		}
+		searcher := index.NewSearcher(svc)
+		searcher.Parallelism = parallelism
+		query := dataset.ConfQuery(corpus.Articles[0].Conf)
+		if _, _, err := searcher.SearchAll(query); err != nil {
+			b.Fatalf("warmup search: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, _, err := searcher.SearchAll(query)
+			if err != nil {
+				b.Fatalf("search: %v", err)
+			}
+			if len(results) == 0 {
+				b.Fatal("search returned nothing")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel-8", func(b *testing.B) { run(b, 8) })
+}

@@ -44,6 +44,11 @@ type Cluster struct {
 	// giving up on routing (default 3). Set before serving traffic.
 	EntryAttempts int
 
+	// BatchParallelism bounds the concurrent owner resolutions and
+	// per-owner RPCs of a PutBatch/RemoveBatch (default 4). Set before
+	// serving traffic.
+	BatchParallelism int
+
 	mu    sync.Mutex
 	addrs []string
 	rng   *rand.Rand
@@ -53,6 +58,11 @@ type Cluster struct {
 	entryRetries      *telemetry.Counter
 	hedgedGets        *telemetry.Counter
 	hedgeWins         *telemetry.Counter
+	batchPutRPCs      *telemetry.Counter
+	batchPutKeys      *telemetry.Counter
+	batchRemoveRPCs   *telemetry.Counter
+	batchRemoveKeys   *telemetry.Counter
+	batchFallbacks    *telemetry.Counter
 	// hops and rpcLatency are nil until Instrument is called; observing
 	// on nil histograms is a no-op, so the hot paths stay unconditional.
 	hops       *telemetry.Histogram
@@ -105,6 +115,16 @@ func NewCluster(transport Transport, seed int64, replication int) *Cluster {
 			"Reads that fired a hedged replica Get because the owner was slow."),
 		hedgeWins: telemetry.NewCounter("wire_hedge_wins_total",
 			"Hedged reads where the replica answered before the owner."),
+		batchPutRPCs: telemetry.NewCounter("wire_batch_put_rpcs_total",
+			"Per-owner OpPutBatch messages sent by batched puts."),
+		batchPutKeys: telemetry.NewCounter("wire_batch_put_keys_total",
+			"(key, entry) items carried by batched puts."),
+		batchRemoveRPCs: telemetry.NewCounter("wire_batch_remove_rpcs_total",
+			"Per-owner OpRemoveBatch messages sent by batched removes."),
+		batchRemoveKeys: telemetry.NewCounter("wire_batch_remove_keys_total",
+			"(key, entry) items carried by batched removes."),
+		batchFallbacks: telemetry.NewCounter("wire_batch_fallbacks_total",
+			"Per-owner batch groups that fell back from one-hop presumed-owner routing to Chord-routed resolution."),
 	}
 }
 
@@ -114,7 +134,8 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Attach(c.ownerReadFailures, c.failoverReads, c.entryRetries, c.hedgedGets, c.hedgeWins)
+	reg.Attach(c.ownerReadFailures, c.failoverReads, c.entryRetries, c.hedgedGets, c.hedgeWins,
+		c.batchPutRPCs, c.batchPutKeys, c.batchRemoveRPCs, c.batchRemoveKeys, c.batchFallbacks)
 	c.mu.Lock()
 	c.hops = reg.Histogram("dht_lookup_hops",
 		"Routing hops taken to resolve the owner of a key.", telemetry.HopBuckets)

@@ -1,0 +1,179 @@
+package wire
+
+// The length-prefixed framed protocol spoken on persistent TCP
+// connections. Every frame is
+//
+//	[8-byte request ID | 4-byte payload length | payload]
+//
+// where the payload is one Message produced by the connection's
+// long-lived gob encoder. Keeping one encoder/decoder pair per
+// connection is the core of the fast path: gob transmits a type's
+// descriptor only once per encoder, so after the first frame each
+// message carries values only — the dial-per-call transport re-sent the
+// full descriptor set on every RPC. The explicit length prefix restores
+// the message boundaries that a shared gob stream hides: the reader can
+// enforce the size cap before allocating, and a request ID travels
+// outside the payload so responses multiplex over one connection in any
+// completion order.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// frameHeaderSize is the fixed per-frame overhead: request ID + length.
+const frameHeaderSize = 12
+
+// framePool recycles frame staging buffers across connections and
+// requests; a busy node would otherwise allocate one buffer per RPC.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getFrameBuf() *bytes.Buffer { return framePool.Get().(*bytes.Buffer) }
+
+func putFrameBuf(b *bytes.Buffer) {
+	b.Reset()
+	framePool.Put(b)
+}
+
+// switchWriter lets the connection's persistent gob encoder target a
+// different staging buffer for each frame: gob binds its writer at
+// construction, so the indirection is what keeps one encoder (and its
+// once-only type descriptors) alive across frames.
+type switchWriter struct{ w io.Writer }
+
+func (s *switchWriter) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+// switchReader is the read-side counterpart: the persistent decoder
+// reads each frame's payload from a staging buffer. It forwards
+// ReadByte so gob uses the buffer directly instead of wrapping the
+// reader in another bufio layer that could buffer across frames.
+type switchReader struct{ buf *bytes.Buffer }
+
+func (s *switchReader) Read(p []byte) (int, error) { return s.buf.Read(p) }
+func (s *switchReader) ReadByte() (byte, error)    { return s.buf.ReadByte() }
+
+// codec is one connection's framing state: a gob encoder/decoder pair
+// that lives as long as the connection, plus the frame staging
+// machinery. Writes are serialized by wmu so concurrent requests
+// interleave at frame granularity; the read side is owned by a single
+// reader goroutine and needs no lock. After any writeFrame or readFrame
+// error the gob streams may be desynchronized from the peer — the
+// connection must be torn down, never reused.
+type codec struct {
+	conn   net.Conn
+	maxMsg int64
+
+	wmu sync.Mutex
+	sw  *switchWriter
+	enc *gob.Encoder
+
+	br  *bufio.Reader
+	sr  *switchReader
+	dec *gob.Decoder
+
+	// bytesIn/bytesOut aggregate wire bytes into the owning transport's
+	// counters (never nil).
+	bytesIn  *atomic.Int64
+	bytesOut *atomic.Int64
+}
+
+func newCodec(conn net.Conn, maxMsg int64, bytesIn, bytesOut *atomic.Int64) *codec {
+	sw := &switchWriter{}
+	sr := &switchReader{}
+	return &codec{
+		conn:     conn,
+		maxMsg:   maxMsg,
+		sw:       sw,
+		enc:      gob.NewEncoder(sw),
+		br:       bufio.NewReader(conn),
+		sr:       sr,
+		dec:      gob.NewDecoder(sr),
+		bytesIn:  bytesIn,
+		bytesOut: bytesOut,
+	}
+}
+
+// writeFrame encodes msg through the persistent encoder and sends it as
+// one frame under a write deadline. Header and payload are staged in one
+// pooled buffer and flushed with a single Write (the transport sets
+// TCP_NODELAY implicitly — Go's default — so split writes would cost two
+// packets). Any error leaves the encoder stream unsynchronized; the
+// caller must discard the connection.
+func (c *codec) writeFrame(id uint64, msg *Message, timeout time.Duration) error {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [frameHeaderSize]byte
+	buf.Write(hdr[:]) // reserved; patched below
+	c.sw.w = buf
+	if err := c.enc.Encode(msg); err != nil {
+		return fmt.Errorf("wire: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	payload := int64(len(b) - frameHeaderSize)
+	if payload > c.maxMsg {
+		// The descriptors for this message are already woven into the
+		// encoder stream; the peer will never see them. Unsynchronized.
+		return fmt.Errorf("wire: frame of %d bytes exceeds cap %d", payload, c.maxMsg)
+	}
+	binary.BigEndian.PutUint64(b[0:8], id)
+	binary.BigEndian.PutUint32(b[8:12], uint32(payload))
+	if timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	if _, err := c.conn.Write(b); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(len(b)))
+	return nil
+}
+
+// readFrame reads one frame into buf (a pooled staging buffer owned by
+// the calling read loop) and decodes it through the persistent decoder.
+// The declared payload length is validated against the size cap BEFORE
+// any allocation, so a corrupt or hostile peer cannot make the node
+// allocate unboundedly. The read deadline is the caller's job — the
+// client read loop and the server frame loop have different idle
+// semantics.
+func (c *codec) readFrame(buf *bytes.Buffer) (uint64, Message, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, Message{}, err
+	}
+	id := binary.BigEndian.Uint64(hdr[0:8])
+	n := int64(binary.BigEndian.Uint32(hdr[8:12]))
+	if n > c.maxMsg {
+		return 0, Message{}, fmt.Errorf("wire: frame of %d bytes exceeds cap %d", n, c.maxMsg)
+	}
+	buf.Reset()
+	if _, err := io.CopyN(buf, c.br, n); err != nil {
+		return 0, Message{}, err
+	}
+	c.bytesIn.Add(frameHeaderSize + n)
+	c.sr.buf = buf
+	var msg Message
+	if err := c.dec.Decode(&msg); err != nil {
+		return id, Message{}, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return id, msg, nil
+}
+
+// isTimeoutErr reports whether err is a network timeout (an expired
+// read/write deadline), which the pool's read loop uses to distinguish
+// an idle reap from a dead peer.
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"errors"
+
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
 )
@@ -48,7 +50,16 @@ func (n *Node) handle(req Message) Message {
 			return Message{Op: req.Op, Err: err.Error()}
 		}
 		return Message{Op: req.Op, Ok: true}
+	case OpPutBatch:
+		return n.handlePutBatch(req)
+	case OpRemoveBatch:
+		return n.handleRemoveBatch(req)
 	case OpRemoveReplica:
+		if len(req.KV) > 0 {
+			// Batched replica removal (fan-out of an OpRemoveBatch); no
+			// further propagation.
+			return n.handleRemoveBatch(req)
+		}
 		return n.handleRemove(req)
 	case OpRepairSync:
 		return n.handleRepairSync(req)
@@ -181,6 +192,181 @@ func (n *Node) replicateEntry(key keyspace.Key, e overlay.Entry, op Op) {
 			msg = Message{Op: op, KV: []KeyEntries{{Key: key, Entries: []overlay.Entry{e}}}}
 		}
 		_, _ = n.cfg.Transport.Call(succ, msg)
+		sent++
+	}
+}
+
+// splitForeign partitions a batch into the items this node owns (keys
+// in (pred, self]) and the items that belong elsewhere — the result of
+// a client whose membership view is stale, or of churn between the
+// client's routing and the message's arrival. A node without a
+// predecessor owns everything it is handed.
+func (n *Node) splitForeign(kv []KeyEntries) (owned, foreign []KeyEntries) {
+	n.mu.Lock()
+	pred := n.pred
+	n.mu.Unlock()
+	if pred == "" || pred == n.addr {
+		return kv, nil
+	}
+	predID := idOf(pred)
+	for _, item := range kv {
+		if item.Key.Between(predID, n.id) {
+			owned = append(owned, item)
+		} else {
+			foreign = append(foreign, item)
+		}
+	}
+	return owned, foreign
+}
+
+// routeForeign resolves each foreign item's true owner through this
+// node's own Chord routing and groups the items per owner for
+// forwarding. Items that route back to this node (the predecessor
+// pointer, not the client, was stale) are returned in self so the
+// caller applies them locally instead of bouncing them.
+func (n *Node) routeForeign(foreign []KeyEntries) (groups map[string][]KeyEntries, order []string, self []KeyEntries, err error) {
+	groups = make(map[string][]KeyEntries)
+	for _, item := range foreign {
+		r := n.handleFindSuccessor(Message{Op: OpFindSuccessor, Key: item.Key, TTL: n.cfg.TTL})
+		if r.Err != "" {
+			return nil, nil, nil, errors.New(r.Err)
+		}
+		if r.Addr == "" || r.Addr == n.addr {
+			self = append(self, item)
+			continue
+		}
+		if _, ok := groups[r.Addr]; !ok {
+			order = append(order, r.Addr)
+		}
+		groups[r.Addr] = append(groups[r.Addr], item)
+	}
+	return groups, order, self, nil
+}
+
+// handlePutBatch stores a batch of entries in one round. Clients route
+// batches one-hop from their membership view, so the handler first
+// splits off any keys this node does not own and forwards them to their
+// Chord-routed owners with a decremented TTL (disagreeing views cannot
+// loop a batch forever). The locally-owned remainder is applied under a
+// single acquisition of the node lock — atomic with respect to every
+// other store mutator — and each put goes through the Store seam, so a
+// durable store WALs every entry before the ack. The first store or
+// forward failure NACKs the batch: puts are idempotent, so the client
+// retries the whole batch and the already-applied prefix deduplicates.
+// Successful batches replicate to the successor set as one OpPutReplica
+// carrying the locally-adopted KV payload; forwarded items replicate at
+// their true owner.
+func (n *Node) handlePutBatch(req Message) Message {
+	owned, foreign := n.splitForeign(req.KV)
+	var fwdGroups map[string][]KeyEntries
+	var fwdOrder []string
+	if len(foreign) > 0 {
+		if req.TTL <= 0 {
+			return Message{Op: req.Op, Err: ErrTTLExceeded.Error()}
+		}
+		groups, order, self, rerr := n.routeForeign(foreign)
+		if rerr != nil {
+			return Message{Op: req.Op, Err: rerr.Error()}
+		}
+		owned = append(owned, self...)
+		fwdGroups, fwdOrder = groups, order
+	}
+	if err := n.adoptKeys(owned); err != nil {
+		return Message{Op: req.Op, Err: err.Error()}
+	}
+	n.replicateKV(owned, OpPutReplica)
+	for _, target := range fwdOrder {
+		resp, err := n.cfg.Transport.Call(target, Message{Op: OpPutBatch, KV: fwdGroups[target], TTL: req.TTL - 1})
+		if err == nil && resp.Err != "" {
+			err = errors.New(resp.Err)
+		}
+		if err != nil {
+			return Message{Op: req.Op, Err: err.Error()}
+		}
+	}
+	return Message{Op: req.Op, Ok: true}
+}
+
+// handleRemoveBatch deletes a batch of (key, entry) pairs under one
+// lock acquisition. The response's Keys field carries how many entries
+// were actually removed. An origin batch (OpRemoveBatch) forwards keys
+// this node does not own to their Chord-routed owners like
+// handlePutBatch (summing their removed counts into the response) and
+// propagates its local deletions to the replica set as one KV-carrying
+// OpRemoveReplica; replica copies (OpRemoveReplica with KV) neither
+// forward nor propagate — they target exactly the node they arrive at.
+func (n *Node) handleRemoveBatch(req Message) Message {
+	kv := req.KV
+	var fwdGroups map[string][]KeyEntries
+	var fwdOrder []string
+	if req.Op == OpRemoveBatch {
+		owned, foreign := n.splitForeign(kv)
+		kv = owned
+		if len(foreign) > 0 {
+			if req.TTL <= 0 {
+				return Message{Op: req.Op, Err: ErrTTLExceeded.Error()}
+			}
+			groups, order, self, rerr := n.routeForeign(foreign)
+			if rerr != nil {
+				return Message{Op: req.Op, Err: rerr.Error()}
+			}
+			kv = append(kv, self...)
+			fwdGroups, fwdOrder = groups, order
+		}
+	}
+	n.mu.Lock()
+	removed := 0
+	var firstErr error
+	for _, item := range kv {
+		for _, e := range item.Entries {
+			ok, err := n.store.Remove(item.Key, e)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if ok {
+				removed++
+			}
+		}
+	}
+	n.mu.Unlock()
+	if firstErr != nil {
+		return Message{Op: req.Op, Err: firstErr.Error(), Keys: removed}
+	}
+	if removed > 0 && req.Op == OpRemoveBatch {
+		n.replicateKV(kv, OpRemoveReplica)
+	}
+	for _, target := range fwdOrder {
+		resp, err := n.cfg.Transport.Call(target, Message{Op: OpRemoveBatch, KV: fwdGroups[target], TTL: req.TTL - 1})
+		if err == nil && resp.Err != "" {
+			err = errors.New(resp.Err)
+		}
+		if err != nil {
+			return Message{Op: req.Op, Err: err.Error(), Keys: removed}
+		}
+		removed += resp.Keys
+	}
+	return Message{Op: req.Op, Ok: removed > 0, Keys: removed}
+}
+
+// replicateKV forwards a batch mutation to the successor replicas as
+// one message each — the batched analogue of replicateEntry.
+func (n *Node) replicateKV(kv []KeyEntries, op Op) {
+	if n.cfg.ReplicationFactor == 0 || len(kv) == 0 {
+		return
+	}
+	n.mu.Lock()
+	succs := make([]string, len(n.succs))
+	copy(succs, n.succs)
+	n.mu.Unlock()
+	sent := 0
+	for _, succ := range succs {
+		if succ == n.addr {
+			continue
+		}
+		if sent >= n.cfg.ReplicationFactor {
+			break
+		}
+		_, _ = n.cfg.Transport.Call(succ, Message{Op: op, KV: kv})
 		sent++
 	}
 }

@@ -1,0 +1,261 @@
+package wire
+
+// The client half of the persistent-connection fast path: a bounded
+// per-peer pool of framed connections. Multiple in-flight Calls
+// multiplex over one connection by request ID (pipelining), idle
+// connections are reaped by a read-deadline timer, and any protocol or
+// transport error evicts the connection back to redial — the retry /
+// breaker layers above see exactly the error surface the dial-per-call
+// transport produced (ErrUnreachable-wrapped), so their behaviour is
+// unchanged.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// poolResult is one response (or terminal error) delivered to a waiting
+// caller.
+type poolResult struct {
+	msg Message
+	err error
+}
+
+// persistConn is one pooled client connection. The pending map is the
+// multiplexing heart: callers register a request ID before writing their
+// frame, and the single reader goroutine routes each response frame to
+// the channel registered under its ID. A response whose ID is no longer
+// registered (the caller timed out and left) is dropped on the floor —
+// it can never be delivered to a different caller, because IDs are
+// never reused within a connection.
+type persistConn struct {
+	t    *TCPTransport
+	addr string
+	conn net.Conn
+	c    *codec
+
+	// inflight mirrors len(pending) without taking mu, so the pool's
+	// least-loaded scan and the reaper's idle check stay lock-cheap.
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	pending map[uint64]chan poolResult
+	nextID  uint64
+	broken  bool
+}
+
+// register allocates a fresh request ID and its response channel. It
+// fails when the connection broke between pool lookup and registration;
+// the caller then grabs another connection.
+func (p *persistConn) register() (uint64, chan poolResult, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken {
+		return 0, nil, false
+	}
+	p.nextID++
+	id := p.nextID
+	ch := make(chan poolResult, 1)
+	p.pending[id] = ch
+	p.inflight.Add(1)
+	return id, ch, true
+}
+
+// unregister abandons a request (caller timeout or write failure). The
+// reader may still receive the late response; it finds no channel and
+// drops it.
+func (p *persistConn) unregister(id uint64) {
+	p.mu.Lock()
+	if _, ok := p.pending[id]; ok {
+		delete(p.pending, id)
+		p.inflight.Add(-1)
+	}
+	p.mu.Unlock()
+}
+
+// deliver routes one response frame to its registered caller.
+func (p *persistConn) deliver(id uint64, msg Message) {
+	p.mu.Lock()
+	ch := p.pending[id]
+	if ch != nil {
+		delete(p.pending, id)
+		p.inflight.Add(-1)
+	}
+	p.mu.Unlock()
+	if ch != nil {
+		ch <- poolResult{msg: msg} // buffered: never blocks
+	}
+}
+
+// teardown evicts the connection: removes it from the pool, closes the
+// socket, and errors out every pending caller. Safe to call from the
+// reader, a writer, and a timed-out caller concurrently — only the
+// first wins, and only the first bumps the eviction (or idle-reap)
+// counter.
+func (p *persistConn) teardown(err error, idle bool) {
+	p.mu.Lock()
+	if p.broken {
+		p.mu.Unlock()
+		return
+	}
+	p.broken = true
+	pending := p.pending
+	p.pending = nil
+	p.inflight.Store(0)
+	p.mu.Unlock()
+
+	p.t.pool().remove(p)
+	_ = p.conn.Close()
+	for _, ch := range pending {
+		ch <- poolResult{err: err} // buffered: never blocks
+	}
+	if idle {
+		p.t.poolIdleReaps.Inc()
+	} else {
+		p.t.poolEvictions.Inc()
+	}
+}
+
+// readLoop is the connection's single reader: it dispatches response
+// frames by request ID until the connection dies or idles out. The read
+// deadline doubles as the idle reaper — when nothing is in flight an
+// expired deadline means the connection earned no keep; with requests
+// pending the callers' own timers bound the wait, so the loop's
+// deadline only has to be generous enough not to fire under them.
+func (p *persistConn) readLoop() {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	idleTimeout := p.t.poolIdleTimeout()
+	busyTimeout := p.t.callTimeout() + time.Second
+	for {
+		wasIdle := p.inflight.Load() == 0
+		d := busyTimeout
+		if wasIdle {
+			d = idleTimeout
+		}
+		_ = p.conn.SetReadDeadline(time.Now().Add(d))
+		id, msg, err := p.c.readFrame(buf)
+		if err != nil {
+			if isTimeoutErr(err) && p.inflight.Load() == 0 {
+				p.teardown(fmt.Errorf("%w: %s: pooled conn idle-reaped", ErrUnreachable, p.addr), true)
+			} else {
+				p.teardown(fmt.Errorf("%w: %s: %v", ErrUnreachable, p.addr, err), false)
+			}
+			return
+		}
+		p.deliver(id, msg)
+	}
+}
+
+// connPool tracks the persistent connections per peer address and
+// enforces the per-peer bound.
+type connPool struct {
+	t *TCPTransport
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals a dial landing or a conn leaving the pool
+	// peers holds the established connections; dialing counts dials in
+	// progress against the bound.
+	peers   map[string][]*persistConn
+	dialing map[string]int
+}
+
+func newConnPool(t *TCPTransport) *connPool {
+	p := &connPool{
+		t:       t,
+		peers:   make(map[string][]*persistConn),
+		dialing: make(map[string]int),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// get returns a connection to addr: the least-loaded live one when the
+// pool is at its bound or an idle conn exists, otherwise a fresh dial.
+// Under concurrency the pool therefore grows up to MaxConnsPerPeer
+// connections per peer and pipelines the overflow onto existing ones; a
+// caller that finds every slot taken by a dial in progress waits for one
+// to land rather than dialing past the bound.
+func (p *connPool) get(addr string) (*persistConn, error) {
+	p.mu.Lock()
+	for {
+		conns := p.peers[addr]
+		var best *persistConn
+		for _, pc := range conns {
+			if best == nil || pc.inflight.Load() < best.inflight.Load() {
+				best = pc
+			}
+		}
+		atBound := len(conns)+p.dialing[addr] >= p.t.maxConnsPerPeer()
+		if best != nil && (best.inflight.Load() == 0 || atBound) {
+			p.mu.Unlock()
+			p.t.poolReuses.Inc()
+			return best, nil
+		}
+		if !atBound {
+			break
+		}
+		// No established conn and every slot is a dial in progress: wait
+		// for one to land (or fail) instead of exceeding the bound.
+		p.cond.Wait()
+	}
+	p.dialing[addr]++
+	p.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, p.t.dialTimeout())
+
+	p.mu.Lock()
+	p.dialing[addr]--
+	if p.dialing[addr] == 0 {
+		delete(p.dialing, addr)
+	}
+	if err != nil {
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	pc := &persistConn{
+		t:       p.t,
+		addr:    addr,
+		conn:    conn,
+		c:       newCodec(conn, p.t.maxMessageSize(), &p.t.bytesIn, &p.t.bytesOut),
+		pending: make(map[uint64]chan poolResult),
+	}
+	p.peers[addr] = append(p.peers[addr], pc)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.t.poolDials.Inc()
+	go pc.readLoop()
+	return pc, nil
+}
+
+// remove detaches a connection from the pool (teardown's pool half).
+func (p *connPool) remove(pc *persistConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.peers[pc.addr]
+	for i, c := range conns {
+		if c == pc {
+			p.peers[pc.addr] = append(conns[:i], conns[i+1:]...)
+			break
+		}
+	}
+	if len(p.peers[pc.addr]) == 0 {
+		delete(p.peers, pc.addr)
+	}
+	p.cond.Broadcast()
+}
+
+// snapshot returns every pooled connection (for shutdown and stats).
+func (p *connPool) snapshot() []*persistConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var all []*persistConn
+	for _, conns := range p.peers {
+		all = append(all, conns...)
+	}
+	return all
+}

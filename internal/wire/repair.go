@@ -209,6 +209,12 @@ func (n *Node) dropStaleCopies() {
 	})
 	n.mu.Unlock()
 
+	// Group the misplaced keys by their routed owner so each owner
+	// receives ONE OpTransfer carrying every key it now owes, instead of
+	// one RPC per key — post-churn repair traffic scales with the number
+	// of owners involved, not the number of keys.
+	groups := make(map[string][]KeyEntries)
+	var owners []string
 	for _, item := range stale {
 		resp := n.handleFindSuccessor(Message{Op: OpFindSuccessor, Key: item.Key, TTL: n.cfg.TTL})
 		if resp.Err != "" {
@@ -218,17 +224,26 @@ func (n *Node) dropStaleCopies() {
 		if owner == n.addr {
 			continue // routing disagrees with the window; keep the copy
 		}
-		tresp, err := n.cfg.Transport.Call(owner, Message{Op: OpTransfer, KV: []KeyEntries{item}})
-		if err != nil || remoteError(tresp) != nil {
-			continue // owner unreachable; keep the copy and retry later
+		if _, ok := groups[owner]; !ok {
+			owners = append(owners, owner)
 		}
-		n.repair.forwards.Inc()
+		groups[owner] = append(groups[owner], item)
+	}
+	for _, owner := range owners {
+		group := groups[owner]
+		tresp, err := n.cfg.Transport.Call(owner, Message{Op: OpTransfer, KV: group})
+		if err != nil || remoteError(tresp) != nil {
+			continue // owner unreachable; keep the copies and retry later
+		}
+		n.repair.forwards.Add(int64(len(group)))
 		n.mu.Lock()
-		// Drop only if unchanged since the snapshot — an entry written in
-		// the meantime has not been forwarded and must not be lost.
-		if entriesDigest(n.store.Get(item.Key)) == entriesDigest(item.Entries) {
-			if n.store.Replace(item.Key, nil) == nil {
-				n.repair.drops.Inc()
+		for _, item := range group {
+			// Drop only if unchanged since the snapshot — an entry written
+			// in the meantime has not been forwarded and must not be lost.
+			if entriesDigest(n.store.Get(item.Key)) == entriesDigest(item.Entries) {
+				if n.store.Replace(item.Key, nil) == nil {
+					n.repair.drops.Inc()
+				}
 			}
 		}
 		n.mu.Unlock()

@@ -78,6 +78,11 @@ var retryableByDefault = map[Op]bool{
 	OpLeave:          true,
 	OpPutReplica:     true,
 	OpRepairSync:     true,
+	// OpPutBatch is a batch of idempotent puts: retrying after a NACK or
+	// a lost ack re-applies entries the store deduplicates, so partial
+	// application converges. OpRemoveBatch is excluded for the same
+	// reason as OpRemove: its Ok/count result flips on a repeat.
+	OpPutBatch: true,
 }
 
 // attemptsFor resolves how many times op may be tried under p.

@@ -46,6 +46,15 @@ type SoakConfig struct {
 	// Retry is the RPC retry policy every node and the cluster use
 	// (defaults applied if zero).
 	Retry RetryPolicy
+	// Transport, when set, is the base transport the soak runs over
+	// (wrapped in the fault and retry layers); nil uses a fresh
+	// MemTransport. Set a TCPTransport to soak the pooled TCP fast path
+	// under the same churn schedule.
+	Transport Transport
+	// ListenAddr is the listen address members bind ("mem:0" by default;
+	// "127.0.0.1:0" for a TCP transport). Restarting members always
+	// rebind their original concrete address.
+	ListenAddr string
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Telemetry, when non-nil, receives the run's registry series: the
@@ -167,6 +176,9 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.PutRetries == 0 {
 		c.PutRetries = 8
 	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "mem:0"
+	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
 	}
@@ -237,7 +249,11 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	start := time.Now()
 	var report SoakReport
 
-	ft := NewFaultTransport(NewMemTransport(), cfg.Seed)
+	base := cfg.Transport
+	if base == nil {
+		base = NewMemTransport()
+	}
+	ft := NewFaultTransport(base, cfg.Seed)
 	schedule := rand.New(rand.NewSource(cfg.Seed + 1))
 	policy := cfg.Retry.withDefaults()
 	policy.Seed = cfg.Seed + 2
@@ -247,8 +263,8 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 
 	// startMember boots one member. Each member has a stable index that
 	// survives restarts — it keys StoreFor, so a revived member reopens
-	// the same data directory. addr is "mem:0" for a fresh member or the
-	// previous address for a restart (same address ⇒ same ring ID).
+	// the same data directory. addr is cfg.ListenAddr for a fresh member
+	// or the previous address for a restart (same address ⇒ same ring ID).
 	startMember := func(idx int, addr string) (*Node, Store, error) {
 		var st Store
 		if cfg.StoreFor != nil {
@@ -283,7 +299,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	nextIdx := 0
 	var bootstrap string
 	for i := 0; i < cfg.Nodes; i++ {
-		n, _, err := startMember(nextIdx, "mem:0")
+		n, _, err := startMember(nextIdx, cfg.ListenAddr)
 		if err != nil {
 			return report, fmt.Errorf("soak: start node %d: %w", i, err)
 		}
@@ -458,7 +474,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			cfg.Log("soak: op %d: partition healed", op)
 		}
 		if cfg.JoinEvery > 0 && op > 0 && op%cfg.JoinEvery == 0 {
-			n, _, err := startMember(nextIdx, "mem:0")
+			n, _, err := startMember(nextIdx, cfg.ListenAddr)
 			if err != nil {
 				return report, fmt.Errorf("soak: op %d: start joiner: %w", op, err)
 			}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnSoakTCP runs the churn soak over the pooled TCP transport on
+// loopback instead of the in-memory transport: real sockets, framed
+// multiplexed connections, crash-stops that tear pooled conns down
+// mid-flight, and restarts that rebind the same concrete address. The
+// schedule is kept lighter than the MemTransport soak (real dial and
+// teardown latency), but every survival invariant is the same.
+func TestChurnSoakTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	tp := NewTCPTransport()
+	tp.CallTimeout = 2 * time.Second
+	report, err := RunSoak(SoakConfig{
+		Nodes:      8,
+		Ops:        80,
+		Seed:       13,
+		DropProb:   0.05,
+		Latency:    10 * time.Millisecond,
+		CrashEvery: 40,
+		Transport:  tp,
+		ListenAddr: "127.0.0.1:0",
+		Log:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak harness: %v", err)
+	}
+	if !report.Converged {
+		t.Errorf("ring did not re-converge after the storm")
+	}
+	if len(report.LostKeys) > 0 {
+		t.Errorf("lost %d write-once entries despite replication: %v",
+			len(report.LostKeys), report.LostKeys)
+	}
+	if report.Acked == 0 {
+		t.Fatalf("no put ever acked")
+	}
+	if report.Crashes < 1 {
+		t.Errorf("schedule executed no crashes")
+	}
+	st := tp.PoolStats()
+	if st.Reuses == 0 {
+		t.Errorf("soak traffic produced no pooled-connection reuse: %+v", st)
+	}
+	if st.Dials == 0 {
+		t.Errorf("no pooled dials recorded: %+v", st)
+	}
+	t.Logf("pool after soak: %+v", st)
+}

@@ -1,39 +1,78 @@
 package wire
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dhtindex/internal/telemetry"
 )
 
-// DefaultMaxMessageSize bounds a single gob-encoded message on the wire
+// DefaultMaxMessageSize bounds a single encoded message on the wire
 // (8 MiB). A corrupt or hostile peer can otherwise declare a huge
 // payload and make the decoder allocate unboundedly.
 const DefaultMaxMessageSize = 8 << 20
 
-// TCPTransport carries one gob-encoded request/response pair per TCP
-// connection. Simple and robust: no connection pooling or framing state
-// to corrupt, at the price of a dial per call (acceptable for control
-// traffic; bulk transfers batch many keys into one message).
+// DefaultMaxConnsPerPeer bounds the connection pool per peer. One
+// connection pipelines arbitrarily many requests; extra connections
+// exist only to spread head-of-line blocking under heavy concurrency.
+const DefaultMaxConnsPerPeer = 4
+
+// DefaultIdleTimeout reaps pooled connections that carried no frame for
+// this long.
+const DefaultIdleTimeout = 60 * time.Second
+
+// TCPTransport moves messages over the length-prefixed framed protocol
+// (see frame.go). By default calls go through a per-peer pool of
+// persistent connections: multiple in-flight calls multiplex over one
+// connection by request ID, gob codec sessions live as long as the
+// connection (type descriptors are transmitted once instead of per
+// call), idle connections are reaped, and dead ones are evicted back to
+// redial. Set DisablePool for the legacy dial-per-call behaviour (one
+// framed exchange per connection) — also the benchmark baseline.
 type TCPTransport struct {
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
 	// CallTimeout bounds a full request/response exchange (default 5s).
 	CallTimeout time.Duration
-	// CloseTimeout bounds how long Close waits for in-flight requests to
-	// drain before returning (default 3s). Connections left behind still
-	// terminate on their own deadlines; Close just stops blocking on
-	// them.
+	// CloseTimeout bounds how long a listener's Close waits for in-flight
+	// requests to drain before force-closing stragglers (default 3s).
 	CloseTimeout time.Duration
-	// MaxMessageSize caps the bytes a decoder will read for one message
-	// (default DefaultMaxMessageSize).
+	// MaxMessageSize caps one frame's payload (default
+	// DefaultMaxMessageSize). Enforced on the length prefix before any
+	// allocation.
 	MaxMessageSize int64
+	// DisablePool reverts Call to dial-per-call: one fresh connection,
+	// one framed exchange, close. The wire format is identical, so
+	// pooled and unpooled endpoints interoperate.
+	DisablePool bool
+	// MaxConnsPerPeer bounds the pool per peer address (default
+	// DefaultMaxConnsPerPeer).
+	MaxConnsPerPeer int
+	// IdleTimeout reaps pooled connections with no traffic (default
+	// DefaultIdleTimeout). Server connections idle out on the same knob.
+	IdleTimeout time.Duration
+
+	poolOnce sync.Once
+	connPool *connPool
+
+	metricsOnce sync.Once
+	// Pool lifecycle counters (nil until first use; ensureMetrics).
+	poolDials        *telemetry.Counter
+	poolReuses       *telemetry.Counter
+	poolEvictions    *telemetry.Counter
+	poolIdleReaps    *telemetry.Counter
+	respEncodeErrors *telemetry.Counter
+	poolInFlight     *telemetry.Gauge
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 }
 
-// NewTCPTransport returns a transport with default timeouts.
+// NewTCPTransport returns a pooled transport with default timeouts.
 func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		DialTimeout:  2 * time.Second,
@@ -42,19 +81,100 @@ func NewTCPTransport() *TCPTransport {
 	}
 }
 
+// PoolStats is a point-in-time snapshot of the transport's connection
+// pool and wire traffic. The counters behind it are atomic; snapshots
+// taken while the transport serves traffic are race-free.
+type PoolStats struct {
+	// Dials counts fresh connections established.
+	Dials int64
+	// Reuses counts Calls served by an already-pooled connection.
+	Reuses int64
+	// Evictions counts connections torn down on error or call timeout.
+	Evictions int64
+	// IdleReaps counts connections reaped after IdleTimeout of silence.
+	IdleReaps int64
+	// InFlight is the number of Calls currently awaiting a response.
+	InFlight int64
+	// Conns is the number of currently pooled connections.
+	Conns int
+	// BytesSent / BytesReceived count wire bytes including frame
+	// headers, across pooled, dial-per-call and server-side traffic of
+	// this transport instance.
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// PoolStats returns a snapshot of the pool counters.
+func (t *TCPTransport) PoolStats() PoolStats {
+	t.ensureMetrics()
+	return PoolStats{
+		Dials:         t.poolDials.Value(),
+		Reuses:        t.poolReuses.Value(),
+		Evictions:     t.poolEvictions.Value(),
+		IdleReaps:     t.poolIdleReaps.Value(),
+		InFlight:      int64(t.poolInFlight.Value()),
+		Conns:         len(t.pool().snapshot()),
+		BytesSent:     t.bytesOut.Load(),
+		BytesReceived: t.bytesIn.Load(),
+	}
+}
+
+// Instrument attaches the transport's pool counters and gauges to reg.
+func (t *TCPTransport) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t.ensureMetrics()
+	reg.Attach(t.poolDials, t.poolReuses, t.poolEvictions, t.poolIdleReaps,
+		t.respEncodeErrors, t.poolInFlight)
+	reg.GaugeFunc("wire_pool_conns",
+		"Currently pooled persistent connections.",
+		func() float64 { return float64(len(t.pool().snapshot())) })
+}
+
+// ensureMetrics lazily creates the counters so zero-value struct
+// literals (tests) work without a constructor.
+func (t *TCPTransport) ensureMetrics() {
+	t.metricsOnce.Do(func() {
+		t.poolDials = telemetry.NewCounter("wire_pool_dials_total",
+			"Fresh TCP connections established by the pool (or dial-per-call mode).")
+		t.poolReuses = telemetry.NewCounter("wire_pool_reuses_total",
+			"Calls served over an already-pooled connection.")
+		t.poolEvictions = telemetry.NewCounter("wire_pool_evictions_total",
+			"Pooled connections torn down on error or call timeout.")
+		t.poolIdleReaps = telemetry.NewCounter("wire_pool_idle_reaps_total",
+			"Pooled connections reaped after the idle timeout.")
+		t.respEncodeErrors = telemetry.NewCounter("wire_resp_encode_errors_total",
+			"Server responses that failed to encode or send; the connection is closed so the client fails fast.")
+		t.poolInFlight = telemetry.NewGauge("wire_pool_in_flight",
+			"Calls currently awaiting a response over pooled connections.")
+	})
+}
+
+// pool lazily creates the client connection pool.
+func (t *TCPTransport) pool() *connPool {
+	t.ensureMetrics()
+	t.poolOnce.Do(func() { t.connPool = newConnPool(t) })
+	return t.connPool
+}
+
 // Listen implements Transport: it binds a TCP listener (use "127.0.0.1:0"
-// to pick a free port) and serves requests until closed.
+// to pick a free port) and serves framed requests until closed.
 func (t *TCPTransport) Listen(addr string, handler Handler) (string, io.Closer, error) {
+	t.ensureMetrics()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
 	srv := &tcpServer{
+		t:            t,
 		ln:           ln,
 		handler:      handler,
 		callTimeout:  t.callTimeout(),
 		closeTimeout: t.closeTimeout(),
+		idleTimeout:  t.poolIdleTimeout(),
 		maxMsg:       t.maxMessageSize(),
+		conns:        make(map[net.Conn]struct{}),
 	}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
@@ -89,35 +209,131 @@ func (t *TCPTransport) maxMessageSize() int64 {
 	return DefaultMaxMessageSize
 }
 
-// Call implements Transport.
+func (t *TCPTransport) maxConnsPerPeer() int {
+	if t.MaxConnsPerPeer > 0 {
+		return t.MaxConnsPerPeer
+	}
+	return DefaultMaxConnsPerPeer
+}
+
+func (t *TCPTransport) poolIdleTimeout() time.Duration {
+	if t.IdleTimeout > 0 {
+		return t.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+// Call implements Transport: one request/response exchange over a
+// pooled persistent connection (or a fresh one with DisablePool). A
+// call timeout evicts the whole connection — its response stream can no
+// longer be trusted to be prompt — and the retry layer above redials.
 func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
+	t.ensureMetrics()
+	if t.DisablePool {
+		return t.dialCall(addr, req)
+	}
+	// Two attempts to absorb the register/teardown race: a pooled conn
+	// can break between the pool handing it out and the caller
+	// registering on it.
+	for attempt := 0; ; attempt++ {
+		pc, err := t.pool().get(addr)
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		}
+		id, ch, ok := pc.register()
+		if !ok {
+			if attempt == 0 {
+				continue
+			}
+			return Message{}, fmt.Errorf("%w: %s: pooled conn closed", ErrUnreachable, addr)
+		}
+		return t.exchange(pc, id, ch, addr, req)
+	}
+}
+
+// exchange writes one registered request and waits for its response.
+func (t *TCPTransport) exchange(pc *persistConn, id uint64, ch chan poolResult, addr string, req Message) (Message, error) {
+	t.poolInFlight.Add(1)
+	defer t.poolInFlight.Add(-1)
+	if err := pc.c.writeFrame(id, &req, t.callTimeout()); err != nil {
+		pc.unregister(id)
+		// The encoder stream is unsynchronized; nothing on this conn can
+		// be trusted anymore.
+		pc.teardown(fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err), false)
+		return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	timer := time.NewTimer(t.callTimeout())
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return Message{}, r.err
+		}
+		return r.msg, nil
+	case <-timer.C:
+		pc.unregister(id)
+		err := fmt.Errorf("%w: %s: call timeout after %v", ErrUnreachable, addr, t.callTimeout())
+		pc.teardown(err, false)
+		return Message{}, err
+	}
+}
+
+// dialCall is the legacy dial-per-call path: one connection, one framed
+// exchange. Same wire format, none of the reuse.
+func (t *TCPTransport) dialCall(addr string, req Message) (Message, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
 	if err != nil {
 		return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(t.callTimeout())
-	if err := conn.SetDeadline(deadline); err != nil {
+	t.poolDials.Inc()
+	if err := conn.SetDeadline(time.Now().Add(t.callTimeout())); err != nil {
 		return Message{}, fmt.Errorf("wire: deadline: %w", err)
 	}
-	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+	c := newCodec(conn, t.maxMessageSize(), &t.bytesIn, &t.bytesOut)
+	if err := c.writeFrame(1, &req, t.callTimeout()); err != nil {
 		return Message{}, fmt.Errorf("wire: encode to %s: %w", addr, err)
 	}
-	var resp Message
-	if err := gob.NewDecoder(io.LimitReader(conn, t.maxMessageSize())).Decode(&resp); err != nil {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	_, resp, err := c.readFrame(buf)
+	if err != nil {
 		return Message{}, fmt.Errorf("wire: decode from %s: %w", addr, err)
 	}
 	return resp, nil
 }
 
+// CloseConnections tears down every pooled client connection. Pending
+// calls on them error out with ErrUnreachable; subsequent Calls redial.
+// Use it when shutting a process down or when a test needs a clean
+// pool.
+func (t *TCPTransport) CloseConnections() {
+	for _, pc := range t.pool().snapshot() {
+		pc.teardown(fmt.Errorf("%w: %s: pool closed", ErrUnreachable, pc.addr), pc.inflight.Load() == 0)
+	}
+}
+
+// tcpServer serves framed requests on persistent connections. Each
+// connection has a frame-reader loop; every request frame is handled on
+// its own goroutine so responses complete (and are written back) in any
+// order — that is what lets clients pipeline. Deadlines are
+// per-request: the read deadline is reset before every frame and each
+// response write carries its own write deadline, so a long-lived
+// connection never inherits a stale deadline from accept time.
 type tcpServer struct {
+	t            *TCPTransport
 	ln           net.Listener
 	handler      Handler
 	callTimeout  time.Duration
 	closeTimeout time.Duration
+	idleTimeout  time.Duration
 	maxMsg       int64
-	wg           sync.WaitGroup
-	closeOnce    sync.Once
+
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closing   bool
+	closeOnce sync.Once
 }
 
 func (s *tcpServer) acceptLoop() {
@@ -127,6 +343,14 @@ func (s *tcpServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -134,29 +358,57 @@ func (s *tcpServer) acceptLoop() {
 
 func (s *tcpServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(s.callTimeout)); err != nil {
-		return
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	c := newCodec(conn, s.maxMsg, &s.t.bytesIn, &s.t.bytesOut)
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		// Per-request read deadline: a persistent connection may idle
+		// between frames for as long as the pool's idle timeout allows.
+		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout + time.Second)); err != nil {
+			return
+		}
+		id, req, err := c.readFrame(buf)
+		if err != nil {
+			return // client went away, idled out, or sent garbage
+		}
+		inflight.Add(1)
+		go func(id uint64, req Message) {
+			defer inflight.Done()
+			resp := s.handler(req)
+			if werr := c.writeFrame(id, &resp, s.callTimeout); werr != nil {
+				// A response that cannot be delivered must not be
+				// silently swallowed: count it and close the connection
+				// so the client fails fast instead of timing out.
+				s.t.respEncodeErrors.Inc()
+				_ = conn.Close()
+			}
+		}(id, req)
 	}
-	var req Message
-	// The limit guards the allocation, not the protocol: a message that
-	// claims to be larger than maxMsg hits io.EOF instead of exhausting
-	// memory.
-	if err := gob.NewDecoder(io.LimitReader(conn, s.maxMsg)).Decode(&req); err != nil {
-		return
-	}
-	resp := s.handler(req)
-	_ = gob.NewEncoder(conn).Encode(&resp)
 }
 
-// Close implements io.Closer: stops accepting and waits up to
-// closeTimeout for in-flight requests to drain. Stragglers are not
-// leaked forever — every connection carries a deadline — but a node
-// shutting down must not hang behind a peer that dribbles bytes.
+// Close implements io.Closer: stops accepting, nudges connection
+// readers off their blocking reads (in-flight handlers still write
+// their responses), and waits up to closeTimeout before force-closing
+// stragglers. A node shutting down must not hang behind a peer that
+// dribbles bytes.
 func (s *tcpServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		err = s.ln.Close()
+		s.mu.Lock()
+		s.closing = true
+		for conn := range s.conns {
+			_ = conn.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
 		drained := make(chan struct{})
 		go func() {
 			s.wg.Wait()
@@ -165,6 +417,11 @@ func (s *tcpServer) Close() error {
 		select {
 		case <-drained:
 		case <-time.After(s.closeTimeout):
+			s.mu.Lock()
+			for conn := range s.conns {
+				_ = conn.Close()
+			}
+			s.mu.Unlock()
 		}
 	})
 	return err

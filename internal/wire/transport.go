@@ -36,6 +36,8 @@ const (
 	OpPutReplica
 	OpRemoveReplica
 	OpRepairSync
+	OpPutBatch
+	OpRemoveBatch
 )
 
 // String returns the wire name of the operation.
@@ -69,6 +71,10 @@ func (o Op) String() string {
 		return "remove-replica"
 	case OpRepairSync:
 		return "repair-sync"
+	case OpPutBatch:
+		return "put-batch"
+	case OpRemoveBatch:
+		return "remove-batch"
 	default:
 		return "unknown"
 	}
