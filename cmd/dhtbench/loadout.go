@@ -1,0 +1,155 @@
+package main
+
+// The -load mode: the open-loop overload harness (internal/soak.RunLoad)
+// as a CI gate. It drives a rated phase and a 2-4x overload phase with a
+// flash crowd, prints the phase accounting plus the admission / retry /
+// breaker totals, optionally writes the full JSON LoadReport (-load-out)
+// and merges trajectory rows into the committed BENCH_wire.json
+// (-bench-out), and exits non-zero when any SLO criterion is violated —
+// p99 at rated load, proportional goodput under overload, bounded retry
+// traffic, zero acked-write loss.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"dhtindex/internal/soak"
+	"dhtindex/internal/telemetry"
+)
+
+// loadOpts bundles the -load flag values.
+type loadOpts struct {
+	rated    float64
+	factor   float64
+	duration time.Duration
+	seed     int64
+	out      string
+	benchOut string
+}
+
+// errSLO marks an SLO-gate failure (as opposed to a harness error).
+var errSLO = errors.New("load SLO gate failed")
+
+// runLoadMode executes the overload run and holds it to the SLO gate.
+func runLoadMode(o loadOpts, reg *telemetry.Registry, metricsAddr, metricsOut string) error {
+	cfg := soak.LoadConfig{
+		Seed:           o.seed,
+		RatedRPS:       o.rated,
+		OverloadFactor: o.factor,
+		Telemetry:      reg,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if o.duration > 0 {
+		// -duration is the total arrival window, split across the phases.
+		cfg.RatedDuration = o.duration / 2
+		cfg.OverloadDuration = o.duration / 2
+	}
+	report, err := soak.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nload report (seed %d)\n", o.seed)
+	for _, p := range []soak.PhaseReport{report.Rated, report.Overload} {
+		fmt.Printf("  %-9s %6.0f/s target: offered=%d dropped=%d ok=%d shed=%d failed=%d goodput=%.1f/s shed-rate=%.2f p50=%v p99=%v\n",
+			p.Name, p.TargetRPS, p.Offered, p.Dropped, p.OK, p.Shed, p.Failed,
+			p.GoodputRPS, p.ShedRate, p.P50.Round(time.Millisecond), p.P99.Round(time.Millisecond))
+	}
+	a := report.Admission
+	fmt.Printf("  admission: %d admitted (%d waited), sheds: %d queue_full, %d queue_timeout, %d deadline, %d priority\n",
+		a.Admitted, a.Waited, a.ShedQueueFull, a.ShedQueueTimeout, a.ShedDeadline, a.ShedPriority)
+	r := report.Retry
+	fmt.Printf("  retry:     %d calls, %d retries, %d overload NACKs, %d budget-exhausted, %d gave up\n",
+		r.Calls, r.Retries, r.Overloads, r.BudgetExhausted, r.GaveUp)
+	b := report.Breaker
+	fmt.Printf("  breaker:   %d trips (%d on overload), %d fast-fails, %d probes, %d closes, %d open\n",
+		b.Trips, b.OverloadTrips, b.FastFails, b.Probes, b.Closes, b.Open)
+	fmt.Printf("  writes:    %d acked, %d lost\n", report.AckedWrites, len(report.LostWrites))
+
+	if o.out != "" {
+		if err := writeJSON(o.out, report); err != nil {
+			return fmt.Errorf("write load report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "dhtbench: load report written to %s\n", o.out)
+	}
+	if o.benchOut != "" {
+		if err := mergeLoadIntoBench(o.benchOut, o.seed, report); err != nil {
+			return fmt.Errorf("merge load trajectory into %s: %w", o.benchOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "dhtbench: load trajectory merged into %s\n", o.benchOut)
+	}
+	if err := emitMetrics(reg, metricsOut); err != nil {
+		return err
+	}
+	if !report.Passed() {
+		for _, v := range report.Violations {
+			fmt.Fprintf(os.Stderr, "dhtbench: SLO violation: %s\n", v)
+		}
+		return fmt.Errorf("%w: %d violations", errSLO, len(report.Violations))
+	}
+	fmt.Println("  SLO gate:  PASS")
+	return serveMetrics(reg, metricsAddr)
+}
+
+// writeJSON writes v to path as indented JSON.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// phaseRow folds one load phase into a bench-report row: throughput is
+// goodput (successful ops per second of arrival window), latency
+// percentiles are over successful ops.
+func phaseRow(p soak.PhaseReport) benchResult {
+	return benchResult{
+		Name:      "load/" + p.Name,
+		Ops:       p.OK,
+		OpsPerSec: p.GoodputRPS,
+		P50Micros: float64(p.P50.Nanoseconds()) / 1e3,
+		P99Micros: float64(p.P99.Nanoseconds()) / 1e3,
+	}
+}
+
+// mergeLoadIntoBench read-modify-writes the bench report: existing
+// microbenchmark rows are preserved, any previous load rows are replaced
+// by this run's trajectory, and the overload-vs-rated goodput ratio is
+// recorded alongside the fast-path ratios. A missing file starts fresh.
+func mergeLoadIntoBench(path string, seed int64, lr soak.LoadReport) error {
+	var report benchReport
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("existing report unreadable: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if report.GeneratedBy == "" {
+		report.GeneratedBy = "dhtbench -load"
+		report.Seed = seed
+	}
+	if report.Ratios == nil {
+		report.Ratios = make(map[string]float64)
+	}
+	kept := report.Results[:0]
+	for _, r := range report.Results {
+		if r.Name != "load/rated" && r.Name != "load/overload" {
+			kept = append(kept, r)
+		}
+	}
+	report.Results = append(kept, phaseRow(lr.Rated), phaseRow(lr.Overload))
+	if lr.Rated.GoodputRPS > 0 {
+		report.Ratios["load_goodput_overload_vs_rated"] = lr.Overload.GoodputRPS / lr.Rated.GoodputRPS
+	}
+	return writeJSON(path, report)
+}

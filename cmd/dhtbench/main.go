@@ -22,6 +22,15 @@
 // publish, parallel vs sequential search) and writes the ops/s and
 // latency-percentile report to the given JSON file — the source of the
 // repo's committed BENCH_wire.json.
+//
+// With -load it runs the open-loop overload harness: a ring with
+// admission control armed is driven at a rated arrival rate and then at
+// a 2-4x multiple with a flash crowd on the hottest article, and the
+// run is held to an SLO gate (rated p99, proportional goodput under
+// overload, bounded retry traffic, zero acked-write loss) — non-zero
+// exit on any violation. -load-out writes the JSON load report;
+// combined with -bench-out the run's goodput trajectory is merged into
+// the committed bench report.
 package main
 
 import (
@@ -59,7 +68,13 @@ func main() {
 		soakLatency = flag.Duration("soak-latency", 50*time.Millisecond, "soak: injected latency")
 		soakQueries = flag.Int("soak-queries", 2, "soak: indexed lookups per storm op")
 
-		benchOut = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json)")
+		benchOut = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json); with -load, merge the load trajectory into it instead")
+
+		loadMode   = flag.Bool("load", false, "run the open-loop overload harness (rated phase, then 2-4x overload with a flash crowd) and exit non-zero on any SLO violation")
+		loadRated  = flag.Float64("load-rated", 0, "load: rated arrival rate in ops/s (0 = harness default)")
+		loadFactor = flag.Float64("load-factor", 0, "load: overload multiple of the rated rate (0 = harness default)")
+		duration   = flag.Duration("duration", 0, "load: total arrival window, split evenly across the rated and overload phases (0 = harness default)")
+		loadOut    = flag.String("load-out", "", "load: write the full JSON load report to this file")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the telemetry snapshot on this address (e.g. :8080) after the run")
 		metricsOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this file after the run")
@@ -68,7 +83,12 @@ func main() {
 	flag.Parse()
 	reg := telemetry.NewRegistry()
 	var err error
-	if *benchOut != "" {
+	if *loadMode {
+		err = runLoadMode(loadOpts{
+			rated: *loadRated, factor: *loadFactor, duration: *duration,
+			seed: *seed, out: *loadOut, benchOut: *benchOut,
+		}, reg, *metricsAddr, *metricsOut)
+	} else if *benchOut != "" {
 		err = runBenchOut(*benchOut, *seed)
 	} else if *soakMode {
 		err = runSoak(soakOpts{

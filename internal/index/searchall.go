@@ -58,10 +58,7 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 		err  error
 	}
 	for len(frontier) > 0 && explored < s.maxFanout() {
-		wave := s.parallelism()
-		if wave > len(frontier) {
-			wave = len(frontier)
-		}
+		wave := s.waveSize(len(frontier))
 		if rem := s.maxFanout() - explored; wave > rem {
 			wave = rem
 		}
@@ -69,21 +66,23 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 		frontier = frontier[wave:]
 
 		outs := make([]lookupOut, len(batch))
-		if len(batch) == 1 {
-			resp, err := s.svc.LookupCtx(ctx, batch[0])
-			outs[0] = lookupOut{resp: resp, err: err}
-		} else {
-			var wg sync.WaitGroup
-			for i := range batch {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					resp, err := s.svc.LookupCtx(ctx, batch[i])
-					outs[i] = lookupOut{resp: resp, err: err}
-				}(i)
-			}
-			wg.Wait()
+		// The first branch runs inline on the caller: it saves one
+		// goroutine hand-off per wave and keeps the caller busy with real
+		// work instead of parked at the barrier — on a single-CPU host the
+		// difference between a parallel wave matching the sequential walk
+		// and losing to it.
+		var wg sync.WaitGroup
+		for i := 1; i < len(batch); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := s.svc.LookupCtx(ctx, batch[i])
+				outs[i] = lookupOut{resp: resp, err: err}
+			}(i)
 		}
+		resp0, err0 := s.svc.LookupCtx(ctx, batch[0])
+		outs[0] = lookupOut{resp: resp0, err: err0}
+		wg.Wait()
 
 		erred := false
 		for i, current := range batch {
@@ -146,10 +145,12 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 	return dedupeResults(results), trace, nil
 }
 
-// maxFanout bounds the number of index nodes the automated mode visits.
+// maxFanout resolves the automated mode's exploration bound.
 func (s *Searcher) maxFanout() int {
-	const defaultFanout = 100000
-	return defaultFanout
+	if s.MaxFanout > 0 {
+		return s.MaxFanout
+	}
+	return 100000
 }
 
 func dedupeResults(in []Result) []Result {

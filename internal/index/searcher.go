@@ -39,6 +39,20 @@ type Searcher struct {
 	// accounting) of the paper's model; higher values need a thread-safe
 	// substrate (the live wire Cluster is, the simulations are not).
 	Parallelism int
+
+	// FanoutThreshold is the minimum number of pending branches before a
+	// parallel wave is launched (default 4). Below it branches are looked
+	// up sequentially: a goroutine wave over a near-empty frontier costs
+	// more in scheduling and wave-barrier waits than it recovers in I/O
+	// overlap, which is what made small-frontier parallel searches slower
+	// than sequential ones.
+	FanoutThreshold int
+
+	// MaxFanout bounds the number of index nodes the automated search
+	// mode visits before giving up (default 100000 — effectively "the
+	// whole index" for any realistic corpus, a loop stop for corrupt
+	// ones).
+	MaxFanout int
 }
 
 // parallelism resolves the fan-out bound (≥ 1).
@@ -47,6 +61,28 @@ func (s *Searcher) parallelism() int {
 		return s.Parallelism
 	}
 	return 1
+}
+
+// fanoutThreshold resolves the adaptive-fanout gate (≥ 1).
+func (s *Searcher) fanoutThreshold() int {
+	if s.FanoutThreshold > 0 {
+		return s.FanoutThreshold
+	}
+	return 4
+}
+
+// waveSize decides how many of the pending branches the next wave looks
+// up concurrently: 1 (sequential, no goroutines) while pending is below
+// FanoutThreshold, otherwise up to Parallelism.
+func (s *Searcher) waveSize(pending int) int {
+	par := s.parallelism()
+	if par <= 1 || pending < s.fanoutThreshold() {
+		return 1
+	}
+	if par > pending {
+		return pending
+	}
+	return par
 }
 
 // NewSearcher creates a searcher over the service.
@@ -308,30 +344,26 @@ func (s *Searcher) generalize(ctx context.Context, trace *Trace, at *telemetry.A
 		lat  int64
 	}
 	for off := 0; off < len(cands); {
-		wave := s.parallelism()
-		if wave > len(cands)-off {
-			wave = len(cands) - off
-		}
+		wave := s.waveSize(len(cands) - off)
 		batch := cands[off : off+wave]
 		off += wave
 		outs := make([]probe, len(batch))
-		if len(batch) == 1 {
-			start := time.Now()
-			resp, err := s.svc.LookupCtx(ctx, batch[0])
-			outs[0] = probe{resp: resp, err: err, lat: time.Since(start).Microseconds()}
-		} else {
-			var wg sync.WaitGroup
-			for i := range batch {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					start := time.Now()
-					resp, err := s.svc.LookupCtx(ctx, batch[i])
-					outs[i] = probe{resp: resp, err: err, lat: time.Since(start).Microseconds()}
-				}(i)
-			}
-			wg.Wait()
+		// As in SearchAllCtx, the first probe runs inline on the caller so
+		// a wave costs one goroutine hand-off fewer.
+		var wg sync.WaitGroup
+		for i := 1; i < len(batch); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := time.Now()
+				resp, err := s.svc.LookupCtx(ctx, batch[i])
+				outs[i] = probe{resp: resp, err: err, lat: time.Since(start).Microseconds()}
+			}(i)
 		}
+		start := time.Now()
+		resp0, err0 := s.svc.LookupCtx(ctx, batch[0])
+		outs[0] = probe{resp: resp0, err: err0, lat: time.Since(start).Microseconds()}
+		wg.Wait()
 		for i, g := range batch {
 			out := outs[i]
 			if out.err != nil {

@@ -1,0 +1,630 @@
+package soak
+
+// The open-loop overload harness: unlike the churn soak (which measures
+// survival under faults at the workload's natural pace), RunLoad drives
+// the ring at a wall-clock arrival rate that does NOT slow down when the
+// ring does — the open-loop discipline that actually reveals overload
+// collapse. A closed-loop driver (issue, wait, issue) self-throttles
+// exactly when the system degrades and reports flattering latency; an
+// open-loop driver keeps arriving at rate λ and exposes whether the
+// admission layer sheds cleanly or the queues collapse.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/wire"
+	"dhtindex/internal/workload"
+)
+
+// LoadConfig parameterizes an open-loop overload run: a small ring whose
+// per-node service time is inflated to a controlled value, driven first
+// at a rated arrival rate and then at a multiple of it with a flash
+// crowd concentrated on the most popular article. The zero value gets
+// defaults sized so the overload phase genuinely saturates the hot
+// node's admission controller on a single-core host.
+type LoadConfig struct {
+	// Nodes is the ring size (default 5 — small enough that the popularity
+	// skew concentrates real load on one node's key range).
+	Nodes int
+	// ReplicationFactor for the ring (default 1), so overloaded reads have
+	// a replica to fail over to.
+	ReplicationFactor int
+	// Articles is the corpus size (default 24; the paper's popularity fit
+	// renormalized to 24 articles puts ~39% of queries on rank 0).
+	Articles int
+	// Seed drives corpus generation, the query stream and the write coin.
+	Seed int64
+	// StabilizeInterval for the ring (default 50ms).
+	StabilizeInterval time.Duration
+	// RepairEvery is the number of stabilize rounds between anti-entropy
+	// repair rounds (default 1000 — effectively quiescent for a short
+	// run). Repair scans every owned key through the slowed store under
+	// the node mutex, so a production cadence would stall client traffic
+	// on scan artifacts rather than genuine overload; puts replicate
+	// synchronously, so read failover works without it.
+	RepairEvery int
+	// ServiceTime is the injected per-data-op store latency (default 3ms).
+	// Store calls run under the node mutex, so this makes each node a
+	// single-server queue with capacity ≈ 1/ServiceTime data ops/s — the
+	// knob that lets a test-sized arrival rate saturate a node.
+	ServiceTime time.Duration
+	// RatedRPS is the rated-phase arrival rate (default 150/s). Each
+	// directed lookup costs a few delayed store ops, concentrated by the
+	// popularity skew on the hottest node's key range, so the default
+	// keeps that node comfortably under saturation at rated load while
+	// the overload multiple plus the flash crowd push it well past.
+	RatedRPS float64
+	// OverloadFactor multiplies RatedRPS for the overload phase
+	// (default 3 — the 2–4x band the SLO gate is defined over).
+	OverloadFactor float64
+	// RatedDuration / OverloadDuration are the phase lengths
+	// (default 3s each).
+	RatedDuration    time.Duration
+	OverloadDuration time.Duration
+	// FlashFraction is the share of overload-phase lookups aimed at the
+	// single hottest article (default 0.5).
+	FlashFraction float64
+	// WriteFraction is the share of arrivals that are writes — fresh
+	// unique keys whose acks are verified after the run (default 0.15).
+	WriteFraction float64
+	// MaxOutstanding bounds dispatched-but-unfinished operations; arrivals
+	// beyond it are counted as generator drops, not dispatched (default
+	// 512). This is a harness safety valve, not admission control — a
+	// healthy run never reaches it.
+	MaxOutstanding int
+	// RequestTimeout is the per-operation deadline (default 400ms). The
+	// retry layer stamps the remaining budget into each RPC, so servers
+	// can deadline-shed work the client has already abandoned.
+	RequestTimeout time.Duration
+	// Admission is each member's admission control; nil gets a
+	// load-harness default tighter than the server default (MaxInflight
+	// 32, MaxQueue 32, QueueTimeout 30ms) so saturation is reachable at
+	// test-sized rates. Handlers hold their slot across nested routing
+	// calls, so the inflight bound must stay well above the routing
+	// fan-through or slot-holding, not the store, becomes the bottleneck.
+	Admission *wire.AdmissionConfig
+	// Retry is the client retry policy; its Budget is armed with defaults
+	// when nil so retries stay a bounded fraction of fresh traffic.
+	Retry *wire.RetryPolicy
+	// Breaker is the per-peer circuit breaker policy; nil arms a default
+	// breaker (the product path diverts around an overloaded peer).
+	Breaker *wire.BreakerPolicy
+	// Scheme selects the indexing scheme (default index.Simple).
+	Scheme index.Scheme
+	// Policy selects the shortcut-cache policy (default cache.Single).
+	Policy cache.Policy
+	// Telemetry, when non-nil, receives every layer's metrics including
+	// the admission controllers' shed counters and load gauges.
+	Telemetry *telemetry.Registry
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+	// SLO is the pass/fail gate (defaults applied per field).
+	SLO SLO
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.Articles == 0 {
+		c.Articles = 24
+	}
+	if c.StabilizeInterval == 0 {
+		c.StabilizeInterval = 50 * time.Millisecond
+	}
+	if c.RepairEvery == 0 {
+		c.RepairEvery = 1000
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 3 * time.Millisecond
+	}
+	if c.RatedRPS == 0 {
+		c.RatedRPS = 150
+	}
+	if c.OverloadFactor == 0 {
+		c.OverloadFactor = 3
+	}
+	if c.RatedDuration == 0 {
+		c.RatedDuration = 3 * time.Second
+	}
+	if c.OverloadDuration == 0 {
+		c.OverloadDuration = 3 * time.Second
+	}
+	if c.FlashFraction == 0 {
+		c.FlashFraction = 0.5
+	}
+	if c.WriteFraction == 0 {
+		c.WriteFraction = 0.15
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 512
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 400 * time.Millisecond
+	}
+	if c.Admission == nil {
+		c.Admission = &wire.AdmissionConfig{
+			MaxInflight:  32,
+			MaxQueue:     32,
+			QueueTimeout: 30 * time.Millisecond,
+		}
+	}
+	if c.Breaker == nil {
+		c.Breaker = &wire.BreakerPolicy{Seed: c.Seed + 9}
+	}
+	if c.Scheme == nil {
+		c.Scheme = index.Simple
+	}
+	if c.Policy == 0 {
+		c.Policy = cache.Single
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	c.SLO = c.SLO.withDefaults()
+	return c
+}
+
+// SLO is the load run's pass/fail gate. Every unmet criterion becomes a
+// line in LoadReport.Violations; an empty list is a pass.
+type SLO struct {
+	// RatedP99 is the maximum p99 latency of successful operations at
+	// rated load (default 300ms — queueing on the skew-hot node puts a
+	// real tail on even a healthy rated phase).
+	RatedP99 time.Duration
+	// MinRatedSuccess is the minimum fraction of dispatched rated-phase
+	// operations that must succeed (default 0.9).
+	MinRatedSuccess float64
+	// MinGoodputFraction is the minimum overload-phase goodput as a
+	// fraction of rated-phase goodput (default 0.6): under 2–4x overload
+	// the ring must keep serving a proportional share, shedding the rest,
+	// instead of collapsing.
+	MinGoodputFraction float64
+	// MaxRetryFraction is the maximum fleet-wide retries-per-call ratio
+	// (default 0.25): the retry budget must keep retry traffic a bounded
+	// fraction of fresh traffic even while every retryable error fires.
+	MaxRetryFraction float64
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.RatedP99 == 0 {
+		s.RatedP99 = 300 * time.Millisecond
+	}
+	if s.MinRatedSuccess == 0 {
+		s.MinRatedSuccess = 0.9
+	}
+	if s.MinGoodputFraction == 0 {
+		s.MinGoodputFraction = 0.6
+	}
+	if s.MaxRetryFraction == 0 {
+		s.MaxRetryFraction = 0.25
+	}
+	return s
+}
+
+// PhaseReport is one load phase's accounting.
+type PhaseReport struct {
+	// Name labels the phase ("rated" or "overload").
+	Name string `json:"name"`
+	// TargetRPS is the open-loop arrival rate the phase was driven at.
+	TargetRPS float64 `json:"target_rps"`
+	// Duration is the arrival window length.
+	Duration time.Duration `json:"duration_ns"`
+	// Offered is the number of arrivals the open-loop clock generated.
+	Offered int `json:"offered"`
+	// Dropped counts arrivals not dispatched because MaxOutstanding
+	// operations were already in flight (generator-side drops).
+	Dropped int `json:"dropped"`
+	// OK counts operations that succeeded (lookups that found their
+	// target, writes that were acked).
+	OK int `json:"ok"`
+	// Shed counts operations rejected with a typed overload NACK
+	// (ErrOverload), directly or inside a degraded lookup trace.
+	Shed int `json:"shed"`
+	// Failed counts every other failure (timeouts, misses, transport
+	// errors).
+	Failed int `json:"failed"`
+	// GoodputRPS is OK operations per second of arrival window.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// ShedRate is Shed over dispatched operations.
+	ShedRate float64 `json:"shed_rate"`
+	// P50 / P99 are latency percentiles of OK operations.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// LoadReport is the outcome of an open-loop overload run.
+type LoadReport struct {
+	// Rated and Overload are the two phases' accounting.
+	Rated    PhaseReport `json:"rated"`
+	Overload PhaseReport `json:"overload"`
+	// AckedWrites is the number of writes acknowledged across both
+	// phases; every one is read back after the run.
+	AckedWrites int `json:"acked_writes"`
+	// LostWrites lists acked write keys that could not be read back —
+	// must be empty: shedding load must never shed acked data.
+	LostWrites []string `json:"lost_writes,omitempty"`
+	// Admission is the fleet-wide admission-controller accounting.
+	Admission wire.AdmissionStats `json:"admission"`
+	// Retry is the fleet-wide retry accounting (nodes + cluster).
+	Retry wire.RetryStats `json:"retry"`
+	// Breaker is the fleet-wide circuit-breaker accounting.
+	Breaker wire.BreakerStats `json:"breaker"`
+	// Violations lists every unmet SLO criterion; empty is a pass.
+	Violations []string `json:"slo_violations,omitempty"`
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Passed reports whether every SLO criterion held.
+func (r LoadReport) Passed() bool { return len(r.Violations) == 0 }
+
+// slowStore injects a fixed service time into a store's data operations
+// (Get/Put — the ops client traffic lands on). The node serializes store
+// access through its own mutex, so the sleep turns each node into a
+// single-server queue with capacity ≈ 1/delay data ops per second;
+// maintenance operations (Replace, ForEach) stay fast so repair and
+// handoff are not throttled.
+type slowStore struct {
+	wire.Store
+	delay time.Duration
+}
+
+func (s slowStore) Get(key keyspace.Key) []overlay.Entry {
+	time.Sleep(s.delay)
+	return s.Store.Get(key)
+}
+
+func (s slowStore) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
+	time.Sleep(s.delay)
+	return s.Store.Put(key, e)
+}
+
+// Operation outcomes for phase accounting.
+const (
+	outcomeOK = iota
+	outcomeShed
+	outcomeFailed
+)
+
+// classifyLookup folds a directed lookup's trace and error into one
+// outcome. An overload NACK can surface either as an ErrOverload-wrapped
+// error or — because the searcher degrades instead of failing — as an
+// Incomplete trace whose unresolved branch names the overload.
+func classifyLookup(trace index.Trace, err error) int {
+	switch {
+	case err != nil && errors.Is(err, wire.ErrOverload):
+		return outcomeShed
+	case err != nil:
+		return outcomeFailed
+	case trace.Found:
+		return outcomeOK
+	case shedTrace(trace):
+		return outcomeShed
+	default:
+		return outcomeFailed
+	}
+}
+
+// shedTrace reports whether a degraded trace's unresolved branches
+// carry an overload NACK (ErrOverload's message survives the searcher's
+// reason string).
+func shedTrace(trace index.Trace) bool {
+	for _, u := range trace.Unresolved {
+		if strings.Contains(u.Reason, "overloaded") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunLoad executes the open-loop overload run: boot a ring with
+// admission control armed and inflated service times, publish the
+// corpus, drive the paper's query mix at the rated rate, then at
+// OverloadFactor times the rated rate with a flash crowd on the hottest
+// article, and hold the outcome against the SLO gate. The error is
+// non-nil only for harness failures; SLO violations are reported in
+// LoadReport.Violations for the caller to judge.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var report LoadReport
+
+	corpus, err := dataset.Generate(dataset.Config{Articles: cfg.Articles, Seed: cfg.Seed})
+	if err != nil {
+		return report, fmt.Errorf("load: corpus: %w", err)
+	}
+	gen, err := workload.NewGeneratorWith(corpus.Articles, workload.PaperStructureModel(), cfg.Seed+41, 0.063, 0.3)
+	if err != nil {
+		return report, fmt.Errorf("load: generator: %w", err)
+	}
+	flash := workload.NewFlashCrowd(gen, cfg.FlashFraction, cfg.Seed+7)
+
+	// Boot the ring: every member runs admission control over a slowed
+	// store; the cluster client runs retries under a token budget and a
+	// per-peer breaker.
+	base := wire.NewMemTransport()
+	var policy wire.RetryPolicy
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
+	policy.Seed = cfg.Seed + 2
+	if policy.Budget == nil {
+		policy.Budget = &wire.RetryBudget{}
+	}
+	policy.Breaker = cfg.Breaker
+	rt := wire.NewRetryingTransport(base, policy)
+	cluster := wire.NewCluster(rt, cfg.Seed+3, cfg.ReplicationFactor)
+
+	nodes := make([]*wire.Node, 0, cfg.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	var bootstrap string
+	for i := 0; i < cfg.Nodes; i++ {
+		p := policy
+		p.Seed = cfg.Seed + 10 + int64(i)
+		n, err := wire.Start(wire.Config{
+			Transport:         base,
+			Addr:              "mem:0",
+			StabilizeInterval: cfg.StabilizeInterval,
+			RepairEvery:       cfg.RepairEvery,
+			ReplicationFactor: cfg.ReplicationFactor,
+			Retry:             &p,
+			SuccFailThreshold: 2,
+			Admission:         cfg.Admission,
+			Store:             slowStore{Store: wire.NewMemStore(), delay: cfg.ServiceTime},
+		})
+		if err != nil {
+			return report, fmt.Errorf("load: start node %d: %w", i, err)
+		}
+		nodes = append(nodes, n)
+		if bootstrap == "" {
+			bootstrap = n.Addr()
+		} else if err := n.Join(bootstrap); err != nil {
+			return report, fmt.Errorf("load: join node %d: %w", i, err)
+		}
+		cluster.Track(n.Addr())
+	}
+	if cfg.Telemetry != nil {
+		cluster.Instrument(cfg.Telemetry)
+		rt.Instrument(cfg.Telemetry)
+		for _, n := range nodes {
+			n.Instrument(cfg.Telemetry)
+		}
+	}
+	if err := cluster.WaitConverged(30 * time.Second); err != nil {
+		return report, fmt.Errorf("load: ring never formed: %w", err)
+	}
+
+	// Publish the corpus on the idle ring (sequential, so well under the
+	// admission limits even with the slowed stores).
+	svc := index.New(cluster, cfg.Policy, 30)
+	if cfg.Telemetry != nil {
+		svc.Instrument(cfg.Telemetry, telemetry.L("scheme", fmt.Sprintf("load/%s/%s", cfg.Scheme.Name(), cfg.Policy)))
+	}
+	for i, a := range corpus.Articles {
+		if err := svc.PublishArticle(fmt.Sprintf("load-%04d.pdf", i), a, cfg.Scheme); err != nil {
+			return report, fmt.Errorf("load: publish article %d: %w", i, err)
+		}
+	}
+	searcher := index.NewSearcher(svc)
+
+	// Shared write bookkeeping across phases.
+	var (
+		writeSeq atomic.Int64
+		ackedMu  sync.Mutex
+		acked    []keyspace.Key
+	)
+	writeRng := rand.New(rand.NewSource(cfg.Seed + 5))
+
+	// runPhase drives one open-loop phase: arrival i fires at
+	// start + i/rps regardless of how previous arrivals are doing. The
+	// query draw happens on the dispatcher goroutine (the generators are
+	// not safe for concurrent use); the operation itself runs on its own
+	// goroutine under the per-op deadline.
+	runPhase := func(name string, rps float64, dur time.Duration, draw func() workload.Query) PhaseReport {
+		interval := time.Duration(float64(time.Second) / rps)
+		var (
+			mu     sync.Mutex
+			lats   []time.Duration
+			ok     int
+			shed   int
+			failed int
+		)
+		var outstanding atomic.Int64
+		var wg sync.WaitGroup
+		offered, dropped := 0, 0
+		phaseStart := time.Now()
+		for i := 0; ; i++ {
+			target := phaseStart.Add(time.Duration(i) * interval)
+			if target.Sub(phaseStart) >= dur {
+				break
+			}
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			offered++
+			isWrite := writeRng.Float64() < cfg.WriteFraction
+			var (
+				wq     workload.Query
+				wkey   keyspace.Key
+				wentry overlay.Entry
+			)
+			if isWrite {
+				seq := writeSeq.Add(1)
+				wkey = keyspace.NewKey(fmt.Sprintf("load-write-%d", seq))
+				wentry = overlay.Entry{Kind: "load", Value: fmt.Sprintf("v%d", seq)}
+			} else {
+				wq = draw()
+			}
+			if int(outstanding.Load()) >= cfg.MaxOutstanding {
+				dropped++
+				continue
+			}
+			outstanding.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer outstanding.Add(-1)
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
+				defer cancel()
+				t0 := time.Now()
+				var out int
+				if isWrite {
+					_, err := cluster.PutCtx(ctx, wkey, wentry)
+					switch {
+					case err == nil:
+						ackedMu.Lock()
+						acked = append(acked, wkey)
+						ackedMu.Unlock()
+						out = outcomeOK
+					case errors.Is(err, wire.ErrOverload):
+						out = outcomeShed
+					default:
+						out = outcomeFailed
+					}
+				} else {
+					trace, err := searcher.FindCtx(ctx, wq.Query, dataset.MSD(wq.Target))
+					out = classifyLookup(trace, err)
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				switch out {
+				case outcomeOK:
+					ok++
+					lats = append(lats, lat)
+				case outcomeShed:
+					shed++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		dispatched := ok + shed + failed
+		pr := PhaseReport{
+			Name:       name,
+			TargetRPS:  rps,
+			Duration:   dur,
+			Offered:    offered,
+			Dropped:    dropped,
+			OK:         ok,
+			Shed:       shed,
+			Failed:     failed,
+			GoodputRPS: float64(ok) / dur.Seconds(),
+			P50:        percentile(lats, 0.50),
+			P99:        percentile(lats, 0.99),
+		}
+		if dispatched > 0 {
+			pr.ShedRate = float64(shed) / float64(dispatched)
+		}
+		cfg.Log("load: %s phase: offered=%d dropped=%d ok=%d shed=%d failed=%d goodput=%.1f/s p50=%v p99=%v",
+			name, offered, dropped, ok, shed, failed, pr.GoodputRPS,
+			pr.P50.Round(time.Millisecond), pr.P99.Round(time.Millisecond))
+		return pr
+	}
+
+	cfg.Log("load: ring of %d converged, rated phase at %.0f/s for %v", cfg.Nodes, cfg.RatedRPS, cfg.RatedDuration)
+	report.Rated = runPhase("rated", cfg.RatedRPS, cfg.RatedDuration, gen.Next)
+	overloadRPS := cfg.RatedRPS * cfg.OverloadFactor
+	cfg.Log("load: overload phase at %.0f/s (%.1fx) for %v, flash=%.0f%%",
+		overloadRPS, cfg.OverloadFactor, cfg.OverloadDuration, 100*cfg.FlashFraction)
+	report.Overload = runPhase("overload", overloadRPS, cfg.OverloadDuration, flash.Next)
+
+	// Zero acked-write loss: every write the ring acknowledged — in
+	// either phase, shedding or not — must be readable once the load is
+	// gone. Repair may need a moment to resettle replicas; poll briefly.
+	report.AckedWrites = len(acked)
+	deadline := time.Now().Add(10 * time.Second)
+	for _, key := range acked {
+		for {
+			entries, _, err := cluster.Get(key)
+			if err == nil && len(entries) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				report.LostWrites = append(report.LostWrites, key.String())
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for _, n := range nodes {
+		report.Admission.Merge(n.AdmissionStats())
+		report.Retry.Merge(n.RetryStats())
+		report.Breaker.Merge(n.BreakerStats())
+	}
+	report.Retry.Merge(rt.Stats())
+	report.Breaker.Merge(rt.BreakerStats())
+	report.Elapsed = time.Since(start)
+	report.Violations = evaluateSLO(cfg, report)
+	cfg.Log("load: done in %v: acked=%d lost=%d sheds=%d (fleet) retries=%d/%d calls, violations=%d",
+		report.Elapsed.Round(time.Millisecond), report.AckedWrites, len(report.LostWrites),
+		report.Admission.Shed(), report.Retry.Retries, report.Retry.Calls, len(report.Violations))
+	return report, nil
+}
+
+// evaluateSLO holds a finished run against the gate.
+func evaluateSLO(cfg LoadConfig, r LoadReport) []string {
+	slo := cfg.SLO
+	var v []string
+	if r.Rated.P99 > slo.RatedP99 {
+		v = append(v, fmt.Sprintf("rated p99 %v exceeds %v", r.Rated.P99.Round(time.Millisecond), slo.RatedP99))
+	}
+	if dispatched := r.Rated.OK + r.Rated.Shed + r.Rated.Failed; dispatched > 0 {
+		if got := float64(r.Rated.OK) / float64(dispatched); got < slo.MinRatedSuccess {
+			v = append(v, fmt.Sprintf("rated success rate %.2f below %.2f", got, slo.MinRatedSuccess))
+		}
+	}
+	if r.Overload.GoodputRPS < slo.MinGoodputFraction*r.Rated.GoodputRPS {
+		v = append(v, fmt.Sprintf("overload goodput %.1f/s below %.0f%% of rated %.1f/s",
+			r.Overload.GoodputRPS, 100*slo.MinGoodputFraction, r.Rated.GoodputRPS))
+	}
+	if cfg.OverloadFactor >= 2 && r.Admission.Shed() == 0 {
+		// Fleet-wide, not client-terminal: a shed the client recovered from
+		// via a replica read still proves the admission layer engaged.
+		v = append(v, "no admission sheds fleet-wide: admission control did not engage")
+	}
+	if len(r.LostWrites) > 0 {
+		v = append(v, fmt.Sprintf("%d acked writes lost", len(r.LostWrites)))
+	}
+	if r.Retry.Calls > 0 {
+		if got := float64(r.Retry.Retries) / float64(r.Retry.Calls); got > slo.MaxRetryFraction {
+			v = append(v, fmt.Sprintf("retry fraction %.2f exceeds %.2f", got, slo.MaxRetryFraction))
+		}
+	}
+	return v
+}
+
+// percentile returns the p-th latency percentile (nearest-rank on the
+// sorted sample; zero for an empty sample). It sorts lats in place.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	i := int(p * float64(len(lats)-1))
+	return lats[i]
+}

@@ -1,0 +1,48 @@
+package soak
+
+import (
+	"testing"
+	"time"
+
+	"dhtindex/internal/telemetry"
+)
+
+// TestRunLoadSLO runs a short open-loop overload round and holds it to
+// the SLO gate: the rated phase stays clean, the overload phase sheds
+// with typed NACKs instead of collapsing, and no acked write is lost.
+func TestRunLoadSLO(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	report, err := RunLoad(LoadConfig{
+		Seed:             7,
+		RatedDuration:    1500 * time.Millisecond,
+		OverloadDuration: 1500 * time.Millisecond,
+		Telemetry:        reg,
+		Log:              t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("admission: %+v", report.Admission)
+	t.Logf("retry: %+v", report.Retry)
+	t.Logf("breaker: %+v", report.Breaker)
+	if !report.Passed() {
+		t.Fatalf("SLO violations: %v", report.Violations)
+	}
+	if report.Overload.Shed == 0 {
+		t.Fatalf("overload phase never shed: %+v", report.Overload)
+	}
+	if report.Admission.Shed() == 0 {
+		t.Fatalf("no admission sheds recorded fleet-wide: %+v", report.Admission)
+	}
+	if report.AckedWrites == 0 {
+		t.Fatal("no writes were acked")
+	}
+	if len(report.LostWrites) > 0 {
+		t.Fatalf("acked writes lost: %v", report.LostWrites)
+	}
+	// The typed NACK must flow back through the retry layer's overload
+	// accounting, not the generic failure path.
+	if report.Retry.Overloads == 0 {
+		t.Fatalf("retry layer saw no overload NACKs: %+v", report.Retry)
+	}
+}

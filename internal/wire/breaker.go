@@ -32,6 +32,17 @@ type BreakerPolicy struct {
 	Cooldown time.Duration
 	// Seed makes the probe sequence reproducible.
 	Seed int64
+	// OverloadThreshold is the number of consecutive ErrOverload NACKs
+	// that opens the circuit (default 3×Threshold). Overload is tracked
+	// separately from connectivity failure: an overloaded peer is alive
+	// and making progress, so it takes far more sheds — and a shorter
+	// open period — before the caller backs off from it entirely.
+	OverloadThreshold int
+	// OverloadCooldown is the open duration used for circuits opened by
+	// overload (default Cooldown/4). Overload typically clears in
+	// milliseconds once callers divert, so probing resumes sooner than
+	// after a crash.
+	OverloadCooldown time.Duration
 }
 
 func (p BreakerPolicy) withDefaults() BreakerPolicy {
@@ -44,6 +55,12 @@ func (p BreakerPolicy) withDefaults() BreakerPolicy {
 	if p.Cooldown == 0 {
 		p.Cooldown = 500 * time.Millisecond
 	}
+	if p.OverloadThreshold == 0 {
+		p.OverloadThreshold = 3 * p.Threshold
+	}
+	if p.OverloadCooldown == 0 {
+		p.OverloadCooldown = p.Cooldown / 4
+	}
 	return p
 }
 
@@ -52,6 +69,10 @@ func (p BreakerPolicy) withDefaults() BreakerPolicy {
 type BreakerStats struct {
 	// Trips counts circuits opened (consecutive failures hit Threshold).
 	Trips int64
+	// OverloadTrips counts circuits opened by consecutive ErrOverload
+	// NACKs hitting OverloadThreshold (tracked apart from Trips: the peer
+	// was alive, just saturated).
+	OverloadTrips int64
 	// FastFails counts calls refused without touching the wire because
 	// the peer's circuit was open.
 	FastFails int64
@@ -66,6 +87,7 @@ type BreakerStats struct {
 // Merge accumulates another snapshot into s (for fleet-wide totals).
 func (s *BreakerStats) Merge(o BreakerStats) {
 	s.Trips += o.Trips
+	s.OverloadTrips += o.OverloadTrips
 	s.FastFails += o.FastFails
 	s.Probes += o.Probes
 	s.Closes += o.Closes
@@ -74,9 +96,11 @@ func (s *BreakerStats) Merge(o BreakerStats) {
 
 // breakerState tracks one peer's circuit.
 type breakerState struct {
-	fails    int  // consecutive failures while closed
-	open     bool // circuit open: fail fast, probe occasionally
-	lastOpen time.Time
+	fails      int  // consecutive failures while closed
+	overloads  int  // consecutive overload NACKs while closed
+	open       bool // circuit open: fail fast, probe occasionally
+	byOverload bool // opened by overload → shorter cooldown
+	lastOpen   time.Time
 }
 
 // breakerSet is the per-transport collection of peer circuits.
@@ -87,10 +111,11 @@ type breakerSet struct {
 	rng   *rand.Rand
 	peers map[string]*breakerState
 
-	trips     *telemetry.Counter
-	fastFails *telemetry.Counter
-	probes    *telemetry.Counter
-	closes    *telemetry.Counter
+	trips         *telemetry.Counter
+	overloadTrips *telemetry.Counter
+	fastFails     *telemetry.Counter
+	probes        *telemetry.Counter
+	closes        *telemetry.Counter
 }
 
 func newBreakerSet(policy BreakerPolicy) *breakerSet {
@@ -101,6 +126,8 @@ func newBreakerSet(policy BreakerPolicy) *breakerSet {
 		peers:  make(map[string]*breakerState),
 		trips: telemetry.NewCounter("wire_breaker_trips_total",
 			"Peer circuits opened after consecutive call failures."),
+		overloadTrips: telemetry.NewCounter("wire_breaker_overload_trips_total",
+			"Peer circuits opened after consecutive overload NACKs."),
 		fastFails: telemetry.NewCounter("wire_breaker_fast_fails_total",
 			"Calls refused without a wire send because the peer's circuit was open."),
 		probes: telemetry.NewCounter("wire_breaker_probes_total",
@@ -119,7 +146,11 @@ func (b *breakerSet) allow(addr string) bool {
 	if st == nil || !st.open {
 		return true
 	}
-	if b.rng.Float64() < b.policy.ProbeProb || time.Since(st.lastOpen) >= b.policy.Cooldown {
+	cooldown := b.policy.Cooldown
+	if st.byOverload {
+		cooldown = b.policy.OverloadCooldown
+	}
+	if b.rng.Float64() < b.policy.ProbeProb || time.Since(st.lastOpen) >= cooldown {
 		st.lastOpen = time.Now() // space cooldown-driven probes apart
 		b.probes.Inc()
 		return true
@@ -146,8 +177,10 @@ func (b *breakerSet) onResult(addr string, err error) {
 		st = &breakerState{}
 		b.peers[addr] = st
 	}
+	st.overloads = 0 // a connectivity failure ends any overload streak
 	if st.open {
 		st.lastOpen = time.Now()
+		st.byOverload = false // failed probe: treat as a real outage now
 		return
 	}
 	st.fails++
@@ -155,6 +188,33 @@ func (b *breakerSet) onResult(addr string, err error) {
 		st.open = true
 		st.lastOpen = time.Now()
 		b.trips.Inc()
+	}
+}
+
+// onOverload records an overload NACK from addr. Overload streaks are
+// tracked apart from connectivity failures: they need a (much higher)
+// OverloadThreshold to open the circuit, and the opened circuit uses the
+// shorter OverloadCooldown, because a saturated peer recovers as soon as
+// load diverts — unlike a crashed one.
+func (b *breakerSet) onOverload(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.peers[addr]
+	if st == nil {
+		st = &breakerState{}
+		b.peers[addr] = st
+	}
+	st.fails = 0 // the peer answered: it is reachable
+	if st.open {
+		st.lastOpen = time.Now()
+		return
+	}
+	st.overloads++
+	if st.overloads >= b.policy.OverloadThreshold {
+		st.open = true
+		st.byOverload = true
+		st.lastOpen = time.Now()
+		b.overloadTrips.Inc()
 	}
 }
 
@@ -174,11 +234,12 @@ func (b *breakerSet) openCount() int64 {
 // stats returns a snapshot of the breaker counters.
 func (b *breakerSet) stats() BreakerStats {
 	return BreakerStats{
-		Trips:     b.trips.Value(),
-		FastFails: b.fastFails.Value(),
-		Probes:    b.probes.Value(),
-		Closes:    b.closes.Value(),
-		Open:      b.openCount(),
+		Trips:         b.trips.Value(),
+		OverloadTrips: b.overloadTrips.Value(),
+		FastFails:     b.fastFails.Value(),
+		Probes:        b.probes.Value(),
+		Closes:        b.closes.Value(),
+		Open:          b.openCount(),
 	}
 }
 
@@ -186,7 +247,7 @@ func (b *breakerSet) stats() BreakerStats {
 // reg. Several breaker sets (one per node) may attach to one registry;
 // the snapshot then reports fleet-wide sums.
 func (b *breakerSet) instrument(reg *telemetry.Registry) {
-	reg.Attach(b.trips, b.fastFails, b.probes, b.closes)
+	reg.Attach(b.trips, b.overloadTrips, b.fastFails, b.probes, b.closes)
 	reg.GaugeFunc("wire_breaker_open",
 		"Peer circuits currently open (fleet-wide when several nodes attach).",
 		func() float64 { return float64(b.openCount()) })

@@ -281,11 +281,18 @@ func (c *Cluster) FindOwnerCtx(ctx context.Context, key keyspace.Key) (overlay.R
 
 // Put implements overlay.Network.
 func (c *Cluster) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) {
-	route, err := c.FindOwner(key)
+	return c.PutCtx(context.Background(), key, e)
+}
+
+// PutCtx is Put with a deadline budget threaded through routing and the
+// owner write, so an open-loop workload's abandoned writes release their
+// resources instead of queueing behind the deadline.
+func (c *Cluster) PutCtx(ctx context.Context, key keyspace.Key, e overlay.Entry) (overlay.Route, error) {
+	route, err := c.FindOwnerCtx(ctx, key)
 	if err != nil {
 		return overlay.Route{}, err
 	}
-	resp, err := c.call(route.Node, Message{Op: OpPut, Key: key, Entry: e})
+	resp, err := c.callCtx(ctx, route.Node, Message{Op: OpPut, Key: key, Entry: e})
 	if err != nil {
 		return overlay.Route{}, err
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -219,7 +220,14 @@ func (f *FaultTransport) Listen(addr string, handler Handler) (string, io.Closer
 
 // Call implements Transport (anonymous source "").
 func (f *FaultTransport) Call(addr string, req Message) (Message, error) {
-	return f.call("", addr, req)
+	return f.call(nil, "", addr, req)
+}
+
+// CallCtx passes the caller's context through the fault layer so a
+// deadline set above it still reaches a ctx-aware inner transport (e.g.
+// the TCP pool's connection wait).
+func (f *FaultTransport) CallCtx(ctx context.Context, addr string, req Message) (Message, error) {
+	return f.call(ctx, "", addr, req)
 }
 
 // Endpoint returns a Transport view that attributes its traffic to the
@@ -257,7 +265,16 @@ func (e *faultEndpoint) Call(addr string, req Message) (Message, error) {
 	e.mu.Lock()
 	src := e.local
 	e.mu.Unlock()
-	return e.f.call(src, addr, req)
+	return e.f.call(nil, src, addr, req)
+}
+
+// CallCtx is Call with the caller's context threaded through to a
+// ctx-aware inner transport.
+func (e *faultEndpoint) CallCtx(ctx context.Context, addr string, req Message) (Message, error) {
+	e.mu.Lock()
+	src := e.local
+	e.mu.Unlock()
+	return e.f.call(ctx, src, addr, req)
 }
 
 // verdict is one seeded fault decision, taken under the lock so the
@@ -310,7 +327,7 @@ func (f *FaultTransport) decide(src, dst string, op Op) verdict {
 	return v
 }
 
-func (f *FaultTransport) call(src, dst string, req Message) (Message, error) {
+func (f *FaultTransport) call(ctx context.Context, src, dst string, req Message) (Message, error) {
 	v := f.decide(src, dst, req.Op)
 	if v.blocked != nil {
 		return Message{}, v.blocked
@@ -321,7 +338,13 @@ func (f *FaultTransport) call(src, dst string, req Message) (Message, error) {
 	if v.dropReq {
 		return Message{}, fmt.Errorf("%w: %s (request dropped)", ErrUnreachable, dst)
 	}
-	resp, err := f.inner.Call(dst, req)
+	var resp Message
+	var err error
+	if cc, ok := f.inner.(ctxCaller); ok && ctx != nil {
+		resp, err = cc.CallCtx(ctx, dst, req)
+	} else {
+		resp, err = f.inner.Call(dst, req)
+	}
 	if v.delay > 0 {
 		time.Sleep(v.delay - v.delay/2)
 	}

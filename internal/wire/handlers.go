@@ -130,7 +130,14 @@ func (n *Node) closestPreceding(key keyspace.Key) string {
 }
 
 // handleNotify learns about a possible new predecessor and hands over the
-// keys that now belong to it (everything outside (pred, self]).
+// keys that now belong to it (everything outside (pred, self]). The
+// handover runs immediately when the predecessor pointer changes — that
+// is an ownership transfer and the new owner must serve its range now —
+// but for an UNCHANGED predecessor only on the repair cadence (every
+// RepairEvery-th notify): re-sending is anti-entropy, and doing it every
+// round would re-ship this node's entire retained replica set each
+// stabilize tick, with the predecessor re-putting every entry through
+// its store (and, for a durable store, re-appending it to the WAL).
 func (n *Node) handleNotify(req Message) Message {
 	cand := req.Addr
 	n.mu.Lock()
@@ -138,18 +145,23 @@ func (n *Node) handleNotify(req Message) Message {
 	if cand == "" || cand == n.addr {
 		return Message{Op: req.Op, Ok: false}
 	}
+	changed := false
 	if n.pred == "" || idOf(cand).BetweenOpen(idOf(n.pred), n.id) {
+		changed = n.pred != cand
 		n.pred = cand
 	}
 	if n.pred != cand {
 		return Message{Op: req.Op, Ok: false}
 	}
+	n.notifySeen++
+	if !changed && (n.cfg.RepairEvery <= 0 || n.notifySeen%n.cfg.RepairEvery != 0) {
+		return Message{Op: req.Op, Ok: true}
+	}
 	// Hand over keys the new predecessor is responsible for. Keys that
-	// belong even further back migrate hop by hop across stabilization
-	// rounds. With replication enabled the local copies are RETAINED —
-	// this node is within the new owner's replica set, and deleting them
-	// here would strip the replicas faster than the repair loop restores
-	// them.
+	// belong even further back migrate hop by hop across handover rounds.
+	// With replication enabled the local copies are RETAINED — this node
+	// is within the new owner's replica set, and deleting them here would
+	// strip the replicas faster than the repair loop restores them.
 	var kv []KeyEntries
 	predID := idOf(cand)
 	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -52,6 +53,11 @@ type Config struct {
 	// keyspace.Bits = 160 slots, so the default sweeps the whole table
 	// every 10 rounds).
 	FingerFixesPerRound int
+	// Admission, when set, bounds the work this node accepts: requests
+	// beyond the inflight and queue limits are NACKed with ErrOverload
+	// instead of queueing without bound. Nil disables admission control
+	// (every request is served, the pre-overload-protection behaviour).
+	Admission *AdmissionConfig
 	// Store is the node's local entry store (default: a fresh
 	// MemStore). Pass a durable store (internal/wire/durable) to make
 	// the node's state survive restarts: re-open the same directory,
@@ -95,17 +101,19 @@ type Node struct {
 	id   keyspace.Key
 
 	retry  *RetryingTransport // non-nil iff cfg.Retry was set
+	admit  *admission         // non-nil iff cfg.Admission was set
 	repair repairCounters
 
-	mu        sync.Mutex
-	pred      string
-	succs     []string // succs[0] is the immediate successor (never empty)
-	succFails int      // consecutive failed stabilize contacts of succs[0]
-	fingers   [keyspace.Bits]string
-	fingerIdx int
-	store     Store
-	stopped   bool
-	leftTo    string // peer that accepted the Leave hand-off
+	mu         sync.Mutex
+	pred       string
+	succs      []string // succs[0] is the immediate successor (never empty)
+	succFails  int      // consecutive failed stabilize contacts of succs[0]
+	notifySeen int      // notifies from the current predecessor (handover cadence)
+	fingers    [keyspace.Bits]string
+	fingerIdx  int
+	store      Store
+	stopped    bool
+	leftTo     string // peer that accepted the Leave hand-off
 
 	listener io.Closer
 	stop     chan struct{}
@@ -133,7 +141,12 @@ func Start(cfg Config) (*Node, error) {
 		n.retry = NewRetryingTransport(cfg.Transport, *cfg.Retry)
 		n.cfg.Transport = n.retry
 	}
-	addr, closer, err := cfg.Transport.Listen(cfg.Addr, n.handle)
+	handler := Handler(n.handle)
+	if cfg.Admission != nil {
+		n.admit = newAdmission(*cfg.Admission)
+		handler = n.admit.wrap(handler)
+	}
+	addr, closer, err := cfg.Transport.Listen(cfg.Addr, handler)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +320,13 @@ func (n *Node) stabilizeOnce() {
 
 	resp, err := n.cfg.Transport.Call(succ, Message{Op: OpGetPredecessor})
 	if err != nil {
-		n.succFailed()
+		// An overloaded successor is alive — it answered, just with a
+		// shed. Amputating it would route around a node that is merely
+		// busy, piling its keys onto neighbors and making the hot spot
+		// worse. Only connectivity failures count toward amputation.
+		if !errors.Is(err, ErrOverload) {
+			n.succFailed()
+		}
 		return
 	}
 	if x := resp.Addr; x != "" && x != n.addr && idOf(x).BetweenOpen(n.id, idOf(succ)) {
@@ -321,7 +340,9 @@ func (n *Node) stabilizeOnce() {
 	// Notify the successor; it may hand us keys we now own.
 	nresp, err := n.cfg.Transport.Call(succ, Message{Op: OpNotify, Addr: n.addr})
 	if err != nil {
-		n.succFailed()
+		if !errors.Is(err, ErrOverload) {
+			n.succFailed()
+		}
 		return
 	}
 	n.mu.Lock()
@@ -393,7 +414,7 @@ func (n *Node) checkPredecessor() {
 	if pred == "" {
 		return
 	}
-	if _, err := n.cfg.Transport.Call(pred, Message{Op: OpPing}); err != nil {
+	if _, err := n.cfg.Transport.Call(pred, Message{Op: OpPing}); err != nil && !errors.Is(err, ErrOverload) {
 		n.mu.Lock()
 		if n.pred == pred {
 			n.pred = ""
@@ -481,6 +502,15 @@ func (n *Node) BreakerStats() BreakerStats {
 	return n.retry.BreakerStats()
 }
 
+// AdmissionStats returns the node's admission-control counters (zero if
+// the node was started without an AdmissionConfig).
+func (n *Node) AdmissionStats() AdmissionStats {
+	if n.admit == nil {
+		return AdmissionStats{}
+	}
+	return n.admit.stats()
+}
+
 // RepairStats returns the node's anti-entropy repair counters.
 func (n *Node) RepairStats() RepairStats {
 	return RepairStats{
@@ -502,6 +532,9 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 	n.repair.attach(reg)
 	if n.retry != nil {
 		n.retry.Instrument(reg)
+	}
+	if n.admit != nil {
+		n.admit.instrument(reg)
 	}
 	if is, ok := n.store.(InstrumentedStore); ok {
 		is.Instrument(reg)

@@ -10,6 +10,7 @@ package wire
 // unchanged.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -178,10 +179,27 @@ func newConnPool(t *TCPTransport) *connPool {
 // Under concurrency the pool therefore grows up to MaxConnsPerPeer
 // connections per peer and pipelines the overflow onto existing ones; a
 // caller that finds every slot taken by a dial in progress waits for one
-// to land rather than dialing past the bound.
-func (p *connPool) get(addr string) (*persistConn, error) {
+// to land rather than dialing past the bound. The wait honours ctx: a
+// caller whose deadline expires (or that was shed upstream and cancelled)
+// leaves the queue immediately instead of holding a would-be slot.
+func (p *connPool) get(ctx context.Context, addr string) (*persistConn, error) {
+	// Wake this waiter when ctx fires. cond.Wait cannot select on a
+	// channel, so the cancel hook broadcasts and the loop re-checks
+	// ctx.Err() on every wakeup.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		defer stop()
+	}
 	p.mu.Lock()
 	for {
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
 		conns := p.peers[addr]
 		var best *persistConn
 		for _, pc := range conns {

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -331,5 +333,54 @@ func TestPooledRingEndToEnd(t *testing.T) {
 	}
 	if st := tp.PoolStats(); st.Reuses == 0 {
 		t.Errorf("ring traffic produced no connection reuse: %+v", st)
+	}
+}
+
+// TestPoolWaitHonorsCtxCancel parks a getter on the pool's cond-var wait
+// (every slot taken by a dial in progress) and cancels its context: the
+// AfterFunc broadcast must wake it so it leaves the queue immediately
+// instead of waiting for the dial to land.
+func TestPoolWaitHonorsCtxCancel(t *testing.T) {
+	tp := NewTCPTransport()
+	tp.MaxConnsPerPeer = 1
+	p := tp.pool()
+	// Simulate a dial in progress holding the only slot, with no
+	// established connection to pipeline onto.
+	p.mu.Lock()
+	p.dialing["peer:1"] = 1
+	p.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.get(ctx, "peer:1")
+		done <- err
+	}()
+	// The getter must park, not return: the slot never frees.
+	select {
+	case err := <-done:
+		t.Fatalf("get returned before cancel: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("get never returned after cancel: the ctx wakeup was lost")
+	}
+}
+
+// TestPoolGetExpiredCtx: a caller arriving with an already-spent budget
+// is turned away before it can queue for a slot.
+func TestPoolGetExpiredCtx(t *testing.T) {
+	tp := NewTCPTransport()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tp.pool().get(ctx, "peer:1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -39,6 +39,69 @@ type RetryPolicy struct {
 	// ErrCircuitOpen (fail fast) until a half-open probe succeeds. Nil
 	// keeps the PR 1 retry behaviour byte-for-byte.
 	Breaker *BreakerPolicy
+	// Budget, when non-nil, enables the retry budget: a token bucket in
+	// which every fresh logical call earns Ratio tokens and every retry
+	// spends one, capping retry traffic at roughly Ratio× the fresh
+	// traffic. Under widespread failure, uncapped retries multiply
+	// offered load by MaxAttempts exactly when capacity is scarcest — the
+	// retry-storm feedback loop the budget breaks. Nil keeps retries
+	// uncapped.
+	Budget *RetryBudget
+}
+
+// RetryBudget parameterizes the retry token bucket. The zero value is
+// usable — defaults are applied on first use.
+type RetryBudget struct {
+	// Ratio is the number of tokens a fresh logical call earns (default
+	// 0.1: retries capped at ~10% of fresh traffic).
+	Ratio float64
+	// Burst caps the bucket (default 10), bounding how many retries a
+	// quiet period can bank for the next failure burst.
+	Burst float64
+}
+
+func (b RetryBudget) withDefaults() RetryBudget {
+	if b.Ratio == 0 {
+		b.Ratio = 0.1
+	}
+	if b.Burst == 0 {
+		b.Burst = 10
+	}
+	return b
+}
+
+// retryBudget is the live token bucket behind a RetryBudget policy.
+type retryBudget struct {
+	mu     sync.Mutex
+	policy RetryBudget
+	tokens float64
+}
+
+func newRetryBudget(policy RetryBudget) *retryBudget {
+	policy = policy.withDefaults()
+	// Start full: the first failures after startup may retry.
+	return &retryBudget{policy: policy, tokens: policy.Burst}
+}
+
+// earn credits a fresh logical call.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	b.tokens += b.policy.Ratio
+	if b.tokens > b.policy.Burst {
+		b.tokens = b.policy.Burst
+	}
+	b.mu.Unlock()
+}
+
+// spend takes one token for a retry, reporting whether one was available.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -119,6 +182,13 @@ type RetryStats struct {
 	Recovered int64
 	// GaveUp counts calls that exhausted every attempt.
 	GaveUp int64
+	// BudgetExhausted counts retries suppressed because the retry budget
+	// had no token — the call failed without further attempts.
+	BudgetExhausted int64
+	// Overloads counts calls NACKed by the peer's admission control
+	// (ErrOverload). Overload NACKs are never retried against the same
+	// peer, so each also ends its call.
+	Overloads int64
 }
 
 // Merge accumulates another snapshot into s (for fleet-wide totals).
@@ -128,6 +198,8 @@ func (s *RetryStats) Merge(o RetryStats) {
 	s.Retries += o.Retries
 	s.Recovered += o.Recovered
 	s.GaveUp += o.GaveUp
+	s.BudgetExhausted += o.BudgetExhausted
+	s.Overloads += o.Overloads
 }
 
 // Amplification is wire sends per logical call (1.0 = no retries).
@@ -148,15 +220,18 @@ type RetryingTransport struct {
 	inner   Transport
 	policy  RetryPolicy
 	breaker *breakerSet
+	budget  *retryBudget
 
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	calls     *telemetry.Counter
-	attempts  *telemetry.Counter
-	retries   *telemetry.Counter
-	recovered *telemetry.Counter
-	gaveUp    *telemetry.Counter
+	calls           *telemetry.Counter
+	attempts        *telemetry.Counter
+	retries         *telemetry.Counter
+	recovered       *telemetry.Counter
+	gaveUp          *telemetry.Counter
+	budgetExhausted *telemetry.Counter
+	overloads       *telemetry.Counter
 }
 
 // NewRetryingTransport wraps inner with policy.
@@ -170,9 +245,16 @@ func NewRetryingTransport(inner Transport, policy RetryPolicy) *RetryingTranspor
 		retries:   telemetry.NewCounter("wire_retry_resends_total", "Re-sends after a transport error."),
 		recovered: telemetry.NewCounter("wire_retry_recovered_total", "Calls that failed at least once then succeeded on a retry."),
 		gaveUp:    telemetry.NewCounter("wire_retry_gave_up_total", "Calls that exhausted every attempt."),
+		budgetExhausted: telemetry.NewCounter("wire_retry_budget_exhausted_total",
+			"Retries suppressed because the retry budget had no token."),
+		overloads: telemetry.NewCounter("wire_retry_overloads_total",
+			"Calls NACKed by peer admission control (never retried)."),
 	}
 	if policy.Breaker != nil {
 		t.breaker = newBreakerSet(*policy.Breaker)
+	}
+	if policy.Budget != nil {
+		t.budget = newRetryBudget(*policy.Budget)
 	}
 	return t
 }
@@ -186,11 +268,13 @@ func (t *RetryingTransport) Listen(addr string, handler Handler) (string, io.Clo
 // atomic, so this is safe to call while the transport is live.
 func (t *RetryingTransport) Stats() RetryStats {
 	return RetryStats{
-		Calls:     t.calls.Value(),
-		Attempts:  t.attempts.Value(),
-		Retries:   t.retries.Value(),
-		Recovered: t.recovered.Value(),
-		GaveUp:    t.gaveUp.Value(),
+		Calls:           t.calls.Value(),
+		Attempts:        t.attempts.Value(),
+		Retries:         t.retries.Value(),
+		Recovered:       t.recovered.Value(),
+		GaveUp:          t.gaveUp.Value(),
+		BudgetExhausted: t.budgetExhausted.Value(),
+		Overloads:       t.overloads.Value(),
 	}
 }
 
@@ -210,7 +294,7 @@ func (t *RetryingTransport) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Attach(t.calls, t.attempts, t.retries, t.recovered, t.gaveUp)
+	reg.Attach(t.calls, t.attempts, t.retries, t.recovered, t.gaveUp, t.budgetExhausted, t.overloads)
 	if t.breaker != nil {
 		t.breaker.instrument(reg)
 	}
@@ -231,14 +315,42 @@ func (t *RetryingTransport) CallCtx(ctx context.Context, addr string, req Messag
 	}
 	attempts := t.policy.attemptsFor(req.Op)
 	t.calls.Inc()
+	if t.budget != nil {
+		t.budget.earn()
+	}
+	innerCtx, hasCtx := t.inner.(ctxCaller)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			lastErr = err
 			break
 		}
+		// Stamp the remaining deadline budget onto the request so the
+		// peer's admission control can shed work the caller would discard
+		// anyway. Re-stamped per attempt — backoff eats into the budget.
+		if deadline, ok := ctx.Deadline(); ok {
+			req.BudgetMicros = time.Until(deadline).Microseconds()
+		}
 		t.attempts.Inc()
-		resp, err := t.inner.Call(addr, req)
+		var resp Message
+		var err error
+		if hasCtx {
+			resp, err = innerCtx.CallCtx(ctx, addr, req)
+		} else {
+			resp, err = t.inner.Call(addr, req)
+		}
+		if err == nil && resp.Code == CodeOverload {
+			// The peer shed the request: it is alive but saturated.
+			// Retrying against it would feed the overload, so the NACK
+			// ends this call (the caller's replica failover may divert
+			// elsewhere). The breaker tracks the overload streak apart
+			// from connectivity failures.
+			t.overloads.Inc()
+			if t.breaker != nil {
+				t.breaker.onOverload(addr)
+			}
+			return resp, remoteError(resp)
+		}
 		if err == nil {
 			if attempt > 1 {
 				t.recovered.Inc()
@@ -250,6 +362,10 @@ func (t *RetryingTransport) CallCtx(ctx context.Context, addr string, req Messag
 		}
 		lastErr = err
 		if attempt >= attempts {
+			break
+		}
+		if t.budget != nil && !t.budget.spend() {
+			t.budgetExhausted.Inc()
 			break
 		}
 		t.retries.Inc()

@@ -79,6 +79,10 @@ type SoakConfig struct {
 	// Breaker, when non-nil, arms the per-peer circuit breaker on every
 	// retry transport in the run (the cluster's and each node's).
 	Breaker *BreakerPolicy
+	// Admission, when non-nil, arms per-node admission control: every
+	// member bounds its inflight and queued work and sheds the excess
+	// with ErrOverload instead of queueing without bound.
+	Admission *AdmissionConfig
 	// VerifyReplicas, when true, additionally holds the ring to full
 	// replica convergence after the storm: every acked key must settle
 	// at exactly min(ReplicationFactor+1, live) physical copies across
@@ -282,6 +286,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			ReplicationFactor: cfg.ReplicationFactor,
 			Retry:             &p,
 			SuccFailThreshold: 2,
+			Admission:         cfg.Admission,
 			Store:             st,
 		})
 		if err != nil && st != nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -228,6 +229,16 @@ func (t *TCPTransport) poolIdleTimeout() time.Duration {
 // call timeout evicts the whole connection — its response stream can no
 // longer be trusted to be prompt — and the retry layer above redials.
 func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
+	return t.CallCtx(context.Background(), addr, req)
+}
+
+// CallCtx is Call with context awareness: a caller whose ctx is
+// cancelled or past its deadline stops waiting — in the pool's
+// connection-wait queue and in the response wait — instead of holding
+// resources until the call timeout. The ctx does not cancel the wire
+// exchange itself (an abandoned response is dropped by ID on arrival);
+// it only releases this caller.
+func (t *TCPTransport) CallCtx(ctx context.Context, addr string, req Message) (Message, error) {
 	t.ensureMetrics()
 	if t.DisablePool {
 		return t.dialCall(addr, req)
@@ -236,8 +247,11 @@ func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
 	// can break between the pool handing it out and the caller
 	// registering on it.
 	for attempt := 0; ; attempt++ {
-		pc, err := t.pool().get(addr)
+		pc, err := t.pool().get(ctx, addr)
 		if err != nil {
+			if ctx.Err() != nil {
+				return Message{}, ctx.Err()
+			}
 			return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 		}
 		id, ch, ok := pc.register()
@@ -247,12 +261,12 @@ func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
 			}
 			return Message{}, fmt.Errorf("%w: %s: pooled conn closed", ErrUnreachable, addr)
 		}
-		return t.exchange(pc, id, ch, addr, req)
+		return t.exchange(ctx, pc, id, ch, addr, req)
 	}
 }
 
 // exchange writes one registered request and waits for its response.
-func (t *TCPTransport) exchange(pc *persistConn, id uint64, ch chan poolResult, addr string, req Message) (Message, error) {
+func (t *TCPTransport) exchange(ctx context.Context, pc *persistConn, id uint64, ch chan poolResult, addr string, req Message) (Message, error) {
 	t.poolInFlight.Add(1)
 	defer t.poolInFlight.Add(-1)
 	if err := pc.c.writeFrame(id, &req, t.callTimeout()); err != nil {
@@ -270,6 +284,11 @@ func (t *TCPTransport) exchange(pc *persistConn, id uint64, ch chan poolResult, 
 			return Message{}, r.err
 		}
 		return r.msg, nil
+	case <-ctx.Done():
+		// The caller gave up; the connection is still healthy — the
+		// reader drops the late response by ID, no teardown needed.
+		pc.unregister(id)
+		return Message{}, ctx.Err()
 	case <-timer.C:
 		pc.unregister(id)
 		err := fmt.Errorf("%w: %s: call timeout after %v", ErrUnreachable, addr, t.callTimeout())

@@ -94,6 +94,20 @@ type KeyDigest struct {
 	Digest uint64
 }
 
+// Response codes carried in Message.Code. A plain application error
+// travels as Err text alone (CodeOK); codes distinguish errors the client
+// must treat specially — an overload NACK arrives as a *successful*
+// transport exchange, so without a typed code the retry layer would treat
+// it like any remote failure and retry into the hot node.
+const (
+	// CodeOK marks a normal response (zero value, never set explicitly).
+	CodeOK = 0
+	// CodeOverload marks a response shed by admission control. The call
+	// must not be retried against the same peer and must not count as a
+	// connectivity failure.
+	CodeOverload = 1
+)
+
 // Message is the single request/response envelope (flat for gob).
 type Message struct {
 	Op   Op
@@ -102,7 +116,13 @@ type Message struct {
 	// TTL bounds recursive FindSuccessor forwarding.
 	TTL int
 	// Hops counts forwarding steps, echoed back in responses.
-	Hops    int
+	Hops int
+	// BudgetMicros carries the caller's remaining deadline budget in
+	// microseconds (0 = no deadline). Admission control sheds requests
+	// whose budget cannot cover the expected service time.
+	BudgetMicros int64
+	// Code classifies error responses (CodeOK, CodeOverload).
+	Code    int
 	Entry   overlay.Entry
 	Entries []overlay.Entry
 	KV      []KeyEntries
@@ -145,12 +165,21 @@ var (
 	// breaker is open: the peer failed repeatedly and calls to it fail
 	// fast instead of burning the caller's budget on fresh timeouts.
 	ErrCircuitOpen = errors.New("wire: circuit open")
+	// ErrOverload is returned when a peer's admission control sheds the
+	// request. The peer is alive — this is backpressure, not a failure:
+	// it must never be retried against the same peer, must not count
+	// toward unreachable-style failure detection, and must not cause the
+	// ring to route around the node.
+	ErrOverload = errors.New("wire: peer overloaded")
 )
 
 // remoteError converts an error carried in a response into a Go error.
 func remoteError(m Message) error {
 	if m.Err == "" {
 		return nil
+	}
+	if m.Code == CodeOverload {
+		return fmt.Errorf("%w: %s", ErrOverload, m.Err)
 	}
 	return fmt.Errorf("wire: remote: %s", m.Err)
 }

@@ -249,7 +249,13 @@ func NewGeneratorWith(articles []descriptor.Article, model StructureModel, seed 
 
 // Next generates one workload query.
 func (g *Generator) Next() Query {
-	rank := g.pop.Sample(g.rng)
+	return g.QueryFor(g.pop.Sample(g.rng))
+}
+
+// QueryFor generates a workload query targeting a specific popularity
+// rank (0-based), with the structure still drawn from the structure
+// model. It panics on an out-of-range rank.
+func (g *Generator) QueryFor(rank int) Query {
 	a := g.articles[rank]
 	s := g.structure.Sample(g.rng)
 	return Query{
@@ -258,6 +264,44 @@ func (g *Generator) Next() Query {
 		Target:    a,
 		Rank:      rank,
 	}
+}
+
+// FlashCrowd layers a hot-key scenario over a Generator: with
+// probability HotFraction the next query targets the single article at
+// HotRank (default 0, the most popular) instead of sampling the
+// popularity distribution — the flash-crowd traffic shape that
+// concentrates load on one index node's key range. Like Generator, a
+// FlashCrowd is not safe for concurrent use; draw queries on one
+// dispatcher goroutine.
+type FlashCrowd struct {
+	// G is the underlying generator.
+	G *Generator
+	// HotFraction is the probability a query targets the hot article,
+	// in [0, 1].
+	HotFraction float64
+	// HotRank is the popularity rank of the hot article (default 0).
+	HotRank int
+
+	rng *rand.Rand
+}
+
+// NewFlashCrowd wraps g with a hot-key mix. The seed drives only the
+// hot-or-not coin, so the underlying generator's sequence stays
+// reproducible independently of the flash fraction.
+func NewFlashCrowd(g *Generator, hotFraction float64, seed int64) *FlashCrowd {
+	return &FlashCrowd{
+		G:           g,
+		HotFraction: hotFraction,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next draws the next query of the flash-crowd mix.
+func (f *FlashCrowd) Next() Query {
+	if f.HotFraction > 0 && f.rng.Float64() < f.HotFraction {
+		return f.G.QueryFor(f.HotRank)
+	}
+	return f.G.Next()
 }
 
 // BuildQuery materializes a structure against an article's fields.
