@@ -23,6 +23,7 @@ import (
 	"dhtindex/internal/index"
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/soak"
 	"dhtindex/internal/wire"
 )
 
@@ -42,6 +43,11 @@ type benchReport struct {
 	Seed        int64              `json:"seed"`
 	Results     []benchResult      `json:"results"`
 	Ratios      map[string]float64 `json:"ratios"`
+
+	// SubstrateMatrix holds the cross-substrate churn-soak comparison
+	// (hops, query percentiles, maintenance traffic, acked-write loss)
+	// produced by -matrix; see matrixout.go.
+	SubstrateMatrix []soak.SubstrateReport `json:"substrate_matrix,omitempty"`
 }
 
 // seqPublishNet hides the cluster's BatchNetwork extension so the index
@@ -52,6 +58,14 @@ type seqPublishNet struct{ overlay.Network }
 // JSON report to path.
 func runBenchOut(path string, seed int64) error {
 	var report benchReport
+	// Regenerating the microbenchmark rows must not discard a substrate
+	// matrix a previous -matrix run merged into the same file.
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev benchReport
+		if err := json.Unmarshal(raw, &prev); err == nil {
+			report.SubstrateMatrix = prev.SubstrateMatrix
+		}
+	}
 	report.GeneratedBy = "dhtbench -bench-out"
 	report.Seed = seed
 	report.Ratios = make(map[string]float64)

@@ -1,12 +1,20 @@
-// Command dhtbench exercises the Chord substrate on its own: routing hop
-// counts versus network size, key-load balance, and behaviour under churn.
-// The paper treats the DHT as a black box (§V-E: "we do not explicitly
-// study the performance of the P2P substrate"); this harness verifies the
-// substrate provides what the indexing layer assumes.
+// Command dhtbench exercises the overlay substrates on their own:
+// routing hop counts versus network size, key-load balance, and
+// behaviour under churn. The paper treats the DHT as a black box (§V-E:
+// "we do not explicitly study the performance of the P2P substrate");
+// this harness verifies the substrate provides what the indexing layer
+// assumes. -substrate selects chord, pastry or kademlia for the hop
+// sweep, and -matrix runs the indexed churn soak on all three and
+// publishes the comparison (hops, p99 query latency, maintenance
+// traffic, acked-write loss) — merged into BENCH_wire.json when
+// -bench-out names it.
 //
 // With -soak it instead runs the live-wire indexed churn soak
 // (internal/soak): a message-passing ring under drops, latency,
-// partitions and crashes while indexed queries keep resolving. -repair
+// partitions and crashes while indexed queries keep resolving. With a
+// non-chord -substrate the soak runs in-process on that substrate's
+// overlay (joins, leaves and — on Kademlia — hard crashes absorbed by
+// replication and republish) and fails on any acked-write loss. -repair
 // adds joins/leaves and the self-healing verification; -restart puts
 // every member on a disk-backed durable store and crash-restarts whole
 // replica sets from their data directories mid-storm (-data-dir keeps
@@ -42,6 +50,7 @@ import (
 	"time"
 
 	"dhtindex/internal/dht"
+	"dhtindex/internal/kademlia"
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
@@ -56,7 +65,12 @@ func main() {
 		lookups   = flag.Int("lookups", 2000, "lookups per configuration")
 		churn     = flag.Float64("churn", 0.2, "fraction of nodes failed in the churn test")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
-		substrate = flag.String("substrate", "chord", "substrate for the hop sweep (chord|pastry)")
+		substrate = flag.String("substrate", "chord", "substrate for the hop sweep and soak (chord|pastry|kademlia)")
+
+		matrixMode    = flag.Bool("matrix", false, "run the indexed churn soak on every substrate and publish the cross-substrate matrix; merged into -bench-out when given")
+		matrixNodes   = flag.Int("matrix-nodes", 0, "matrix: overlay size per substrate (0 = harness default)")
+		matrixOps     = flag.Int("matrix-ops", 0, "matrix: churn-storm operations per substrate (0 = harness default)")
+		matrixQueries = flag.Int("matrix-queries", 0, "matrix: indexed lookups per storm op (0 = harness default)")
 
 		soakMode    = flag.Bool("soak", false, "run the live-wire indexed churn soak instead of the simulation sweeps")
 		soakRepair  = flag.Bool("repair", false, "soak: self-healing mode — joins/leaves during the storm, circuit breaker armed, post-storm replica coverage verified to 100%, degraded-lookup probe")
@@ -88,8 +102,17 @@ func main() {
 			rated: *loadRated, factor: *loadFactor, duration: *duration,
 			seed: *seed, out: *loadOut, benchOut: *benchOut,
 		}, reg, *metricsAddr, *metricsOut)
+	} else if *matrixMode {
+		err = runMatrix(matrixOpts{
+			nodes: *matrixNodes, ops: *matrixOps, queries: *matrixQueries,
+			seed: *seed, benchOut: *benchOut,
+		}, reg, *metricsAddr, *metricsOut)
 	} else if *benchOut != "" {
 		err = runBenchOut(*benchOut, *seed)
+	} else if *soakMode && *substrate != "chord" {
+		err = runSubstrateSoak(*substrate, soakOpts{
+			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries, seed: *seed,
+		}, reg, *metricsAddr, *metricsOut)
 	} else if *soakMode {
 		err = runSoak(soakOpts{
 			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries,
@@ -218,6 +241,42 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 	return serveMetrics(reg, metricsAddr)
 }
 
+// runSubstrateSoak runs the in-process indexed churn soak on a single
+// non-chord substrate (the -soak -substrate path) and fails on any
+// acked-write loss.
+func runSubstrateSoak(substrate string, o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string) error {
+	rep, err := soak.RunSubstrate(soak.SubstrateConfig{
+		Substrate:    substrate,
+		Nodes:        o.nodes,
+		Ops:          o.ops,
+		QueriesPerOp: o.queries,
+		Seed:         o.seed,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsubstrate soak report (seed %d)\n", o.seed)
+	fmt.Printf("  substrate:   %s, %d nodes\n", rep.Substrate, rep.Nodes)
+	fmt.Printf("  churn:       %d joins, %d leaves, %d crashes over %d ops\n",
+		rep.Joins, rep.Leaves, rep.Crashes, rep.Ops)
+	fmt.Printf("  queries:     %d issued, %d found, %d cache hits, %d failed\n",
+		rep.Queries, rep.Found, rep.CacheHits, rep.QueryFailures)
+	fmt.Printf("  latency:     p50 %.0fµs, p99 %.0fµs (mean %.2f hops/lookup)\n",
+		rep.P50QueryMicros, rep.P99QueryMicros, rep.MeanLookupHops)
+	fmt.Printf("  maintenance: %d items, %d bytes moved\n",
+		rep.MaintenanceItems, rep.MaintenanceBytes)
+	fmt.Printf("  data:        %d acked articles, %d lost\n", rep.AckedArticles, rep.LostArticles)
+	if err := emitMetrics(reg, metricsOut); err != nil {
+		return err
+	}
+	if rep.LostArticles > 0 {
+		return fmt.Errorf("substrate soak failed: %d of %d acked articles lost",
+			rep.LostArticles, rep.AckedArticles)
+	}
+	return serveMetrics(reg, metricsAddr)
+}
+
 // emitMetrics writes the registry's text snapshot to a file when asked.
 func emitMetrics(reg *telemetry.Registry, path string) error {
 	if path == "" {
@@ -258,6 +317,8 @@ func run(maxNodes, lookups int, churn float64, seed int64, substrate string, reg
 			err = chordSweep(n, lookups, seed, reg)
 		case "pastry":
 			err = pastrySweep(n, lookups, seed)
+		case "kademlia":
+			err = kademliaSweep(n, lookups, seed, reg)
 		default:
 			err = fmt.Errorf("unknown substrate %q", substrate)
 		}
@@ -338,6 +399,50 @@ func pastrySweep(n, lookups int, seed int64) error {
 	fmt.Printf("%-8d %10.2f %8d %10.2f %10.1f %12.2f\n",
 		n, float64(m.Hops-before.Hops)/float64(m.Lookups-before.Lookups),
 		m.MaxHops, math.Log2(float64(n)), mean, float64(keyMax)/mean)
+	return nil
+}
+
+// kademliaSweep mirrors chordSweep on the iterative XOR substrate: hop
+// depth here is the α-parallel lookup's round count (how many probe
+// waves before the K closest converged), which plays the role the
+// forwarding hop count plays on the recursive rings.
+func kademliaSweep(n, lookups int, seed int64, reg *telemetry.Registry) error {
+	net := kademlia.NewNetwork(kademlia.Config{Replicas: 1, Seed: seed})
+	if _, err := net.Populate(n); err != nil {
+		return err
+	}
+	net.Instrument(reg)
+	ov := kademlia.AsOverlay(net, seed)
+	for i := 0; i < 10*n; i++ {
+		if _, err := ov.Put(keyspace.NewKey(fmt.Sprintf("key-%d", i)),
+			overlay.Entry{Kind: "data", Value: "x"}); err != nil {
+			return err
+		}
+	}
+	keyTotal, keyMax := 0, 0
+	for _, addr := range ov.Addrs() {
+		st, err := ov.StatsOf(addr)
+		if err != nil {
+			return err
+		}
+		keyTotal += st.Keys
+		if st.Keys > keyMax {
+			keyMax = st.Keys
+		}
+	}
+	net.ResetMetrics()
+	nodes := net.Nodes()
+	for i := 0; i < lookups; i++ {
+		start := nodes[i%len(nodes)].Addr
+		if _, err := net.Lookup(start, keyspace.NewKey(fmt.Sprintf("probe-%d", i))); err != nil {
+			return err
+		}
+	}
+	m := net.Metrics()
+	mean := float64(keyTotal) / float64(n)
+	fmt.Printf("%-8d %10.2f %8d %10.2f %10.1f %12.2f\n",
+		n, float64(m.Rounds)/float64(m.Lookups), m.MaxRounds, math.Log2(float64(n)),
+		mean, float64(keyMax)/mean)
 	return nil
 }
 

@@ -6,14 +6,21 @@
 //
 // Usage:
 //
-//	doccheck [dir | dir/...]...
+//	doccheck [-require dir,dir,...] [dir | dir/...]...
 //
 // With no arguments it checks ./... — every non-test Go package under the
 // current directory. CI runs it over the whole module so the godoc
 // surface stays complete; it exits non-zero when anything is undocumented.
+//
+// -require names package directories that MUST exist and be covered by
+// the run (comma-separated). A glob sweep silently shrinks when a package
+// is moved or renamed; the require list turns that into a hard failure,
+// so the doc gate on load-bearing packages (the substrates, the overlay
+// contract) cannot rot away unnoticed.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -26,13 +33,21 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	require := flag.String("require", "",
+		"comma-separated package dirs that must exist and be checked (hard failure otherwise)")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
 	dirs, err := expand(args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if missing := missingRequired(*require, dirs); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: required packages not covered by this run: %s\n",
+			strings.Join(missing, ", "))
 		os.Exit(2)
 	}
 	var problems []string
@@ -51,6 +66,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(problems))
 		os.Exit(1)
 	}
+}
+
+// missingRequired returns the -require entries absent from the checked
+// directory set.
+func missingRequired(require string, dirs []string) []string {
+	if require == "" {
+		return nil
+	}
+	checked := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		checked[d] = true
+	}
+	var missing []string
+	for _, r := range strings.Split(require, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !checked[filepath.Clean(r)] {
+			missing = append(missing, r)
+		}
+	}
+	return missing
 }
 
 // expand resolves each argument to a list of package directories: a

@@ -14,6 +14,7 @@ import (
 	"dhtindex/internal/descriptor"
 	"dhtindex/internal/dht"
 	"dhtindex/internal/index"
+	"dhtindex/internal/kademlia"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
 	"dhtindex/internal/xpath"
@@ -103,7 +104,7 @@ func (r *repl) exec(line string) error {
 
 func (r *repl) help() error {
 	fmt.Fprint(r.out, `commands:
-  network <nodes> [chord|pastry]        create the overlay network
+  network <nodes> [chord|pastry|kademlia]  create the overlay network
   scheme <simple|flat|complex|fig4>     select the indexing scheme
   cache <none|multi|single|lru> [cap]   select the cache policy
   add <file> <first> <last> <title...> <conf> <year> <size>
@@ -133,7 +134,7 @@ func (r *repl) requireNetwork() error {
 
 func (r *repl) network(args []string) error {
 	if len(args) < 1 {
-		return errors.New("usage: network <nodes> [chord|pastry]")
+		return errors.New("usage: network <nodes> [chord|pastry|kademlia]")
 	}
 	nodes, err := strconv.Atoi(args[0])
 	if err != nil || nodes < 1 {
@@ -156,6 +157,12 @@ func (r *repl) network(args []string) error {
 			return err
 		}
 		r.net = pastry.AsOverlay(net, 1)
+	case "kademlia":
+		net := kademlia.NewNetwork(kademlia.Config{Replicas: 1, Seed: 1})
+		if _, err := net.Populate(nodes); err != nil {
+			return err
+		}
+		r.net = kademlia.AsOverlay(net, 1)
 	default:
 		return fmt.Errorf("unknown substrate %q", substrate)
 	}

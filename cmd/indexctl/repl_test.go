@@ -118,7 +118,7 @@ func TestScriptErrors(t *testing.T) {
 		"bogus",
 		"find /article", // no network yet
 		"network x",
-		"network 4 kademlia",
+		"network 4 can",
 		"scheme nope",
 		"network 4",
 		"add onlyonearg",

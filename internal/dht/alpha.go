@@ -1,0 +1,121 @@
+package dht
+
+import (
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/lookup"
+)
+
+// AlphaResult reports one α-parallel iterative lookup.
+type AlphaResult struct {
+	// Owner is the node responsible for the key.
+	Owner *Node
+	// Hops is the iterative depth (rounds of improvement), Probes the
+	// node queries issued, Failed the ones against vanished nodes.
+	Hops, Probes, Failed int
+}
+
+// chordAbsDistance ranks candidates for the shared engine by the
+// shorter circular distance to the key. Exploration has to use the
+// absolute distance, not the clockwise one that defines ownership: the
+// path to the owner runs through the key's predecessor side, which
+// clockwise ranking would score worst and never probe.
+func chordAbsDistance(id, target keyspace.Key) keyspace.Key {
+	d1 := id.ClockwiseTo(target)
+	d2 := target.ClockwiseTo(id)
+	if d1.Cmp(d2) <= 0 {
+		return d1
+	}
+	return d2
+}
+
+// LookupAlpha resolves the owner of key with the shared α-parallel
+// iterative engine (internal/lookup) instead of the recursive finger
+// walk: the caller queries nodes for their routing state — successor,
+// predecessor and closest-preceding finger toward the key — and drives
+// the shortlist itself with alpha probes in flight. This is the Chord
+// opt-in to Kademlia-style lookups; it returns the same owner the
+// recursive Lookup finds, with the engine's depth as the hop count.
+func (n *Network) LookupAlpha(start *Node, key keyspace.Key, alpha int) (AlphaResult, error) {
+	if alpha <= 0 {
+		alpha = 3
+	}
+	n.mu.Lock()
+	if len(n.sorted) == 0 {
+		n.mu.Unlock()
+		return AlphaResult{}, ErrEmptyNetwork
+	}
+	if start == nil {
+		start = n.sorted[0]
+	}
+	n.mu.Unlock()
+
+	probe := func(c lookup.Contact, target keyspace.Key) (lookup.ProbeResult, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		nd, ok := n.nodes[c.Addr]
+		if !ok {
+			return lookup.ProbeResult{}, ErrNodeUnknown
+		}
+		var out []lookup.Contact
+		add := func(m *Node) {
+			if m != nil {
+				out = append(out, lookup.Contact{Addr: m.Addr, ID: m.ID})
+			}
+		}
+		add(nd.successor)
+		add(nd.predecessor)
+		add(n.closestPrecedingLocked(nd, target))
+		return lookup.ProbeResult{Contacts: out}, nil
+	}
+
+	res := lookup.Run(lookup.Config{
+		Target:   key,
+		Seeds:    []lookup.Contact{{Addr: start.Addr, ID: start.ID}},
+		Alpha:    alpha,
+		K:        8, // window: the key's immediate neighbourhood on both sides
+		Distance: chordAbsDistance,
+		Probe:    probe,
+	})
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics.Lookups++
+	n.metrics.Hops += res.Hops
+	if res.Hops > n.metrics.MaxHops {
+		n.metrics.MaxHops = res.Hops
+	}
+	n.hops.Observe(float64(res.Hops))
+
+	// Ownership is clockwise: the owner is the node at the smallest
+	// clockwise distance from the key. The converged set holds the key's
+	// numeric neighbourhood — which, when nodes cluster below the key,
+	// may not include the owner itself, but always includes the key's
+	// true predecessor; so the owner is the clockwise-best among the
+	// converged contacts and their successors.
+	var owner *Node
+	var best keyspace.Key
+	for _, c := range res.Closest {
+		nd, ok := n.nodes[c.Addr]
+		if !ok {
+			continue // departed mid-lookup
+		}
+		for _, cand := range []*Node{nd, nd.successor} {
+			if cand == nil {
+				continue
+			}
+			d := key.ClockwiseTo(cand.ID)
+			if owner == nil || d.Cmp(best) < 0 {
+				owner, best = cand, d
+			}
+		}
+	}
+	if owner == nil {
+		// Nothing converged (or everything departed); the oracle view
+		// keeps the simulation moving.
+		if len(n.sorted) == 0 {
+			return AlphaResult{}, ErrEmptyNetwork
+		}
+		owner = n.ownerOfLocked(key)
+	}
+	return AlphaResult{Owner: owner, Hops: res.Hops, Probes: res.Probes, Failed: res.Failed}, nil
+}

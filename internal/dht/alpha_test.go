@@ -1,0 +1,54 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+)
+
+// The α-parallel iterative lookup must agree with the oracle owner (and
+// therefore with the recursive finger walk) from any start node.
+func TestLookupAlphaMatchesOracle(t *testing.T) {
+	n, nodes := mustNetwork(t, 96)
+	for i := 0; i < 200; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("alpha-key-%d", i))
+		want, err := n.OwnerOf(key)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		start := nodes[i%len(nodes)]
+		got, err := n.LookupAlpha(start, key, 3)
+		if err != nil {
+			t.Fatalf("alpha lookup: %v", err)
+		}
+		if got.Owner != want {
+			t.Fatalf("key %d: alpha owner %s, oracle %s (hops=%d probes=%d)",
+				i, got.Owner.Addr, want.Addr, got.Hops, got.Probes)
+		}
+		if got.Probes == 0 {
+			t.Fatalf("key %d: no probes recorded", i)
+		}
+	}
+	if m := n.Metrics(); m.Lookups < 200 {
+		t.Fatalf("alpha lookups not metered: %+v", m)
+	}
+}
+
+func TestLookupAlphaEmptyAndSingle(t *testing.T) {
+	n := NewNetwork(42)
+	if _, err := n.LookupAlpha(nil, keyspace.NewKey("k"), 3); err == nil {
+		t.Fatal("alpha lookup on empty ring succeeded")
+	}
+	solo, err := n.AddNode("only")
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	res, err := n.LookupAlpha(nil, keyspace.NewKey("k"), 3)
+	if err != nil {
+		t.Fatalf("alpha lookup: %v", err)
+	}
+	if res.Owner != solo {
+		t.Fatalf("owner %v, want the only node", res.Owner)
+	}
+}

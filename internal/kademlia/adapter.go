@@ -1,0 +1,162 @@
+package kademlia
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// Overlay adapts a Kademlia Network to the substrate contract. Unlike
+// the ring substrates there is no single owner per key: Put replicates
+// to the Replicas closest nodes, Get short-circuits at the first holder
+// found, and Route.Node reports the closest replica.
+type Overlay struct {
+	net *Network
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+var (
+	_ overlay.Network        = (*Overlay)(nil)
+	_ overlay.ContextNetwork = (*Overlay)(nil)
+)
+
+// AsOverlay wraps the network; the seed drives contact-point selection.
+func AsOverlay(net *Network, seed int64) *Overlay {
+	return &Overlay{net: net, rng: rand.New(rand.NewSource(seed))}
+}
+
+// start picks the random live node each operation routes from.
+func (o *Overlay) start() *Node {
+	o.net.mu.RLock()
+	size := len(o.net.sorted)
+	o.net.mu.RUnlock()
+	if size == 0 {
+		return nil
+	}
+	o.rngMu.Lock()
+	i := o.rng.Intn(size)
+	o.rngMu.Unlock()
+	o.net.mu.RLock()
+	defer o.net.mu.RUnlock()
+	if len(o.net.sorted) == 0 {
+		return nil
+	}
+	if i >= len(o.net.sorted) {
+		i = len(o.net.sorted) - 1
+	}
+	return o.net.sorted[i]
+}
+
+// Put implements overlay.Network: the entry is stored on the Replicas
+// closest nodes to the key; the route reports the closest of them.
+func (o *Overlay) Put(key keyspace.Key, e overlay.Entry) (overlay.Route, error) {
+	origin := o.start()
+	if origin == nil {
+		return overlay.Route{}, ErrEmptyNetwork
+	}
+	primary, res, err := o.net.store(origin, key, e)
+	if err != nil {
+		return overlay.Route{}, err
+	}
+	return overlay.Route{Node: primary.Addr, Hops: res.Hops}, nil
+}
+
+// Get implements overlay.Network via an iterative FIND_VALUE.
+func (o *Overlay) Get(key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
+	origin := o.start()
+	if origin == nil {
+		return nil, overlay.Route{}, ErrEmptyNetwork
+	}
+	entries, holder, res := o.net.findValue(origin, key)
+	o.net.metricsMu.Lock()
+	o.net.metrics.RetrieveOps++
+	if holder != origin.Addr {
+		for _, e := range entries {
+			o.net.metrics.BytesShipped += int64(len(e.Value))
+		}
+	}
+	o.net.metricsMu.Unlock()
+	return entries, overlay.Route{Node: holder, Hops: res.Hops}, nil
+}
+
+// GetCtx implements overlay.ContextNetwork: the in-process substrate
+// completes reads in microseconds, so the budget is checked up front.
+func (o *Overlay) GetCtx(ctx context.Context, key keyspace.Key) ([]overlay.Entry, overlay.Route, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, overlay.Route{}, err
+	}
+	return o.Get(key)
+}
+
+// Remove implements overlay.Network. The entry is deleted from the
+// key's whole closest set (not just Replicas of them) so a stale copy
+// on a node that drifted out of the replica window cannot be
+// republished back after the delete.
+func (o *Overlay) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
+	origin := o.start()
+	if origin == nil {
+		return false, ErrEmptyNetwork
+	}
+	closest, _ := o.net.findClosest(origin, key)
+	existed := false
+	for _, c := range closest {
+		resp, err := o.net.call(origin.contact(), c.Addr, message{Op: opRemove, Target: key, Entry: e})
+		if err == nil && resp.OK {
+			existed = true
+		}
+	}
+	return existed, nil
+}
+
+// Addrs implements overlay.Network: live nodes in ID order.
+func (o *Overlay) Addrs() []string {
+	o.net.mu.RLock()
+	defer o.net.mu.RUnlock()
+	out := make([]string, len(o.net.sorted))
+	for i, nd := range o.net.sorted {
+		out[i] = nd.Addr
+	}
+	return out
+}
+
+// StatsOf implements overlay.Network, with the same per-key overhead
+// accounting as the ring substrates.
+func (o *Overlay) StatsOf(addr string) (overlay.NodeStats, error) {
+	nd, err := o.net.NodeAt(addr)
+	if err != nil {
+		return overlay.NodeStats{}, err
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	stats := overlay.NodeStats{
+		Keys:          len(nd.store),
+		EntriesByKind: make(map[string]int),
+		BytesByKind:   make(map[string]int64),
+	}
+	for _, stored := range nd.store {
+		kinds := make(map[string]bool, 2)
+		for _, se := range stored {
+			stats.EntriesByKind[se.entry.Kind]++
+			stats.BytesByKind[se.entry.Kind] += int64(len(se.entry.Value))
+			kinds[se.entry.Kind] = true
+		}
+		for k := range kinds {
+			stats.BytesByKind[k] += keyspace.Size
+		}
+	}
+	return stats, nil
+}
+
+// Size implements overlay.Network.
+func (o *Overlay) Size() int { return o.net.Size() }
+
+// String names the substrate in reports.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("kademlia(%d nodes)", o.net.Size())
+}

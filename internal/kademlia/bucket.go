@@ -1,0 +1,211 @@
+package kademlia
+
+import (
+	"sort"
+	"sync"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/lookup"
+)
+
+// bucket is one k-bucket: a least-recently-seen-ordered contact list
+// (index 0 is the LRU head, the contact longest unheard from) plus a
+// replacement cache of fresh candidates that arrived while the bucket
+// was full. Kademlia §2.2: long-lived contacts are preferred — a full
+// bucket never evicts a responsive head for a newcomer; the newcomer
+// waits in the replacement cache until a slot frees up.
+type bucket struct {
+	entries     []lookup.Contact // LRU order: head first
+	replacement []lookup.Contact // most recently seen last
+}
+
+// observeOutcome reports what a table observation did, for metrics.
+type observeOutcome struct {
+	// evicted is true when an unresponsive LRU head was dropped to admit
+	// the newcomer.
+	evicted bool
+	// cached is true when the newcomer was parked in the replacement
+	// cache because the head proved responsive.
+	cached bool
+}
+
+// table is one node's routing state: keyspace.Bits k-buckets indexed by
+// the position of the highest differing bit between the node's own ID
+// and a contact's ID (bucket i holds contacts at XOR distance in
+// [2^i, 2^(i+1))).
+type table struct {
+	mu   sync.Mutex
+	self lookup.Contact
+	k    int
+	// buckets are allocated eagerly; with random IDs only the top few
+	// dozen ever fill.
+	buckets [keyspace.Bits]bucket
+}
+
+// newTable creates the routing table for one node.
+func newTable(self lookup.Contact, k int) *table {
+	return &table{self: self, k: k}
+}
+
+// bucketIndex returns the bucket for a contact ID, or -1 for the node's
+// own ID — a node never routes to itself, so self-insertion is rejected.
+func (t *table) bucketIndex(id keyspace.Key) int {
+	return t.self.ID.XOR(id).BitLen() - 1
+}
+
+// observe records that a contact was heard from. ping, when non-nil, is
+// used to liveness-check the LRU head of a full bucket: a responsive
+// head keeps its slot (the newcomer goes to the replacement cache), an
+// unresponsive one is evicted in the newcomer's favour. A nil ping
+// presumes the head alive — the no-network-under-locks choice for RPC
+// handlers, which must not block on a probe of their own.
+func (t *table) observe(c lookup.Contact, ping func(lookup.Contact) bool) observeOutcome {
+	i := t.bucketIndex(c.ID)
+	if i < 0 {
+		return observeOutcome{} // self: never inserted
+	}
+	t.mu.Lock()
+	b := &t.buckets[i]
+	for j, have := range b.entries {
+		if have.Addr == c.Addr {
+			// Already known: move to the most-recently-seen tail.
+			copy(b.entries[j:], b.entries[j+1:])
+			b.entries[len(b.entries)-1] = c
+			t.mu.Unlock()
+			return observeOutcome{}
+		}
+	}
+	if len(b.entries) < t.k {
+		b.entries = append(b.entries, c)
+		t.mu.Unlock()
+		return observeOutcome{}
+	}
+	head := b.entries[0]
+	t.mu.Unlock()
+
+	alive := ping == nil || ping(head)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b = &t.buckets[i]
+	if alive {
+		// Refresh the head's position and park the newcomer.
+		for j, have := range b.entries {
+			if have.Addr == head.Addr {
+				copy(b.entries[j:], b.entries[j+1:])
+				b.entries[len(b.entries)-1] = head
+				break
+			}
+		}
+		b.stashReplacement(c, t.k)
+		return observeOutcome{cached: true}
+	}
+	// Unresponsive head: evict it and admit the newcomer at the tail.
+	for j, have := range b.entries {
+		if have.Addr == head.Addr {
+			b.entries = append(b.entries[:j], b.entries[j+1:]...)
+			break
+		}
+	}
+	if len(b.entries) < t.k {
+		b.entries = append(b.entries, c)
+	} else {
+		b.stashReplacement(c, t.k)
+	}
+	return observeOutcome{evicted: true}
+}
+
+// stashReplacement records c as a fresh candidate, newest last, bounded
+// by the bucket capacity. Callers hold t.mu.
+func (b *bucket) stashReplacement(c lookup.Contact, k int) {
+	for j, have := range b.replacement {
+		if have.Addr == c.Addr {
+			b.replacement = append(b.replacement[:j], b.replacement[j+1:]...)
+			break
+		}
+	}
+	b.replacement = append(b.replacement, c)
+	if len(b.replacement) > k {
+		b.replacement = b.replacement[1:]
+	}
+}
+
+// remove drops a contact that failed a probe and promotes the freshest
+// replacement-cache candidate into the freed slot. It reports whether
+// the contact was present and whether a promotion happened.
+func (t *table) remove(id keyspace.Key, addr string) (removed, promoted bool) {
+	i := t.bucketIndex(id)
+	if i < 0 {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[i]
+	for j, have := range b.entries {
+		if have.Addr == addr {
+			b.entries = append(b.entries[:j], b.entries[j+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		for j, have := range b.replacement {
+			if have.Addr == addr {
+				b.replacement = append(b.replacement[:j], b.replacement[j+1:]...)
+				break
+			}
+		}
+		return false, false
+	}
+	if len(b.replacement) > 0 {
+		c := b.replacement[len(b.replacement)-1]
+		b.replacement = b.replacement[:len(b.replacement)-1]
+		b.entries = append(b.entries, c)
+		promoted = true
+	}
+	return removed, promoted
+}
+
+// closest returns up to n contacts from the table sorted by XOR
+// distance to target.
+func (t *table) closest(target keyspace.Key, n int) []lookup.Contact {
+	t.mu.Lock()
+	var all []lookup.Contact
+	for i := range t.buckets {
+		all = append(all, t.buckets[i].entries...)
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ID.XOR(target).Cmp(all[j].ID.XOR(target)) < 0
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// heads returns the LRU head of every non-empty bucket — the contacts a
+// liveness sweep should check first.
+func (t *table) heads() []lookup.Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []lookup.Contact
+	for i := range t.buckets {
+		if len(t.buckets[i].entries) > 0 {
+			out = append(out, t.buckets[i].entries[0])
+		}
+	}
+	return out
+}
+
+// size returns the number of contacts in the table (replacement caches
+// excluded).
+func (t *table) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i].entries)
+	}
+	return n
+}

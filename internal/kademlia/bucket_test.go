@@ -1,0 +1,208 @@
+package kademlia
+
+import (
+	"fmt"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/lookup"
+)
+
+func contactFor(addr string) lookup.Contact {
+	return lookup.Contact{Addr: addr, ID: keyspace.NewKey(addr)}
+}
+
+// fillBucket finds k contacts landing in the same bucket of t's table
+// and observes them in order, returning them oldest first.
+func fillBucket(tb *table, k int) (bucketIdx int, contacts []lookup.Contact) {
+	byBucket := make(map[int][]lookup.Contact)
+	for i := 0; len(contacts) == 0; i++ {
+		c := contactFor(fmt.Sprintf("peer-%05d", i))
+		b := tb.bucketIndex(c.ID)
+		byBucket[b] = append(byBucket[b], c)
+		if len(byBucket[b]) == k+1 {
+			bucketIdx, contacts = b, byBucket[b][:k]
+		}
+	}
+	for _, c := range contacts {
+		tb.observe(c, nil)
+	}
+	return bucketIdx, contacts
+}
+
+func TestTableRejectsSelfID(t *testing.T) {
+	self := contactFor("self")
+	tb := newTable(self, 4)
+	if out := tb.observe(self, nil); out.evicted || out.cached {
+		t.Fatalf("self observation did something: %+v", out)
+	}
+	if tb.size() != 0 {
+		t.Fatalf("table size %d after self-insert, want 0", tb.size())
+	}
+	if removed, _ := tb.remove(self.ID, self.Addr); removed {
+		t.Fatal("remove(self) reported a removal")
+	}
+}
+
+func TestBucketLRUEvictionUnresponsiveHead(t *testing.T) {
+	const k = 4
+	tb := newTable(contactFor("self"), k)
+	idx, contacts := fillBucket(tb, k)
+	head := contacts[0] // least recently seen
+
+	// A newcomer in the same bucket with an UNRESPONSIVE head: the head
+	// must be evicted and the newcomer admitted.
+	var newcomer lookup.Contact
+	for i := 100000; ; i++ {
+		c := contactFor(fmt.Sprintf("peer-%05d", i))
+		if tb.bucketIndex(c.ID) == idx {
+			newcomer = c
+			break
+		}
+	}
+	pinged := ""
+	out := tb.observe(newcomer, func(c lookup.Contact) bool {
+		pinged = c.Addr
+		return false // head is dead
+	})
+	if pinged != head.Addr {
+		t.Fatalf("pinged %q, want head %q", pinged, head.Addr)
+	}
+	if !out.evicted || out.cached {
+		t.Fatalf("outcome %+v, want evicted", out)
+	}
+	entries := tb.buckets[idx].entries
+	if len(entries) != k {
+		t.Fatalf("bucket has %d entries, want %d", len(entries), k)
+	}
+	for _, have := range entries {
+		if have.Addr == head.Addr {
+			t.Fatal("dead head still in bucket")
+		}
+	}
+	if entries[len(entries)-1].Addr != newcomer.Addr {
+		t.Fatalf("newcomer not at MRU tail: %+v", entries)
+	}
+}
+
+func TestBucketResponsiveHeadKeepsSlot(t *testing.T) {
+	const k = 4
+	tb := newTable(contactFor("self"), k)
+	idx, contacts := fillBucket(tb, k)
+	head := contacts[0]
+
+	var newcomer lookup.Contact
+	for i := 100000; ; i++ {
+		c := contactFor(fmt.Sprintf("peer-%05d", i))
+		if tb.bucketIndex(c.ID) == idx {
+			newcomer = c
+			break
+		}
+	}
+	out := tb.observe(newcomer, func(lookup.Contact) bool { return true })
+	if !out.cached || out.evicted {
+		t.Fatalf("outcome %+v, want cached", out)
+	}
+	entries := tb.buckets[idx].entries
+	// Responsive head keeps membership and moves to the MRU tail;
+	// the newcomer waits in the replacement cache.
+	if entries[len(entries)-1].Addr != head.Addr {
+		t.Fatalf("head not refreshed to tail: %+v", entries)
+	}
+	for _, have := range entries {
+		if have.Addr == newcomer.Addr {
+			t.Fatal("newcomer admitted despite responsive head")
+		}
+	}
+	repl := tb.buckets[idx].replacement
+	if len(repl) != 1 || repl[0].Addr != newcomer.Addr {
+		t.Fatalf("replacement cache %+v, want [%s]", repl, newcomer.Addr)
+	}
+}
+
+func TestRemovePromotesReplacement(t *testing.T) {
+	const k = 4
+	tb := newTable(contactFor("self"), k)
+	idx, contacts := fillBucket(tb, k)
+
+	var cached lookup.Contact
+	for i := 100000; ; i++ {
+		c := contactFor(fmt.Sprintf("peer-%05d", i))
+		if tb.bucketIndex(c.ID) == idx {
+			cached = c
+			break
+		}
+	}
+	tb.observe(cached, func(lookup.Contact) bool { return true }) // parks in cache
+
+	victim := contacts[2]
+	removed, promoted := tb.remove(victim.ID, victim.Addr)
+	if !removed || !promoted {
+		t.Fatalf("remove: removed=%v promoted=%v, want true/true", removed, promoted)
+	}
+	entries := tb.buckets[idx].entries
+	if len(entries) != k {
+		t.Fatalf("bucket has %d entries after promotion, want %d", len(entries), k)
+	}
+	found := false
+	for _, have := range entries {
+		if have.Addr == cached.Addr {
+			found = true
+		}
+		if have.Addr == victim.Addr {
+			t.Fatal("removed contact still present")
+		}
+	}
+	if !found {
+		t.Fatal("cached contact not promoted into the freed slot")
+	}
+	if len(tb.buckets[idx].replacement) != 0 {
+		t.Fatal("replacement cache not drained by promotion")
+	}
+
+	// Removing with an empty cache removes without promotion.
+	removed, promoted = tb.remove(entries[0].ID, entries[0].Addr)
+	if !removed || promoted {
+		t.Fatalf("remove: removed=%v promoted=%v, want true/false", removed, promoted)
+	}
+}
+
+func TestObserveRefreshesKnownContact(t *testing.T) {
+	const k = 4
+	tb := newTable(contactFor("self"), k)
+	idx, contacts := fillBucket(tb, k)
+	head := contacts[0]
+	// Hearing from the LRU head again moves it to the MRU tail without
+	// any eviction machinery.
+	out := tb.observe(head, func(lookup.Contact) bool {
+		t.Fatal("ping used for an already-known contact")
+		return false
+	})
+	if out.evicted || out.cached {
+		t.Fatalf("outcome %+v, want no-op refresh", out)
+	}
+	entries := tb.buckets[idx].entries
+	if entries[len(entries)-1].Addr != head.Addr {
+		t.Fatalf("head not moved to tail: %+v", entries)
+	}
+	if entries[0].Addr != contacts[1].Addr {
+		t.Fatalf("new LRU head %s, want %s", entries[0].Addr, contacts[1].Addr)
+	}
+}
+
+func TestClosestSortsAndBounds(t *testing.T) {
+	tb := newTable(contactFor("self"), 20)
+	for i := 0; i < 64; i++ {
+		tb.observe(contactFor(fmt.Sprintf("peer-%05d", i)), nil)
+	}
+	target := keyspace.NewKey("target")
+	got := tb.closest(target, 10)
+	if len(got) != 10 {
+		t.Fatalf("got %d contacts, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID.XOR(target).Cmp(got[i].ID.XOR(target)) > 0 {
+			t.Fatalf("closest not sorted by XOR distance at %d", i)
+		}
+	}
+}

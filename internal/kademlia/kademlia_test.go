@@ -1,0 +1,349 @@
+package kademlia
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+func testConfig() Config {
+	return Config{K: 8, Alpha: 3, Replicas: 3, RPCTimeout: 25 * time.Millisecond}
+}
+
+func populated(t *testing.T, cfg Config, count int) (*Network, []*Node) {
+	t.Helper()
+	n := NewNetwork(cfg)
+	nodes, err := n.Populate(count)
+	if err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	return n, nodes
+}
+
+func TestLookupFindsGlobalClosest(t *testing.T) {
+	n, nodes := populated(t, testConfig(), 48)
+	key := keyspace.NewKey("some key")
+	// Rank all nodes by XOR distance — the lookup must converge on the
+	// true closest node regardless of where it starts.
+	best := nodes[0]
+	for _, nd := range nodes[1:] {
+		if nd.ID.XOR(key).Cmp(best.ID.XOR(key)) < 0 {
+			best = nd
+		}
+	}
+	for _, from := range []string{"kad-0000", "kad-0031", "kad-0047"} {
+		info, err := n.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("lookup from %s: %v", from, err)
+		}
+		if len(info.Closest) == 0 || info.Closest[0].Addr != best.Addr {
+			t.Fatalf("lookup from %s converged on %+v, want %s", from, info.Closest[:1], best.Addr)
+		}
+	}
+	if m := n.Metrics(); m.Lookups == 0 || m.Probes == 0 {
+		t.Fatalf("lookup metrics not recorded: %+v", m)
+	}
+}
+
+// The α-parallel lookup must terminate and return responsive contacts
+// even when the K nodes actually closest to the target all black-hole
+// their RPCs (the satellite case: unresponsive closest set).
+func TestLookupTerminatesWithUnresponsiveClosest(t *testing.T) {
+	cfg := testConfig()
+	n, nodes := populated(t, cfg, 48)
+	key := keyspace.NewKey("victim key")
+	ranked := append([]*Node(nil), nodes...)
+	for i := range ranked {
+		for j := i + 1; j < len(ranked); j++ {
+			if ranked[j].ID.XOR(key).Cmp(ranked[i].ID.XOR(key)) < 0 {
+				ranked[i], ranked[j] = ranked[j], ranked[i]
+			}
+		}
+	}
+	for _, nd := range ranked[:cfg.K] {
+		n.SetUnresponsive(nd.Addr, true)
+	}
+	// Start from a live node well outside the dead neighbourhood.
+	from := ranked[len(ranked)-1].Addr
+	done := make(chan LookupInfo, 1)
+	go func() {
+		info, err := n.Lookup(from, key)
+		if err != nil {
+			t.Errorf("lookup: %v", err)
+		}
+		done <- info
+	}()
+	var info LookupInfo
+	select {
+	case info = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lookup did not terminate with unresponsive closest set")
+	}
+	if info.Failed < cfg.K {
+		t.Fatalf("failed probes = %d, want >= %d (all dead closest tried)", info.Failed, cfg.K)
+	}
+	dead := make(map[string]bool, cfg.K)
+	for _, nd := range ranked[:cfg.K] {
+		dead[nd.Addr] = true
+	}
+	if len(info.Closest) == 0 {
+		t.Fatal("no responsive contacts returned")
+	}
+	for _, c := range info.Closest {
+		if dead[c.Addr] {
+			t.Fatalf("unresponsive contact %s in closest set", c.Addr)
+		}
+	}
+}
+
+func TestOverlayPutGetRemove(t *testing.T) {
+	n, _ := populated(t, testConfig(), 32)
+	o := AsOverlay(n, 1)
+	key := keyspace.NewKey("article:42")
+	e1 := overlay.Entry{Kind: "index", Value: "entry one"}
+	e2 := overlay.Entry{Kind: "index", Value: "entry two"}
+
+	route, err := o.Put(key, e1)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if route.Node == "" {
+		t.Fatal("put route has no node")
+	}
+	if _, err := o.Put(key, e2); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Idempotent: same (Kind, Value) again must not duplicate.
+	if _, err := o.Put(key, e1); err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+
+	entries, _, err := o.Get(key)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (multi-entry keys, idempotent put): %+v", len(entries), entries)
+	}
+
+	existed, err := o.Remove(key, e1)
+	if err != nil || !existed {
+		t.Fatalf("remove: existed=%v err=%v", existed, err)
+	}
+	existed, err = o.Remove(key, e1)
+	if err != nil || existed {
+		t.Fatalf("second remove: existed=%v err=%v, want false", existed, err)
+	}
+	entries, _, err = o.Get(key)
+	if err != nil || len(entries) != 1 || entries[0] != e2 {
+		t.Fatalf("after remove: entries=%+v err=%v", entries, err)
+	}
+}
+
+func TestOverlayStatsAccounting(t *testing.T) {
+	n, _ := populated(t, Config{K: 8, Alpha: 3, Replicas: 1, RPCTimeout: 25 * time.Millisecond}, 16)
+	o := AsOverlay(n, 7)
+	key := keyspace.NewKey("stats key")
+	if _, err := o.Put(key, overlay.Entry{Kind: "index", Value: "abcd"}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	totalKeys, totalEntries, totalBytes := 0, 0, int64(0)
+	for _, addr := range o.Addrs() {
+		st, err := o.StatsOf(addr)
+		if err != nil {
+			t.Fatalf("stats %s: %v", addr, err)
+		}
+		totalKeys += st.Keys
+		totalEntries += st.EntriesByKind["index"]
+		totalBytes += st.BytesByKind["index"]
+	}
+	if totalKeys != 1 || totalEntries != 1 {
+		t.Fatalf("keys=%d entries=%d, want 1/1 with Replicas=1", totalKeys, totalEntries)
+	}
+	if want := int64(4 + keyspace.Size); totalBytes != want {
+		t.Fatalf("bytes=%d, want %d (payload + per-key overhead)", totalBytes, want)
+	}
+}
+
+func TestReplicationSurvivesCrash(t *testing.T) {
+	cfg := testConfig() // Replicas=3
+	n, _ := populated(t, cfg, 32)
+	o := AsOverlay(n, 3)
+	key := keyspace.NewKey("replicated key")
+	e := overlay.Entry{Kind: "index", Value: "survives"}
+	route, err := o.Put(key, e)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Crash the primary replica without any hand-off.
+	if err := n.FailNode(route.Node); err != nil {
+		t.Fatalf("fail %s: %v", route.Node, err)
+	}
+	entries, _, err := o.Get(key)
+	if err != nil || len(entries) != 1 || entries[0] != e {
+		t.Fatalf("after crash: entries=%+v err=%v (replication lost the entry)", entries, err)
+	}
+}
+
+func TestGracefulLeaveRepublishes(t *testing.T) {
+	n, _ := populated(t, Config{K: 8, Alpha: 3, Replicas: 1, RPCTimeout: 25 * time.Millisecond}, 24)
+	o := AsOverlay(n, 5)
+	key := keyspace.NewKey("handed-off key")
+	e := overlay.Entry{Kind: "index", Value: "kept"}
+	route, err := o.Put(key, e)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := n.RemoveNode(route.Node); err != nil {
+		t.Fatalf("remove node: %v", err)
+	}
+	entries, _, err := o.Get(key)
+	if err != nil || len(entries) != 1 || entries[0] != e {
+		t.Fatalf("after graceful leave: entries=%+v err=%v", entries, err)
+	}
+	if m := n.Metrics(); m.Republished == 0 {
+		t.Fatal("graceful leave shipped no republished entries")
+	}
+}
+
+func TestRepublishRestoresReplication(t *testing.T) {
+	cfg := testConfig()
+	n, _ := populated(t, cfg, 32)
+	o := AsOverlay(n, 9)
+	key := keyspace.NewKey("re-covered key")
+	e := overlay.Entry{Kind: "index", Value: "re-covered"}
+	if _, err := o.Put(key, e); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	holders := func() int {
+		count := 0
+		for _, nd := range n.Nodes() {
+			if nd.getLocal(key) != nil {
+				count++
+			}
+		}
+		return count
+	}
+	if got := holders(); got != cfg.Replicas {
+		t.Fatalf("holders=%d after put, want %d", got, cfg.Replicas)
+	}
+	// Crash all but one holder, then republish: the survivor must
+	// restore the full replica set.
+	crashed := 0
+	for _, nd := range n.Nodes() {
+		if crashed == cfg.Replicas-1 {
+			break
+		}
+		if nd.getLocal(key) != nil {
+			if err := n.FailNode(nd.Addr); err != nil {
+				t.Fatalf("fail: %v", err)
+			}
+			crashed++
+		}
+	}
+	if got := holders(); got != 1 {
+		t.Fatalf("holders=%d after crashes, want 1", got)
+	}
+	n.RefreshBuckets()
+	if got := n.RepublishOnce(); got == 0 {
+		t.Fatal("republish shipped nothing")
+	}
+	if got := holders(); got != cfg.Replicas {
+		t.Fatalf("holders=%d after republish, want %d", got, cfg.Replicas)
+	}
+}
+
+func TestExpireOnce(t *testing.T) {
+	cfg := testConfig()
+	cfg.TTL = time.Hour
+	n, nodes := populated(t, cfg, 4)
+	key := keyspace.NewKey("mortal key")
+	e := overlay.Entry{Kind: "cache", Value: "stale"}
+	nodes[0].putLocal(key, e, time.Now())
+	if got := n.ExpireOnce(time.Now()); got != 0 {
+		t.Fatalf("expired %d fresh entries", got)
+	}
+	if got := n.ExpireOnce(time.Now().Add(2 * time.Hour)); got != 1 {
+		t.Fatalf("expired %d, want 1", got)
+	}
+	if nodes[0].getLocal(key) != nil {
+		t.Fatal("entry still present after expiry")
+	}
+	if m := n.Metrics(); m.Expired != 1 {
+		t.Fatalf("Expired=%d, want 1", m.Expired)
+	}
+}
+
+func TestStartRepublisherStops(t *testing.T) {
+	n, _ := populated(t, testConfig(), 8)
+	stop := n.StartRepublisher(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if m := n.Metrics(); m.BucketRefreshes == 0 {
+		t.Fatal("republisher never ran")
+	}
+}
+
+func TestAddNodeDuplicateAndUnknown(t *testing.T) {
+	n, _ := populated(t, testConfig(), 4)
+	if _, err := n.AddNode("kad-0000"); err == nil {
+		t.Fatal("duplicate AddNode succeeded")
+	}
+	if _, err := n.NodeAt("nope"); err == nil {
+		t.Fatal("NodeAt on unknown address succeeded")
+	}
+	if err := n.FailNode("nope"); err == nil {
+		t.Fatal("FailNode on unknown address succeeded")
+	}
+}
+
+func TestEmptyNetworkOps(t *testing.T) {
+	n := NewNetwork(testConfig())
+	o := AsOverlay(n, 1)
+	if _, err := o.Put(keyspace.NewKey("k"), overlay.Entry{Kind: "index", Value: "v"}); err == nil {
+		t.Fatal("put on empty network succeeded")
+	}
+	if _, _, err := o.Get(keyspace.NewKey("k")); err == nil {
+		t.Fatal("get on empty network succeeded")
+	}
+	if _, err := n.Lookup("", keyspace.NewKey("k")); err == nil {
+		t.Fatal("lookup on empty network succeeded")
+	}
+}
+
+func TestConcurrentOverlayOps(t *testing.T) {
+	n, _ := populated(t, testConfig(), 24)
+	o := AsOverlay(n, 11)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 10; i++ {
+				key := keyspace.NewKey(fmt.Sprintf("key-%d-%d", g, i))
+				e := overlay.Entry{Kind: "index", Value: fmt.Sprintf("v-%d-%d", g, i)}
+				if _, err := o.Put(key, e); err != nil {
+					done <- err
+					return
+				}
+				entries, _, err := o.Get(key)
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(entries) != 1 || entries[0] != e {
+					done <- fmt.Errorf("key %v: got %+v", key, entries)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package kademlia
+
+import (
+	"errors"
+	"time"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/lookup"
+	"dhtindex/internal/overlay"
+)
+
+// RPC operations. The envelope set mirrors the Kademlia wire protocol
+// (PING, FIND_NODE, FIND_VALUE, STORE) plus the REMOVE the overlay
+// contract needs.
+const (
+	opPing      = "PING"
+	opFindNode  = "FIND_NODE"
+	opFindValue = "FIND_VALUE"
+	opStore     = "STORE"
+	opRemove    = "REMOVE"
+)
+
+// errTimeout marks an RPC that got no response within the configured
+// per-probe wait — the only way the simulation reports a dead,
+// unresponsive or departed contact, exactly like a real UDP Kademlia.
+var errTimeout = errors.New("kademlia: rpc timeout")
+
+// message is the request/response envelope. Every request carries a
+// MsgID and the sender's contact; the matching response echoes the
+// MsgID so the transport can deliver it to the parked waiter.
+type message struct {
+	// ID correlates a response with its request's inflight waiter.
+	ID uint64
+	// Op is the RPC type (request) — responses reuse the envelope with
+	// the reply fields set.
+	Op string
+	// From is the sender's contact; handlers feed it to their routing
+	// table, which is how the network learns about joiners.
+	From lookup.Contact
+	// Target is the key being located/stored.
+	Target keyspace.Key
+	// Entry is the STORE/REMOVE payload.
+	Entry overlay.Entry
+
+	// Contacts is a FIND reply: the recipient's closest known contacts.
+	Contacts []lookup.Contact
+	// Entries is a FIND_VALUE hit: the entries stored under Target.
+	Entries []overlay.Entry
+	// OK reports handler success (REMOVE: the entry existed).
+	OK bool
+}
+
+// call sends one request from a node to an address and waits for the
+// correlated response: the MsgID is parked in the network's inflight
+// waiter map, the recipient's handler runs on its own goroutine and the
+// response is routed back through the map — the D7024E read-loop idiom,
+// with the shared map standing in for per-node UDP sockets. A missing,
+// crashed or unresponsive recipient never responds and the call times
+// out after cfg.RPCTimeout.
+func (n *Network) call(from lookup.Contact, to string, req message) (message, error) {
+	req.ID = n.msgID.Add(1)
+	req.From = from
+	ch := make(chan message, 1)
+	n.inflightMu.Lock()
+	n.inflight[req.ID] = ch
+	n.inflightMu.Unlock()
+
+	go func() {
+		n.mu.RLock()
+		target, ok := n.nodes[to]
+		dead := n.unresponsive[to]
+		n.mu.RUnlock()
+		if !ok || dead {
+			return // dropped: the waiter times out
+		}
+		resp := n.handle(target, req)
+		n.inflightMu.Lock()
+		waiter, waiting := n.inflight[req.ID]
+		delete(n.inflight, req.ID)
+		n.inflightMu.Unlock()
+		if waiting {
+			waiter <- resp
+		}
+	}()
+
+	timer := time.NewTimer(n.cfg.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timer.C:
+		n.inflightMu.Lock()
+		delete(n.inflight, req.ID)
+		n.inflightMu.Unlock()
+		return message{}, errTimeout
+	}
+}
+
+// handle serves one request on the recipient. Every request teaches the
+// recipient the sender's contact (nil ping: handlers never block on a
+// liveness probe of their own).
+func (n *Network) handle(nd *Node, req message) message {
+	nd.table.observe(req.From, nil)
+	resp := message{ID: req.ID, Op: req.Op, From: nd.contact(), OK: true}
+	switch req.Op {
+	case opPing:
+	case opFindNode:
+		resp.Contacts = nd.table.closest(req.Target, n.cfg.K)
+	case opFindValue:
+		if entries := nd.getLocal(req.Target); entries != nil {
+			resp.Entries = entries
+		} else {
+			resp.Contacts = nd.table.closest(req.Target, n.cfg.K)
+		}
+	case opStore:
+		nd.putLocal(req.Target, req.Entry, time.Now())
+	case opRemove:
+		resp.OK = nd.removeLocal(req.Target, req.Entry)
+	default:
+		resp.OK = false
+	}
+	return resp
+}
+
+// ping liveness-checks a contact on behalf of node from.
+func (n *Network) ping(from *Node, c lookup.Contact) bool {
+	_, err := n.call(from.contact(), c.Addr, message{Op: opPing})
+	return err == nil
+}

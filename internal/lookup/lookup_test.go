@@ -1,0 +1,202 @@
+package lookup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+)
+
+// fakeNet is a fully-connected test network: every node knows every
+// other, so one probe round reveals the global candidate set and the
+// engine's shortlist logic is isolated from table quality.
+type fakeNet struct {
+	contacts []Contact
+	dead     map[string]bool
+	value    map[string]bool // addrs holding the sought value
+	probes   atomic.Int64
+	inflight atomic.Int64
+	maxIn    atomic.Int64
+}
+
+func newFakeNet(n int) *fakeNet {
+	f := &fakeNet{dead: make(map[string]bool), value: make(map[string]bool)}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("n-%03d", i)
+		f.contacts = append(f.contacts, Contact{Addr: addr, ID: keyspace.NewKey(addr)})
+	}
+	return f
+}
+
+func (f *fakeNet) probe(c Contact, target keyspace.Key) (ProbeResult, error) {
+	f.probes.Add(1)
+	in := f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+	for {
+		max := f.maxIn.Load()
+		if in <= max || f.maxIn.CompareAndSwap(max, in) {
+			break
+		}
+	}
+	if f.dead[c.Addr] {
+		return ProbeResult{}, errors.New("timeout")
+	}
+	if f.value[c.Addr] {
+		return ProbeResult{Done: true, Value: "found@" + c.Addr}, nil
+	}
+	return ProbeResult{Contacts: f.contacts}, nil
+}
+
+// closestTo ranks the network's contacts by XOR distance to target.
+func (f *fakeNet) closestTo(target keyspace.Key) []Contact {
+	out := append([]Contact(nil), f.contacts...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].ID.XOR(target).Cmp(out[j].ID.XOR(target)) < 0
+	})
+	return out
+}
+
+func xorDist(id, target keyspace.Key) keyspace.Key { return id.XOR(target) }
+
+func TestRunConvergesToGlobalClosest(t *testing.T) {
+	net := newFakeNet(64)
+	target := keyspace.NewKey("target")
+	res := Run(Config{
+		Target:   target,
+		Seeds:    net.contacts[:3],
+		Alpha:    3,
+		K:        8,
+		Distance: xorDist,
+		Probe:    net.probe,
+	})
+	want := net.closestTo(target)[:8]
+	if len(res.Closest) != 8 {
+		t.Fatalf("got %d closest, want 8", len(res.Closest))
+	}
+	for i, c := range res.Closest {
+		if c.Addr != want[i].Addr {
+			t.Fatalf("closest[%d] = %s, want %s", i, c.Addr, want[i].Addr)
+		}
+	}
+	if res.Failed != 0 || res.Done != nil {
+		t.Fatalf("unexpected failures/done: %+v", res)
+	}
+	if res.Hops < 1 {
+		t.Fatalf("hops = %d, want >= 1", res.Hops)
+	}
+}
+
+// The engine must terminate and return the best responsive contacts even
+// when the K contacts actually closest to the target are all dead.
+func TestRunAllClosestUnresponsive(t *testing.T) {
+	net := newFakeNet(64)
+	target := keyspace.NewKey("target")
+	const k = 8
+	ranked := net.closestTo(target)
+	for _, c := range ranked[:k] {
+		net.dead[c.Addr] = true
+	}
+	res := Run(Config{
+		Target:   target,
+		Seeds:    []Contact{ranked[0], ranked[len(ranked)-1]}, // one dead, one live
+		Alpha:    3,
+		K:        k,
+		Distance: xorDist,
+		Probe:    net.probe,
+	})
+	if res.Failed < k {
+		t.Fatalf("failed = %d, want >= %d (every dead closest probed)", res.Failed, k)
+	}
+	// The survivors returned must be the closest *responsive* contacts.
+	wantLive := make([]Contact, 0, k)
+	for _, c := range ranked[k:] {
+		wantLive = append(wantLive, c)
+		if len(wantLive) == k {
+			break
+		}
+	}
+	if len(res.Closest) != k {
+		t.Fatalf("got %d closest, want %d", len(res.Closest), k)
+	}
+	for i, c := range res.Closest {
+		if c.Addr != wantLive[i].Addr {
+			t.Fatalf("closest[%d] = %s, want %s", i, c.Addr, wantLive[i].Addr)
+		}
+	}
+}
+
+func TestRunDoneShortCircuits(t *testing.T) {
+	net := newFakeNet(64)
+	target := keyspace.NewKey("target")
+	holder := net.closestTo(target)[0]
+	net.value[holder.Addr] = true
+	res := Run(Config{
+		Target:   target,
+		Seeds:    net.contacts[:3],
+		Alpha:    3,
+		K:        8,
+		Distance: xorDist,
+		Probe:    net.probe,
+	})
+	if res.Done == nil || res.Done.Addr != holder.Addr {
+		t.Fatalf("done = %+v, want %s", res.Done, holder.Addr)
+	}
+	if res.Value != "found@"+holder.Addr {
+		t.Fatalf("value = %v", res.Value)
+	}
+	// Terminal answer stops the crawl well short of probing everyone.
+	if got := net.probes.Load(); got >= 64 {
+		t.Fatalf("probed %d contacts despite terminal answer", got)
+	}
+}
+
+func TestRunRespectsAlpha(t *testing.T) {
+	net := newFakeNet(128)
+	res := Run(Config{
+		Target:   keyspace.NewKey("target"),
+		Seeds:    net.contacts[:20],
+		Alpha:    3,
+		K:        20,
+		Distance: xorDist,
+		Probe:    net.probe,
+	})
+	if max := net.maxIn.Load(); max > 3 {
+		t.Fatalf("observed %d concurrent probes, alpha is 3", max)
+	}
+	if res.Probes == 0 {
+		t.Fatal("no probes issued")
+	}
+}
+
+func TestRunEmptySeeds(t *testing.T) {
+	res := Run(Config{
+		Target:   keyspace.NewKey("target"),
+		Distance: xorDist,
+		Probe: func(Contact, keyspace.Key) (ProbeResult, error) {
+			t.Fatal("probe called with no seeds")
+			return ProbeResult{}, nil
+		},
+	})
+	if res.Probes != 0 || len(res.Closest) != 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunMaxProbesCap(t *testing.T) {
+	net := newFakeNet(64)
+	res := Run(Config{
+		Target:    keyspace.NewKey("target"),
+		Seeds:     net.contacts[:3],
+		Alpha:     3,
+		K:         64, // window as wide as the network: would probe everyone
+		MaxProbes: 10,
+		Distance:  xorDist,
+		Probe:     net.probe,
+	})
+	if res.Probes > 10 {
+		t.Fatalf("probes = %d, cap is 10", res.Probes)
+	}
+}

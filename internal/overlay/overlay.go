@@ -1,8 +1,11 @@
 // Package overlay defines the substrate contract between the indexing
 // layer and the underlying P2P DHT. The paper's techniques "can be
 // layered on top of an arbitrary P2P DHT infrastructure" (§I); this
-// interface is that boundary. Two substrates implement it: Chord
-// (internal/dht) and Pastry (internal/pastry).
+// interface is that boundary. Three substrates implement it: Chord
+// (internal/dht) and Pastry (internal/pastry) route recursively on a
+// ring; Kademlia (internal/kademlia) performs α-parallel iterative
+// lookups over an XOR metric. docs/SUBSTRATES.md documents the
+// contract field by field and what adding a fourth substrate takes.
 package overlay
 
 import (

@@ -1,0 +1,87 @@
+package pastry
+
+import (
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/lookup"
+)
+
+// AlphaResult reports one α-parallel iterative lookup.
+type AlphaResult struct {
+	// Owner is the node numerically closest to the key.
+	Owner *Node
+	// Hops is the iterative depth (rounds of improvement), Probes the
+	// node queries issued, Failed the ones against vanished nodes.
+	Hops, Probes, Failed int
+}
+
+// LookupAlpha resolves the key's owner with the shared α-parallel
+// iterative engine (internal/lookup) instead of recursive prefix
+// routing: the caller queries nodes for their leaf sets and the routing
+// row matching the key's prefix, and drives the shortlist itself with
+// alpha probes in flight. This is the Pastry opt-in to Kademlia-style
+// lookups; it returns the same owner the recursive Lookup finds.
+func (n *Network) LookupAlpha(start *Node, key keyspace.Key, alpha int) (AlphaResult, error) {
+	if alpha <= 0 {
+		alpha = 3
+	}
+	n.mu.Lock()
+	if len(n.sorted) == 0 {
+		n.mu.Unlock()
+		return AlphaResult{}, ErrEmptyNetwork
+	}
+	if start == nil {
+		start = n.sorted[0]
+	}
+	n.mu.Unlock()
+
+	probe := func(c lookup.Contact, target keyspace.Key) (lookup.ProbeResult, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		nd, ok := n.nodes[c.Addr]
+		if !ok {
+			return lookup.ProbeResult{}, ErrNodeUnknown
+		}
+		n.refresh(nd)
+		var out []lookup.Contact
+		add := func(m *Node) {
+			if m != nil {
+				out = append(out, lookup.Contact{Addr: m.Addr, ID: m.ID})
+			}
+		}
+		for _, leaf := range nd.leaves {
+			add(leaf)
+		}
+		// The routing row for the shared-prefix length supplies the long
+		// jumps, exactly as recursive prefix routing would use it.
+		if l := sharedPrefix(nd.ID, target); l < digits {
+			for _, m := range nd.routing[l] {
+				add(m)
+			}
+		}
+		return lookup.ProbeResult{Contacts: out}, nil
+	}
+
+	res := lookup.Run(lookup.Config{
+		Target:   key,
+		Seeds:    []lookup.Contact{{Addr: start.Addr, ID: start.ID}},
+		Alpha:    alpha,
+		K:        4, // window: the key's numeric neighbourhood
+		Distance: absDistance,
+		Probe:    probe,
+	})
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.record(res.Hops)
+	if len(res.Closest) == 0 {
+		if len(n.sorted) == 0 {
+			return AlphaResult{}, ErrEmptyNetwork
+		}
+		return AlphaResult{Owner: n.ownerLocked(key), Hops: res.Hops, Probes: res.Probes, Failed: res.Failed}, nil
+	}
+	owner, ok := n.nodes[res.Closest[0].Addr]
+	if !ok {
+		owner = n.ownerLocked(key)
+	}
+	return AlphaResult{Owner: owner, Hops: res.Hops, Probes: res.Probes, Failed: res.Failed}, nil
+}

@@ -1,0 +1,48 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+)
+
+// The α-parallel iterative lookup must agree with the oracle owner (and
+// therefore with recursive prefix routing) from any start node.
+func TestLookupAlphaMatchesOracle(t *testing.T) {
+	n := NewNetwork()
+	var nodes []*Node
+	for i := 0; i < 96; i++ {
+		nd, err := n.AddNode(fmt.Sprintf("pastry-%04d", i))
+		if err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for i := 0; i < 200; i++ {
+		key := keyspace.NewKey(fmt.Sprintf("alpha-key-%d", i))
+		want, err := n.OwnerOf(key)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		start := nodes[i%len(nodes)]
+		got, err := n.LookupAlpha(start, key, 3)
+		if err != nil {
+			t.Fatalf("alpha lookup: %v", err)
+		}
+		if got.Owner != want {
+			t.Fatalf("key %d: alpha owner %s, oracle %s (hops=%d probes=%d)",
+				i, got.Owner.Addr, want.Addr, got.Hops, got.Probes)
+		}
+	}
+	if m := n.Metrics(); m.Lookups < 200 {
+		t.Fatalf("alpha lookups not metered: %+v", m)
+	}
+}
+
+func TestLookupAlphaEmpty(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.LookupAlpha(nil, keyspace.NewKey("k"), 3); err == nil {
+		t.Fatal("alpha lookup on empty network succeeded")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dhtindex/internal/dataset"
 	"dhtindex/internal/dht"
 	"dhtindex/internal/index"
+	"dhtindex/internal/kademlia"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/pastry"
 	"dhtindex/internal/stats"
@@ -39,9 +40,9 @@ type Options struct {
 	// Corpus, when non-nil, is used instead of generating one (lets a
 	// sweep share the corpus across runs).
 	Corpus *dataset.Corpus
-	// Substrate selects the DHT implementation: "chord" (default) or
-	// "pastry". The indexing layer's metrics are substrate-independent
-	// (§V-E); only placement and hop counts change.
+	// Substrate selects the DHT implementation: "chord" (default),
+	// "pastry" or "kademlia". The indexing layer's metrics are
+	// substrate-independent (§V-E); only placement and hop counts change.
 	Substrate string
 	// PromoteTop short-circuits the N most popular articles with deep
 	// links after indexing (§IV-C's "very popular file can be linked to
@@ -113,6 +114,15 @@ func buildSubstrate(opts Options) (overlay.Network, error) {
 			return nil, err
 		}
 		return pastry.AsOverlay(net, opts.Seed+2), nil
+	case "kademlia":
+		// Replicas=1 keeps storage accounting comparable with the
+		// single-owner ring substrates (§V-E's substrate-independence).
+		net := kademlia.NewNetwork(kademlia.Config{Replicas: 1, Seed: opts.Seed})
+		if _, err := net.Populate(opts.Nodes); err != nil {
+			return nil, err
+		}
+		net.Instrument(opts.Telemetry)
+		return kademlia.AsOverlay(net, opts.Seed+2), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown substrate %q", opts.Substrate)
 	}

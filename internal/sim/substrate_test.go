@@ -10,39 +10,40 @@ import (
 // TestSubstrateIndependence makes §V-E's layering argument executable:
 // "our indexing techniques do not depend on a specific lookup and storage
 // layer". Interactions, traffic, hit ratio and error counts must be
-// IDENTICAL between Chord and Pastry for unbounded cache policies —
-// these metrics are functions of the key contents only, not of key
-// placement. (Per-node metrics — hot-spots, cache occupancy — legitimately
-// differ because placement differs.)
+// IDENTICAL across Chord, Pastry and Kademlia for unbounded cache
+// policies — these metrics are functions of the key contents only, not
+// of key placement. (Per-node metrics — hot-spots, cache occupancy —
+// legitimately differ because placement differs.)
 func TestSubstrateIndependence(t *testing.T) {
 	corpus := sharedCorpus(t)
 	for _, pol := range []cache.Policy{cache.None, cache.Single, cache.Multi} {
 		opts := smallOpts(index.Simple, pol, 0)
 		opts.Corpus = corpus
 		opts.Substrate = "chord"
-		chord := run(t, opts)
-		opts.Substrate = "pastry"
-		pastry := run(t, opts)
-
-		if chord.InteractionsPerQuery != pastry.InteractionsPerQuery {
-			t.Errorf("%v: interactions differ: chord %v, pastry %v",
-				pol, chord.InteractionsPerQuery, pastry.InteractionsPerQuery)
-		}
-		if chord.NormalTrafficPerQuery != pastry.NormalTrafficPerQuery {
-			t.Errorf("%v: normal traffic differs: chord %v, pastry %v",
-				pol, chord.NormalTrafficPerQuery, pastry.NormalTrafficPerQuery)
-		}
-		if chord.HitRatio != pastry.HitRatio {
-			t.Errorf("%v: hit ratio differs: chord %v, pastry %v",
-				pol, chord.HitRatio, pastry.HitRatio)
-		}
-		if chord.NonIndexedQueries != pastry.NonIndexedQueries {
-			t.Errorf("%v: errors differ: chord %d, pastry %d",
-				pol, chord.NonIndexedQueries, pastry.NonIndexedQueries)
-		}
-		if chord.Storage.IndexEntries != pastry.Storage.IndexEntries {
-			t.Errorf("%v: index entries differ: chord %d, pastry %d",
-				pol, chord.Storage.IndexEntries, pastry.Storage.IndexEntries)
+		baseline := run(t, opts)
+		for _, substrate := range []string{"pastry", "kademlia"} {
+			opts.Substrate = substrate
+			m := run(t, opts)
+			if baseline.InteractionsPerQuery != m.InteractionsPerQuery {
+				t.Errorf("%v: interactions differ: chord %v, %s %v",
+					pol, baseline.InteractionsPerQuery, substrate, m.InteractionsPerQuery)
+			}
+			if baseline.NormalTrafficPerQuery != m.NormalTrafficPerQuery {
+				t.Errorf("%v: normal traffic differs: chord %v, %s %v",
+					pol, baseline.NormalTrafficPerQuery, substrate, m.NormalTrafficPerQuery)
+			}
+			if baseline.HitRatio != m.HitRatio {
+				t.Errorf("%v: hit ratio differs: chord %v, %s %v",
+					pol, baseline.HitRatio, substrate, m.HitRatio)
+			}
+			if baseline.NonIndexedQueries != m.NonIndexedQueries {
+				t.Errorf("%v: errors differ: chord %d, %s %d",
+					pol, baseline.NonIndexedQueries, substrate, m.NonIndexedQueries)
+			}
+			if baseline.Storage.IndexEntries != m.Storage.IndexEntries {
+				t.Errorf("%v: index entries differ: chord %d, %s %d",
+					pol, baseline.Storage.IndexEntries, substrate, m.Storage.IndexEntries)
+			}
 		}
 	}
 }
@@ -107,7 +108,7 @@ func TestNodeCountIndependence(t *testing.T) {
 
 func TestUnknownSubstrate(t *testing.T) {
 	opts := smallOpts(index.Simple, cache.None, 0)
-	opts.Substrate = "kademlia"
+	opts.Substrate = "can"
 	if _, err := Run(opts); err == nil {
 		t.Fatal("unknown substrate accepted")
 	}

@@ -1,0 +1,343 @@
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/dht"
+	"dhtindex/internal/index"
+	"dhtindex/internal/kademlia"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/pastry"
+	"dhtindex/internal/stats"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/workload"
+)
+
+// SubstrateConfig parameterizes the in-process cross-substrate churn
+// soak: the paper's indexed workload over any of the three simulated
+// substrates, with membership churn between query batches. It is the
+// apples-to-apples companion of the wire soak — same corpus, same
+// query generator, same acked-write-loss bar — used to produce the
+// cross-substrate matrix in BENCH_wire.json.
+type SubstrateConfig struct {
+	// Substrate selects the overlay: "chord", "pastry" or "kademlia".
+	Substrate string
+	// Nodes is the starting overlay size (default 48).
+	Nodes int
+	// Articles is the corpus size published before the churn starts
+	// (default 24).
+	Articles int
+	// Ops is the number of soak operations (default 120). Each op issues
+	// QueriesPerOp indexed lookups; every ChurnEvery ops a membership
+	// event fires first.
+	Ops int
+	// QueriesPerOp is the number of indexed lookups per op (default 2).
+	QueriesPerOp int
+	// ChurnEvery fires a membership event every N ops (default 10):
+	// joins and graceful leaves on every substrate, plus hard crashes on
+	// Kademlia, whose replication is expected to absorb them.
+	ChurnEvery int
+	// Scheme selects the indexing scheme (default index.Simple).
+	Scheme index.Scheme
+	// Policy selects the shortcut-cache policy (default cache.Single).
+	Policy cache.Policy
+	// LRUCapacity bounds the per-node cache for cache.LRU (default 30).
+	LRUCapacity int
+	// Seed drives the corpus, workload and churn victim selection.
+	Seed int64
+	// Telemetry, when non-nil, receives the substrate and index metric
+	// families.
+	Telemetry *telemetry.Registry
+}
+
+func (c SubstrateConfig) withDefaults() SubstrateConfig {
+	if c.Substrate == "" {
+		c.Substrate = "chord"
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 48
+	}
+	if c.Articles == 0 {
+		c.Articles = 24
+	}
+	if c.Ops == 0 {
+		c.Ops = 120
+	}
+	if c.QueriesPerOp == 0 {
+		c.QueriesPerOp = 2
+	}
+	if c.ChurnEvery == 0 {
+		c.ChurnEvery = 10
+	}
+	if c.Scheme == nil {
+		c.Scheme = index.Simple
+	}
+	if c.Policy == 0 {
+		c.Policy = cache.Single
+	}
+	if c.LRUCapacity == 0 {
+		c.LRUCapacity = 30
+	}
+	return c
+}
+
+// SubstrateReport is the outcome of one cross-substrate churn soak —
+// one row of the substrate matrix.
+type SubstrateReport struct {
+	// Substrate names the overlay the soak ran on.
+	Substrate string `json:"substrate"`
+	// Nodes is the final overlay size, Ops the soak length.
+	Nodes int `json:"nodes"`
+	Ops   int `json:"ops"`
+	// Joins, Leaves and Crashes count the churn events applied.
+	Joins   int `json:"joins"`
+	Leaves  int `json:"leaves"`
+	Crashes int `json:"crashes"`
+	// Queries/Found/CacheHits/QueryFailures account the storm-time
+	// indexed lookups (failures are tolerated mid-churn and counted).
+	Queries       int `json:"queries"`
+	Found         int `json:"found"`
+	CacheHits     int `json:"cache_hits"`
+	QueryFailures int `json:"query_failures"`
+	// AckedArticles is the number of articles acked at publish time;
+	// LostArticles the ones unreachable after the final maintenance pass.
+	// The soak's bar is LostArticles == 0.
+	AckedArticles int `json:"acked_articles"`
+	LostArticles  int `json:"lost_articles"`
+	// MeanLookupHops is the substrate's routed-hop average across the
+	// run (iterative depth for Kademlia — the comparable quantity).
+	MeanLookupHops float64 `json:"mean_lookup_hops"`
+	// P50/P99QueryMicros summarize end-to-end indexed query latency.
+	P50QueryMicros float64 `json:"p50_query_micros"`
+	P99QueryMicros float64 `json:"p99_query_micros"`
+	// MaintenanceItems counts entries moved by churn repair (rehomed
+	// keys on the rings, republished entries on Kademlia);
+	// MaintenanceBytes their payload volume.
+	MaintenanceItems int   `json:"maintenance_items"`
+	MaintenanceBytes int64 `json:"maintenance_bytes"`
+}
+
+// substrateHarness is the per-substrate churn surface: the overlay
+// contract plus the membership and maintenance hooks the soak drives.
+type substrateHarness struct {
+	ov    overlay.Network
+	join  func(addr string) error
+	leave func(addr string) error
+	// crash is nil for substrates whose in-sim durability story is
+	// graceful hand-off only; Kademlia absorbs crashes via replication.
+	crash func(addr string) error
+	// maintain runs the substrate's churn repair (Kademlia: bucket
+	// refresh + republish; the rings repair eagerly on membership change).
+	maintain func()
+	// maintenance reports (items, bytes) of repair traffic so far.
+	maintenance func() (int, int64)
+	// meanHops reports the routed-hop average so far.
+	meanHops func() float64
+}
+
+// buildHarness constructs the selected substrate with cfg.Nodes live
+// nodes and its churn hooks.
+func buildHarness(cfg SubstrateConfig) (*substrateHarness, error) {
+	switch cfg.Substrate {
+	case "chord":
+		net := dht.NewNetwork(cfg.Seed)
+		if _, err := net.Populate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		net.Instrument(cfg.Telemetry)
+		return &substrateHarness{
+			ov:       dht.AsOverlay(net, cfg.Seed+2),
+			join:     func(addr string) error { _, err := net.AddNode(addr); return err },
+			leave:    net.RemoveNode,
+			maintain: net.Stabilize,
+			maintenance: func() (int, int64) {
+				return net.Metrics().KeysRehomed, 0
+			},
+			meanHops: func() float64 {
+				m := net.Metrics()
+				if m.Lookups == 0 {
+					return 0
+				}
+				return float64(m.Hops) / float64(m.Lookups)
+			},
+		}, nil
+	case "pastry":
+		net := pastry.NewNetwork()
+		if _, err := net.Populate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		return &substrateHarness{
+			ov:       pastry.AsOverlay(net, cfg.Seed+2),
+			join:     func(addr string) error { _, err := net.AddNode(addr); return err },
+			leave:    net.RemoveNode,
+			maintain: func() {},
+			maintenance: func() (int, int64) {
+				m := net.Metrics()
+				return m.KeysRehomed, m.BytesRehomed
+			},
+			meanHops: func() float64 {
+				m := net.Metrics()
+				if m.Lookups == 0 {
+					return 0
+				}
+				return float64(m.Hops) / float64(m.Lookups)
+			},
+		}, nil
+	case "kademlia":
+		// Replicas=4 with a maintenance pass after every churn event: a
+		// crash between passes kills at most one of four copies, so acked
+		// writes survive without any graceful hand-off.
+		net := kademlia.NewNetwork(kademlia.Config{
+			Replicas:   4,
+			RPCTimeout: 15 * time.Millisecond,
+			Seed:       cfg.Seed,
+		})
+		if _, err := net.Populate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		net.Instrument(cfg.Telemetry)
+		return &substrateHarness{
+			ov:    kademlia.AsOverlay(net, cfg.Seed+2),
+			join:  func(addr string) error { _, err := net.AddNode(addr); return err },
+			leave: net.RemoveNode,
+			crash: net.FailNode,
+			maintain: func() {
+				net.RefreshBuckets()
+				net.RepublishOnce()
+			},
+			maintenance: func() (int, int64) {
+				m := net.Metrics()
+				return m.Republished, m.RepublishBytes
+			},
+			meanHops: func() float64 {
+				m := net.Metrics()
+				if m.Lookups == 0 {
+					return 0
+				}
+				return float64(m.Rounds) / float64(m.Lookups)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("soak: unknown substrate %q", cfg.Substrate)
+	}
+}
+
+// RunSubstrate executes the cross-substrate indexed churn soak. The
+// error is non-nil only for harness failures (corpus generation,
+// publishing, membership plumbing); storm-time query failures and
+// post-storm article loss are reported, not fatal.
+func RunSubstrate(cfg SubstrateConfig) (SubstrateReport, error) {
+	cfg = cfg.withDefaults()
+	report := SubstrateReport{Substrate: cfg.Substrate, Ops: cfg.Ops}
+
+	corpus, err := dataset.Generate(dataset.Config{Articles: cfg.Articles, Seed: cfg.Seed})
+	if err != nil {
+		return report, fmt.Errorf("soak: corpus: %w", err)
+	}
+	gen, err := workload.NewGeneratorWith(corpus.Articles, workload.PaperStructureModel(), cfg.Seed+41, 0.063, 0.3)
+	if err != nil {
+		return report, fmt.Errorf("soak: generator: %w", err)
+	}
+	h, err := buildHarness(cfg)
+	if err != nil {
+		return report, err
+	}
+
+	svc := index.New(h.ov, cfg.Policy, cfg.LRUCapacity)
+	if cfg.Telemetry != nil {
+		svc.Instrument(cfg.Telemetry, telemetry.L("scheme",
+			fmt.Sprintf("soak/%s/%s/%s", cfg.Substrate, cfg.Scheme.Name(), cfg.Policy)))
+	}
+	for i, a := range corpus.Articles {
+		if err := svc.PublishArticle(fmt.Sprintf("soak-%04d.pdf", i), a, cfg.Scheme); err != nil {
+			return report, fmt.Errorf("soak: publish article %d: %w", i, err)
+		}
+	}
+	report.AckedArticles = len(corpus.Articles)
+	searcher := index.NewSearcher(svc)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var latencies []float64
+	joined := 0
+	churn := func(op int) error {
+		// Rotate join / graceful leave / crash (crash only where the
+		// substrate claims to absorb it).
+		kind := (op / cfg.ChurnEvery) % 3
+		if kind == 2 && h.crash == nil {
+			kind = 1
+		}
+		switch kind {
+		case 0:
+			joined++
+			addr := fmt.Sprintf("%s-join-%03d", cfg.Substrate, joined)
+			if err := h.join(addr); err != nil {
+				return fmt.Errorf("soak: join %s: %w", addr, err)
+			}
+			report.Joins++
+		case 1, 2:
+			addrs := h.ov.Addrs()
+			if len(addrs) <= cfg.Nodes/2 {
+				return nil // keep the overlay from draining
+			}
+			victim := addrs[rng.Intn(len(addrs))]
+			if kind == 1 {
+				if err := h.leave(victim); err != nil {
+					return fmt.Errorf("soak: leave %s: %w", victim, err)
+				}
+				report.Leaves++
+			} else {
+				if err := h.crash(victim); err != nil {
+					return fmt.Errorf("soak: crash %s: %w", victim, err)
+				}
+				report.Crashes++
+			}
+		}
+		h.maintain()
+		return nil
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		if op > 0 && op%cfg.ChurnEvery == 0 {
+			if err := churn(op); err != nil {
+				return report, err
+			}
+		}
+		for i := 0; i < cfg.QueriesPerOp; i++ {
+			wq := gen.Next()
+			report.Queries++
+			startT := time.Now()
+			trace, err := searcher.Find(wq.Query, dataset.MSD(wq.Target))
+			latencies = append(latencies, float64(time.Since(startT).Microseconds()))
+			if err != nil || !trace.Found {
+				report.QueryFailures++
+				continue
+			}
+			report.Found++
+			if trace.CacheHit {
+				report.CacheHits++
+			}
+		}
+	}
+
+	// Final repair pass, then the acked-write-loss sweep: every article
+	// acked at publish time must still resolve.
+	h.maintain()
+	for _, a := range corpus.Articles {
+		trace, err := searcher.Find(dataset.AuthorQuery(a.AuthorFirst, a.AuthorLast), dataset.MSD(a))
+		if err != nil || !trace.Found {
+			report.LostArticles++
+		}
+	}
+
+	report.Nodes = h.ov.Size()
+	report.MeanLookupHops = h.meanHops()
+	report.MaintenanceItems, report.MaintenanceBytes = h.maintenance()
+	sum := stats.Summarize(latencies)
+	report.P50QueryMicros = sum.P50
+	report.P99QueryMicros = sum.P99
+	return report, nil
+}
