@@ -19,7 +19,11 @@
 // every member on a disk-backed durable store and crash-restarts whole
 // replica sets from their data directories mid-storm (-data-dir keeps
 // the directories around for offline inspection with `indexctl
-// snapshot`). Every layer reports into one telemetry registry;
+// snapshot`); -split-brain group-partitions the ring into two halves
+// that keep serving writes and removes, heals it link by link, and
+// fails on lost writes, resurrected removes, or a ring that never
+// re-merged (-split-out writes the episode/merge/tombstone JSON
+// report). Every layer reports into one telemetry registry;
 // -metrics-addr serves the Prometheus-style snapshot over HTTP,
 // -metrics-out writes it to a file, and -trace records every
 // LookupTrace as JSONL (soak default: soak-traces.jsonl). See
@@ -42,6 +46,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -75,6 +80,8 @@ func main() {
 		soakMode    = flag.Bool("soak", false, "run the live-wire indexed churn soak instead of the simulation sweeps")
 		soakRepair  = flag.Bool("repair", false, "soak: self-healing mode — joins/leaves during the storm, circuit breaker armed, post-storm replica coverage verified to 100%, degraded-lookup probe")
 		soakRestart = flag.Bool("restart", false, "soak: crash-restart mode — members run on disk-backed durable stores and whole replica sets are crash-restarted from their data directories mid-storm")
+		soakSplit   = flag.Bool("split-brain", false, "soak: split-brain mode — the ring is group-partitioned into two halves that keep serving writes and removes, then healed link by link; fails on lost writes, resurrected removes, or a ring that never re-merged")
+		splitOut    = flag.String("split-out", "", "soak: write the split-brain episode/merge/tombstone JSON report to this file")
 		soakDataDir = flag.String("data-dir", "", "soak: root directory for the restart mode's per-member stores (default: a temp dir, removed after the run)")
 		soakNodes   = flag.Int("soak-nodes", 16, "soak: ring size")
 		soakOps     = flag.Int("soak-ops", 150, "soak: write-once operations")
@@ -119,6 +126,7 @@ func main() {
 			drop: *soakDrop, latency: *soakLatency, seed: *seed,
 			trace: *tracePath, repair: *soakRepair,
 			restart: *soakRestart, dataDir: *soakDataDir,
+			splitBrain: *soakSplit, splitOut: *splitOut,
 		}, reg, *metricsAddr, *metricsOut)
 	} else {
 		err = run(*maxNodes, *lookups, *churn, *seed, *substrate, reg, *metricsAddr, *metricsOut)
@@ -139,6 +147,8 @@ type soakOpts struct {
 	repair              bool
 	restart             bool
 	dataDir             string
+	splitBrain          bool
+	splitOut            string
 }
 
 // runSoak exercises the LIVE wire layer (message-passing nodes, fault
@@ -169,6 +179,7 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		},
 		Repair:       o.repair,
 		Restart:      o.restart,
+		SplitBrain:   o.splitBrain,
 		DataDir:      o.dataDir,
 		QueriesPerOp: o.queries,
 		Telemetry:    reg,
@@ -214,6 +225,23 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		fmt.Printf("  recovery:    %d snapshot keys, %d WAL records replayed, %d skipped, %d torn tails truncated\n",
 			rec.SnapshotKeys, rec.ReplayedRecords, rec.SkippedRecords, rec.TornRecords)
 	}
+	if o.splitBrain {
+		m, tb := report.Merges, report.Tombstones
+		for _, ep := range report.Episodes {
+			fmt.Printf("  episode:     ops %d..%d, sides %d|%d\n", ep.StartOp, ep.HealOp, ep.SideA, ep.SideB)
+		}
+		fmt.Printf("  removes:     %d acked, %d failed, %d resurrections\n",
+			report.Removes, report.RemoveFailures, len(report.Resurrections))
+		fmt.Printf("  merge:       %d probes, %d divergences detected, %d aborts, %d coordinations, %d rejoins, %d adopts\n",
+			m.Probes, m.Detected, m.Aborts, m.Coordinations, m.Rejoins, m.Adopts)
+		fmt.Printf("  tombstones:  %d created, %d merged from peers, %d puts suppressed, %d collected\n",
+			tb.Created, tb.Merged, tb.Suppressed, tb.GCd)
+		if o.splitOut != "" {
+			if err := writeSplitReport(o.splitOut, report); err != nil {
+				return err
+			}
+		}
+	}
 	if err := emitMetrics(reg, metricsOut); err != nil {
 		return err
 	}
@@ -235,6 +263,22 @@ func runSoak(o soakOpts, reg *telemetry.Registry, metricsAddr, metricsOut string
 		}
 		if len(report.ReplicaViolations) > 0 {
 			return fmt.Errorf("restart soak failed: %d keys off full replica coverage after recovery: %v",
+				len(report.ReplicaViolations), report.ReplicaViolations)
+		}
+	}
+	if o.splitBrain {
+		if len(report.Episodes) == 0 {
+			return fmt.Errorf("split-brain soak failed: no partition episode executed")
+		}
+		if report.Merges.Detected == 0 {
+			return fmt.Errorf("split-brain soak failed: no ring divergence was ever detected — the merge path went unexercised")
+		}
+		if len(report.Resurrections) > 0 {
+			return fmt.Errorf("split-brain soak failed: %d removed entries resurrected: %v",
+				len(report.Resurrections), report.Resurrections)
+		}
+		if len(report.ReplicaViolations) > 0 {
+			return fmt.Errorf("split-brain soak failed: %d keys off full replica coverage after the merge: %v",
 				len(report.ReplicaViolations), report.ReplicaViolations)
 		}
 	}
@@ -275,6 +319,46 @@ func runSubstrateSoak(substrate string, o soakOpts, reg *telemetry.Registry, met
 			rep.LostArticles, rep.AckedArticles)
 	}
 	return serveMetrics(reg, metricsAddr)
+}
+
+// writeSplitReport writes the split-brain run's verdict — episode
+// windows, merge/tombstone work, and the loss/resurrection gates — as a
+// JSON artifact for CI upload and offline triage.
+func writeSplitReport(path string, report soak.Report) error {
+	out := struct {
+		Converged         bool
+		Acked             int
+		LostKeys          []string
+		Removes           int
+		RemoveFailures    int
+		Resurrections     []string
+		ReplicaViolations []string
+		Episodes          []wire.PartitionEpisode
+		Merges            wire.MergeStats
+		Tombstones        wire.TombstoneStats
+		Faults            wire.FaultStats
+	}{
+		Converged:         report.Converged,
+		Acked:             report.Acked,
+		LostKeys:          report.LostKeys,
+		Removes:           report.Removes,
+		RemoveFailures:    report.RemoveFailures,
+		Resurrections:     report.Resurrections,
+		ReplicaViolations: report.ReplicaViolations,
+		Episodes:          report.Episodes,
+		Merges:            report.Merges,
+		Tombstones:        report.Tombstones,
+		Faults:            report.Faults,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dhtbench: split-brain report written to %s\n", path)
+	return nil
 }
 
 // emitMetrics writes the registry's text snapshot to a file when asked.

@@ -51,6 +51,14 @@ type Config struct {
 	// zero acked-write loss and exact replica coverage — the writes that
 	// lived only on the downed replica set must come back from the WAL.
 	Restart bool
+	// SplitBrain turns the run into the split-brain soak: mid-storm the
+	// ring is group-partitioned into two halves that keep serving writes
+	// AND removes independently, then healed link by link. Post-storm
+	// the run verifies single-ring re-convergence (which requires the
+	// merge coordinator — stabilization alone cannot bridge two complete
+	// rings), zero acked-write loss, exact replica coverage, and zero
+	// resurrections of removed entries (wire.SoakReport.Resurrections).
+	SplitBrain bool
 	// DataDir is the root directory for the Restart mode's per-member
 	// stores. Empty means a fresh temporary directory, removed when the
 	// run finishes; a caller-provided directory is kept.
@@ -202,6 +210,23 @@ func Run(cfg Config) (Report, error) {
 				ops = 150 // mirror wire.SoakConfig's default
 			}
 			wcfg.RestartEvery = ops / 3
+		}
+		wcfg.VerifyReplicas = true
+	}
+	if cfg.SplitBrain {
+		nodes := wcfg.Nodes
+		if nodes == 0 {
+			nodes = 16 // mirror wire.SoakConfig's default
+		}
+		ops := wcfg.Ops
+		if ops == 0 {
+			ops = 150 // mirror wire.SoakConfig's default
+		}
+		if wcfg.PartitionWidth == 0 {
+			wcfg.PartitionWidth = nodes / 2
+		}
+		if wcfg.RemoveEvery == 0 {
+			wcfg.RemoveEvery = ops / 15
 		}
 		wcfg.VerifyReplicas = true
 	}

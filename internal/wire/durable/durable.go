@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
@@ -72,6 +74,7 @@ type Store struct {
 	dir        string
 	opts       Options
 	mem        map[keyspace.Key][]overlay.Entry
+	tombs      map[keyspace.Key]map[overlay.Entry]int64
 	wal        *os.File
 	seq        uint64
 	walRecords int
@@ -138,10 +141,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		mem:  make(map[keyspace.Key][]overlay.Entry),
-		c:    newCounters(),
+		dir:   dir,
+		opts:  opts,
+		mem:   make(map[keyspace.Key][]overlay.Entry),
+		tombs: make(map[keyspace.Key]map[overlay.Entry]int64),
+		c:     newCounters(),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -258,7 +262,9 @@ func (s *Store) openWAL() error {
 	return nil
 }
 
-// apply folds one replayed record into the in-memory map.
+// apply folds one replayed record into the in-memory maps. Replay is
+// order-faithful, so a put logged before an entomb of the same entry
+// re-converges to the entombed state.
 func (s *Store) apply(rec record) {
 	switch rec.op {
 	case recPut:
@@ -274,12 +280,84 @@ func (s *Store) apply(rec record) {
 	case recReplace:
 		if len(rec.entries) == 0 {
 			delete(s.mem, rec.key)
-			return
+		} else {
+			entries := make([]overlay.Entry, len(rec.entries))
+			copy(entries, rec.entries)
+			s.mem[rec.key] = entries
 		}
-		entries := make([]overlay.Entry, len(rec.entries))
-		copy(entries, rec.entries)
-		s.mem[rec.key] = entries
+		delete(s.tombs, rec.key)
+	case recReplaceFull:
+		if len(rec.entries) == 0 {
+			delete(s.mem, rec.key)
+		} else {
+			entries := make([]overlay.Entry, len(rec.entries))
+			copy(entries, rec.entries)
+			s.mem[rec.key] = entries
+		}
+		delete(s.tombs, rec.key)
+		for _, t := range rec.tombs {
+			s.entombMem(rec.key, t)
+		}
+	case recTomb:
+		for _, t := range rec.tombs {
+			s.removeLive(rec.key, t.Entry)
+			s.entombMem(rec.key, t)
+		}
+	case recTombGC:
+		s.gcMem(rec.gcBefore)
 	}
+}
+
+// removeLive deletes the live entry e under key, reporting whether it
+// was present. Callers hold s.mu (or own the store exclusively during
+// replay).
+func (s *Store) removeLive(key keyspace.Key, e overlay.Entry) bool {
+	entries := s.mem[key]
+	for i, have := range entries {
+		if have == e {
+			entries = append(entries[:i], entries[i+1:]...)
+			if len(entries) == 0 {
+				delete(s.mem, key)
+			} else {
+				s.mem[key] = entries
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// entombMem records t under key in the in-memory tombstone map keeping
+// the latest At, reporting whether it was new or refreshed.
+func (s *Store) entombMem(key keyspace.Key, t wire.Tombstone) bool {
+	m := s.tombs[key]
+	if m == nil {
+		m = make(map[overlay.Entry]int64)
+		s.tombs[key] = m
+	}
+	if at, ok := m[t.Entry]; ok && at >= t.At {
+		return false
+	}
+	m[t.Entry] = t.At
+	return true
+}
+
+// gcMem drops tombstones older than before from the in-memory map,
+// returning how many were collected.
+func (s *Store) gcMem(before int64) int {
+	collected := 0
+	for k, m := range s.tombs {
+		for e, at := range m {
+			if at < before {
+				delete(m, e)
+				collected++
+			}
+		}
+		if len(m) == 0 {
+			delete(s.tombs, k)
+		}
+	}
+	return collected
 }
 
 // appendLocked frames rec into the WAL (write-ahead: the caller updates
@@ -361,7 +439,15 @@ func (s *Store) snapshotLocked() error {
 	}
 	buf := encodeHeader(snapMagic, s.seq)
 	for k, entries := range s.mem {
-		buf = append(buf, encodeRecord(record{op: recReplace, key: k, entries: entries})...)
+		buf = append(buf, encodeRecord(record{
+			op: recReplaceFull, key: k, entries: entries, tombs: tombstoneSlice(s.tombs[k]),
+		})...)
+	}
+	for k, m := range s.tombs {
+		if len(s.mem[k]) > 0 || len(m) == 0 {
+			continue // covered above, or empty
+		}
+		buf = append(buf, encodeRecord(record{op: recReplaceFull, key: k, tombs: tombstoneSlice(m)})...)
 	}
 	if _, err := f.Write(buf); err != nil {
 		_ = f.Close()
@@ -423,10 +509,15 @@ func (s *Store) Get(key keyspace.Key) []overlay.Entry {
 	return out
 }
 
-// Put implements wire.Store: WAL append first, map second.
+// Put implements wire.Store: WAL append first, map second. A put
+// suppressed by a live tombstone is refused without touching the log
+// (the suppression is already durable through the tombstone record).
 func (s *Store) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, dead := s.tombs[key][e]; dead {
+		return false, nil
+	}
 	for _, have := range s.mem[key] {
 		if have == e {
 			return false, nil
@@ -440,45 +531,31 @@ func (s *Store) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
 	return true, nil
 }
 
-// Remove implements wire.Store. The WAL records the post-removal entry
-// set (replace semantics), keeping replay idempotent without
-// tombstones.
+// Remove implements wire.Store: the WAL records a tombstone whose
+// replay both deletes the live entry and re-records the suppression,
+// so a restarted node cannot resurrect the entry from a stale copy.
 func (s *Store) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries := s.mem[key]
-	at := -1
-	for i, have := range entries {
-		if have == e {
-			at = i
-			break
-		}
-	}
-	if at < 0 {
-		return false, nil
-	}
-	post := make([]overlay.Entry, 0, len(entries)-1)
-	post = append(post, entries[:at]...)
-	post = append(post, entries[at+1:]...)
-	if err := s.appendLocked(record{op: recReplace, key: key, entries: post}); err != nil {
+	t := wire.Tombstone{Entry: e, At: time.Now().UnixNano()}
+	if err := s.appendLocked(record{op: recTomb, key: key, tombs: []wire.Tombstone{t}}); err != nil {
 		return false, err
 	}
-	if len(post) == 0 {
-		delete(s.mem, key)
-	} else {
-		s.mem[key] = post
-	}
+	removed := s.removeLive(key, e)
+	s.entombMem(key, t)
 	s.maybeCompactLocked()
-	return true, nil
+	return removed, nil
 }
 
 // Replace implements wire.Store.
-func (s *Store) Replace(key keyspace.Key, entries []overlay.Entry) error {
+func (s *Store) Replace(key keyspace.Key, entries []overlay.Entry, tombs []wire.Tombstone) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]overlay.Entry, len(entries))
 	copy(out, entries)
-	if err := s.appendLocked(record{op: recReplace, key: key, entries: out}); err != nil {
+	tout := make([]wire.Tombstone, len(tombs))
+	copy(tout, tombs)
+	if err := s.appendLocked(record{op: recReplaceFull, key: key, entries: out, tombs: tout}); err != nil {
 		return err
 	}
 	if len(out) == 0 {
@@ -486,8 +563,113 @@ func (s *Store) Replace(key keyspace.Key, entries []overlay.Entry) error {
 	} else {
 		s.mem[key] = out
 	}
+	delete(s.tombs, key)
+	for _, t := range tout {
+		s.entombMem(key, t)
+	}
 	s.maybeCompactLocked()
 	return nil
+}
+
+// Tombstoned implements wire.Store.
+func (s *Store) Tombstoned(key keyspace.Key, e overlay.Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, dead := s.tombs[key][e]
+	return dead
+}
+
+// Tombstones implements wire.Store.
+func (s *Store) Tombstones(key keyspace.Key) []wire.Tombstone {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tombstoneSlice(s.tombs[key])
+}
+
+// Entomb implements wire.Store: one WAL record covers the batch, then
+// each tombstone deletes its live entry and is merged keeping the
+// latest At.
+func (s *Store) Entomb(key keyspace.Key, tombs []wire.Tombstone) (int, error) {
+	if len(tombs) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tout := make([]wire.Tombstone, len(tombs))
+	copy(tout, tombs)
+	if err := s.appendLocked(record{op: recTomb, key: key, tombs: tout}); err != nil {
+		return 0, err
+	}
+	fresh := 0
+	for _, t := range tout {
+		s.removeLive(key, t.Entry)
+		if s.entombMem(key, t) {
+			fresh++
+		}
+	}
+	s.maybeCompactLocked()
+	return fresh, nil
+}
+
+// ForEachTombstone implements wire.Store.
+func (s *Store) ForEachTombstone(fn func(key keyspace.Key, tombs []wire.Tombstone) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, m := range s.tombs {
+		if len(m) == 0 {
+			continue
+		}
+		if !fn(k, tombstoneSlice(m)) {
+			return
+		}
+	}
+}
+
+// GCTombstones implements wire.Store: the cutoff is logged before the
+// in-memory collection so the GC survives restart (otherwise replay
+// would resurrect every collected tombstone from its recTomb record).
+func (s *Store) GCTombstones(before int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	any := false
+	for _, m := range s.tombs {
+		for _, at := range m {
+			if at < before {
+				any = true
+				break
+			}
+		}
+		if any {
+			break
+		}
+	}
+	if !any {
+		return 0, nil
+	}
+	if err := s.appendLocked(record{op: recTombGC, gcBefore: before}); err != nil {
+		return 0, err
+	}
+	collected := s.gcMem(before)
+	s.maybeCompactLocked()
+	return collected, nil
+}
+
+// tombstoneSlice copies a tombstone map into a sorted slice.
+func tombstoneSlice(m map[overlay.Entry]int64) []wire.Tombstone {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]wire.Tombstone, 0, len(m))
+	for e, at := range m {
+		out = append(out, wire.Tombstone{Entry: e, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entry.Kind != out[j].Entry.Kind {
+			return out[i].Entry.Kind < out[j].Entry.Kind
+		}
+		return out[i].Entry.Value < out[j].Entry.Value
+	})
+	return out
 }
 
 // ForEach implements wire.Store.

@@ -45,10 +45,10 @@ func TestCrashRestartRoundtrip(t *testing.T) {
 	if removed, err := s.Remove(k("a"), e("index", "two")); err != nil || !removed {
 		t.Fatalf("remove: removed=%v err=%v", removed, err)
 	}
-	if err := s.Replace(k("c"), []overlay.Entry{e("data", "x"), e("data", "y")}); err != nil {
+	if err := s.Replace(k("c"), []overlay.Entry{e("data", "x"), e("data", "y")}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Replace(k("b"), nil); err != nil { // delete
+	if err := s.Replace(k("b"), nil, nil); err != nil { // delete
 		t.Fatal(err)
 	}
 	// Simulate a crash: do NOT Close — reopen from disk as-is.
@@ -216,7 +216,7 @@ func TestAutoCompaction(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{SnapshotEvery: 4})
 	for i := 0; i < 10; i++ {
-		if err := s.Replace(k("x"), []overlay.Entry{e("index", string(rune('0'+i)))}); err != nil {
+		if err := s.Replace(k("x"), []overlay.Entry{e("index", string(rune('0'+i)))}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

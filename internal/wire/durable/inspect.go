@@ -39,6 +39,8 @@ type Summary struct {
 	Keys []KeySummary
 	// TotalEntries sums entry counts across all recovered keys.
 	TotalEntries int
+	// TotalTombstones sums recovered deletion records across all keys.
+	TotalTombstones int
 }
 
 // KeySummary describes one recovered key.
@@ -49,6 +51,8 @@ type KeySummary struct {
 	Entries int
 	// Kinds counts entries by kind.
 	Kinds map[string]int
+	// Tombstones is the number of deletion records held under the key.
+	Tombstones int
 }
 
 // Inspect performs a read-only recovery replay of the data directory
@@ -58,7 +62,7 @@ type KeySummary struct {
 func Inspect(dir string) (Summary, error) {
 	sum := Summary{Dir: dir}
 	mem := make(map[keyspace.Key][]overlay.Entry)
-	s := &Store{mem: mem}
+	s := &Store{mem: mem, tombs: make(map[keyspace.Key]map[overlay.Entry]int64)}
 
 	snap, err := os.ReadFile(filepath.Join(dir, snapFile))
 	if err == nil {
@@ -115,12 +119,20 @@ func Inspect(dir string) (Summary, error) {
 	}
 
 	for k, entries := range mem {
-		ks := KeySummary{Key: k, Entries: len(entries), Kinds: make(map[string]int)}
+		ks := KeySummary{Key: k, Entries: len(entries), Kinds: make(map[string]int), Tombstones: len(s.tombs[k])}
 		for _, e := range entries {
 			ks.Kinds[e.Kind]++
 		}
 		sum.Keys = append(sum.Keys, ks)
 		sum.TotalEntries += len(entries)
+		sum.TotalTombstones += ks.Tombstones
+	}
+	for k, m := range s.tombs {
+		if len(mem[k]) > 0 {
+			continue
+		}
+		sum.Keys = append(sum.Keys, KeySummary{Key: k, Kinds: make(map[string]int), Tombstones: len(m)})
+		sum.TotalTombstones += len(m)
 	}
 	sort.Slice(sum.Keys, func(i, j int) bool {
 		return sum.Keys[i].Key.Cmp(sum.Keys[j].Key) < 0

@@ -7,6 +7,7 @@ import (
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
 )
 
 // On-disk format, shared by the WAL and the snapshot.
@@ -43,10 +44,20 @@ const (
 
 	// recPut appends one entry to a key's set.
 	recPut = 1
-	// recReplace sets a key's whole entry set (empty = delete). Removes
-	// are logged as recReplace of the post-removal set, which keeps
-	// replay idempotent without tombstones.
+	// recReplace sets a key's whole entry set (empty = delete) and
+	// clears its tombstones. Legacy: written before deletion records
+	// existed; still replayed so old data directories open cleanly.
 	recReplace = 2
+	// recTomb merges tombstones into a key: each removes its matching
+	// live entry and is recorded keeping the latest At. Removes and
+	// Entomb log this.
+	recTomb = 3
+	// recReplaceFull sets a key's whole entry set AND tombstone set at
+	// once (repair-sync ship semantics; also the snapshot record).
+	recReplaceFull = 4
+	// recTombGC drops every tombstone older than the payload's cutoff
+	// (the key field is unused), so a collection survives restart.
+	recTombGC = 5
 
 	// maxRecordSize bounds a frame payload; anything larger is treated
 	// as a torn length prefix rather than an allocation request.
@@ -61,6 +72,9 @@ type record struct {
 	op      byte
 	key     keyspace.Key
 	entries []overlay.Entry
+	tombs   []wire.Tombstone
+	// gcBefore is the recTombGC cutoff (Unix nanoseconds).
+	gcBefore int64
 }
 
 // encodeHeader renders a 16-byte magic+sequence file header.
@@ -88,17 +102,47 @@ func encodeRecord(rec record) []byte {
 	payload := make([]byte, 0, 1+keyspace.Size+8)
 	payload = append(payload, rec.op)
 	payload = append(payload, rec.key[:]...)
-	payload = binary.AppendUvarint(payload, uint64(len(rec.entries)))
-	for _, e := range rec.entries {
-		payload = binary.AppendUvarint(payload, uint64(len(e.Kind)))
-		payload = append(payload, e.Kind...)
-		payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
-		payload = append(payload, e.Value...)
+	switch rec.op {
+	case recTombGC:
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(rec.gcBefore))
+	case recTomb:
+		payload = appendTombs(payload, rec.tombs)
+	case recReplaceFull:
+		payload = appendEntries(payload, rec.entries)
+		payload = appendTombs(payload, rec.tombs)
+	default:
+		payload = appendEntries(payload, rec.entries)
 	}
 	frame := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
 	return append(frame, payload...)
+}
+
+// appendEntries encodes a uvarint count followed by the entries.
+func appendEntries(payload []byte, entries []overlay.Entry) []byte {
+	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	for _, e := range entries {
+		payload = binary.AppendUvarint(payload, uint64(len(e.Kind)))
+		payload = append(payload, e.Kind...)
+		payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
+		payload = append(payload, e.Value...)
+	}
+	return payload
+}
+
+// appendTombs encodes a uvarint count followed by the tombstones (entry
+// strings plus an 8-byte little-endian At).
+func appendTombs(payload []byte, tombs []wire.Tombstone) []byte {
+	payload = binary.AppendUvarint(payload, uint64(len(tombs)))
+	for _, t := range tombs {
+		payload = binary.AppendUvarint(payload, uint64(len(t.Entry.Kind)))
+		payload = append(payload, t.Entry.Kind...)
+		payload = binary.AppendUvarint(payload, uint64(len(t.Entry.Value)))
+		payload = append(payload, t.Entry.Value...)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(t.At))
+	}
+	return payload
 }
 
 // parseFrame decodes the frame starting at b[0], returning the record
@@ -131,33 +175,85 @@ func decodePayload(payload []byte) (record, error) {
 	}
 	var rec record
 	rec.op = payload[0]
-	if rec.op != recPut && rec.op != recReplace {
-		return record{}, errTorn
-	}
 	copy(rec.key[:], payload[1:1+keyspace.Size])
 	rest := payload[1+keyspace.Size:]
-	count, n := binary.Uvarint(rest)
-	if n <= 0 || count > maxRecordSize {
+	var err error
+	switch rec.op {
+	case recTombGC:
+		if len(rest) != 8 {
+			return record{}, errTorn
+		}
+		rec.gcBefore = int64(binary.LittleEndian.Uint64(rest))
+		rest = nil
+	case recTomb:
+		rec.tombs, rest, err = readTombs(rest)
+	case recReplaceFull:
+		rec.entries, rest, err = readEntries(rest)
+		if err == nil {
+			rec.tombs, rest, err = readTombs(rest)
+		}
+	case recPut, recReplace:
+		rec.entries, rest, err = readEntries(rest)
+	default:
 		return record{}, errTorn
 	}
-	rest = rest[n:]
-	rec.entries = make([]overlay.Entry, 0, count)
-	for i := uint64(0); i < count; i++ {
-		kind, rem, err := readString(rest)
-		if err != nil {
-			return record{}, err
-		}
-		value, rem, err := readString(rem)
-		if err != nil {
-			return record{}, err
-		}
-		rest = rem
-		rec.entries = append(rec.entries, overlay.Entry{Kind: kind, Value: value})
+	if err != nil {
+		return record{}, err
 	}
 	if len(rest) != 0 {
 		return record{}, errTorn
 	}
 	return rec, nil
+}
+
+// readEntries decodes a uvarint-counted entry list.
+func readEntries(b []byte) ([]overlay.Entry, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > maxRecordSize {
+		return nil, nil, errTorn
+	}
+	b = b[n:]
+	entries := make([]overlay.Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, rem, err := readString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		value, rem, err := readString(rem)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = rem
+		entries = append(entries, overlay.Entry{Kind: kind, Value: value})
+	}
+	return entries, b, nil
+}
+
+// readTombs decodes a uvarint-counted tombstone list.
+func readTombs(b []byte) ([]wire.Tombstone, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > maxRecordSize {
+		return nil, nil, errTorn
+	}
+	b = b[n:]
+	tombs := make([]wire.Tombstone, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, rem, err := readString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		value, rem, err := readString(rem)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rem) < 8 {
+			return nil, nil, errTorn
+		}
+		at := int64(binary.LittleEndian.Uint64(rem))
+		b = rem[8:]
+		tombs = append(tombs, wire.Tombstone{Entry: overlay.Entry{Kind: kind, Value: value}, At: at})
+	}
+	return tombs, b, nil
 }
 
 // readString decodes one uvarint-length-prefixed string.

@@ -60,6 +60,15 @@ type FaultStats struct {
 	PartitionBlocked int64
 	// CrashBlocked counts messages to or from a crashed address.
 	CrashBlocked int64
+	// PartitionEvents counts partition episodes started (Partition,
+	// PartitionOneWay and PartitionGroups calls).
+	PartitionEvents int64
+	// LinksCut counts directed links newly blocked by partitions.
+	LinksCut int64
+	// HealEvents counts heal operations (Heal and HealLink calls).
+	HealEvents int64
+	// LinksHealed counts directed links unblocked by heals.
+	LinksHealed int64
 }
 
 // link is a directed src→dst edge ("" src means an external client).
@@ -140,8 +149,9 @@ func (f *FaultTransport) SetLinkRule(from, to string, r FaultRule) {
 func (f *FaultTransport) Partition(a, b string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.blocked[link{a, b}] = true
-	f.blocked[link{b, a}] = true
+	f.stats.PartitionEvents++
+	f.blockLocked(a, b)
+	f.blockLocked(b, a)
 }
 
 // PartitionOneWay blocks only from→to, modelling an asymmetric fault
@@ -149,14 +159,64 @@ func (f *FaultTransport) Partition(a, b string) {
 func (f *FaultTransport) PartitionOneWay(from, to string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.blocked[link{from, to}] = true
+	f.stats.PartitionEvents++
+	f.blockLocked(from, to)
+}
+
+// PartitionGroups cuts the network into the given node groups: every
+// link between members of two different groups is blocked in both
+// directions, while links within a group — and to addresses in no
+// group, such as anonymous clients — stay up. This is the true
+// split-brain schedule: each side keeps stabilizing into its own ring
+// and serving its own clients. Implemented on the same per-link blocked
+// set as Partition, so HealLink and Heal apply unchanged.
+func (f *FaultTransport) PartitionGroups(sides ...[]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.PartitionEvents++
+	for i := range sides {
+		for j := i + 1; j < len(sides); j++ {
+			for _, a := range sides[i] {
+				for _, b := range sides[j] {
+					f.blockLocked(a, b)
+					f.blockLocked(b, a)
+				}
+			}
+		}
+	}
+}
+
+// blockLocked blocks one directed link, counting it only when it was
+// not already cut. Callers hold f.mu.
+func (f *FaultTransport) blockLocked(from, to string) {
+	if !f.blocked[link{from, to}] {
+		f.blocked[link{from, to}] = true
+		f.stats.LinksCut++
+	}
 }
 
 // Heal removes every active partition.
 func (f *FaultTransport) Heal() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.stats.HealEvents++
+	f.stats.LinksHealed += int64(len(f.blocked))
 	f.blocked = make(map[link]bool)
+}
+
+// HealLink restores the single pair a↔b (both directions), leaving
+// every other partition in place — the targeted counterpart of Heal for
+// schedules that mend a split one link at a time.
+func (f *FaultTransport) HealLink(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.HealEvents++
+	for _, l := range []link{{a, b}, {b, a}} {
+		if f.blocked[l] {
+			delete(f.blocked, l)
+			f.stats.LinksHealed++
+		}
+	}
 }
 
 // Crash blackholes an address: every message to or from it is refused
@@ -211,6 +271,18 @@ func (f *FaultTransport) Instrument(reg *telemetry.Registry) {
 	reg.CounterFunc("wire_fault_crash_blocked_total",
 		"Messages to or from a crashed address.",
 		func() float64 { return float64(f.Stats().CrashBlocked) })
+	reg.CounterFunc("wire_partition_events_total",
+		"Partition episodes started (Partition/PartitionOneWay/PartitionGroups).",
+		func() float64 { return float64(f.Stats().PartitionEvents) })
+	reg.CounterFunc("wire_partition_links_cut_total",
+		"Directed links newly blocked by partitions.",
+		func() float64 { return float64(f.Stats().LinksCut) })
+	reg.CounterFunc("wire_partition_heal_events_total",
+		"Heal operations applied (Heal/HealLink).",
+		func() float64 { return float64(f.Stats().HealEvents) })
+	reg.CounterFunc("wire_partition_links_healed_total",
+		"Directed links unblocked by heals.",
+		func() float64 { return float64(f.Stats().LinksHealed) })
 }
 
 // Listen implements Transport (anonymous view).

@@ -63,6 +63,8 @@ func (n *Node) handle(req Message) Message {
 		return n.handleRemove(req)
 	case OpRepairSync:
 		return n.handleRepairSync(req)
+	case OpMerge:
+		return n.handleMerge(req)
 	case OpStats:
 		return n.handleStats(req)
 	default:
@@ -164,19 +166,23 @@ func (n *Node) handleNotify(req Message) Message {
 	// strip the replicas faster than the repair loop restores them.
 	var kv []KeyEntries
 	predID := idOf(cand)
-	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
-		if !k.Between(predID, n.id) {
-			out := make([]overlay.Entry, len(entries))
-			copy(out, entries)
-			kv = append(kv, KeyEntries{Key: k, Entries: out})
+	for _, k := range n.localKeysLocked() {
+		if k.Between(predID, n.id) {
+			continue
 		}
-		return true
-	})
+		entries := n.store.Get(k)
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		// Tombstones travel with the handover so the new owner keeps
+		// suppressing removed entries instead of resurrecting them from
+		// a stale replica.
+		kv = append(kv, KeyEntries{Key: k, Entries: out, Tombs: n.store.Tombstones(k)})
+	}
 	if n.cfg.ReplicationFactor == 0 {
 		for _, item := range kv {
 			// Best effort: the predecessor holds the entries now, so a
 			// failed local delete only costs a duplicate copy.
-			_ = n.store.Replace(item.Key, nil)
+			_ = n.store.Replace(item.Key, nil, nil)
 		}
 	}
 	return Message{Op: req.Op, Ok: true, KV: kv}
@@ -335,6 +341,9 @@ func (n *Node) handleRemoveBatch(req Message) Message {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
+			if err == nil {
+				n.tomb.created.Inc()
+			}
 			if ok {
 				removed++
 			}
@@ -390,6 +399,7 @@ func (n *Node) handleRemove(req Message) Message {
 	if err != nil {
 		return Message{Op: req.Op, Err: err.Error()}
 	}
+	n.tomb.created.Inc()
 	if removed && req.Op == OpRemove {
 		// Propagate the deletion to replicas outside the lock.
 		n.replicateEntry(req.Key, req.Entry, OpRemoveReplica)

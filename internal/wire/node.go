@@ -1,14 +1,15 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"time"
 
 	"dhtindex/internal/keyspace"
-	"dhtindex/internal/overlay"
 	"dhtindex/internal/telemetry"
 )
 
@@ -66,6 +67,23 @@ type Config struct {
 	// while down. The node assumes ownership and closes the store on
 	// Stop/Leave.
 	Store Store
+	// TombstoneTTL is how long deletion records are kept before garbage
+	// collection (default 5 minutes). It must exceed the longest
+	// partition or node downtime after which a stale copy can reappear,
+	// or a healed replica may resurrect a removed entry (DESIGN.md §15).
+	// Negative disables GC entirely.
+	TombstoneTTL time.Duration
+	// KnownPeersMax bounds the node's known-peers set — addresses
+	// gleaned from successor lists, notifies, fingers and joins, kept
+	// beyond the node's current ring view so a split ring still
+	// remembers the other side (default 64).
+	KnownPeersMax int
+	// MergeProbeEvery is the number of stabilize rounds between
+	// cross-ring merge probes: each probe samples one known peer outside
+	// the node's current view and asks it to locate this node's own id;
+	// an answer other than this node means the peer is on a divergent
+	// ring and a merge is coordinated (default 8; negative disables).
+	MergeProbeEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +108,15 @@ func (c Config) withDefaults() Config {
 	if c.Store == nil {
 		c.Store = NewMemStore()
 	}
+	if c.TombstoneTTL == 0 {
+		c.TombstoneTTL = 5 * time.Minute
+	}
+	if c.KnownPeersMax == 0 {
+		c.KnownPeersMax = 64
+	}
+	if c.MergeProbeEvery == 0 {
+		c.MergeProbeEvery = 8
+	}
 	return c
 }
 
@@ -103,6 +130,8 @@ type Node struct {
 	retry  *RetryingTransport // non-nil iff cfg.Retry was set
 	admit  *admission         // non-nil iff cfg.Admission was set
 	repair repairCounters
+	merge  mergeCounters
+	tomb   tombstoneCounters
 
 	mu         sync.Mutex
 	pred       string
@@ -112,6 +141,8 @@ type Node struct {
 	fingers    [keyspace.Bits]string
 	fingerIdx  int
 	store      Store
+	known      map[string]bool // bounded known-peers set (merge probing)
+	rng        *rand.Rand      // seeded from the node id: probe sampling, eviction
 	stopped    bool
 	leftTo     string // peer that accepted the Leave hand-off
 
@@ -136,6 +167,9 @@ func Start(cfg Config) (*Node, error) {
 		store:  cfg.Store,
 		stop:   make(chan struct{}),
 		repair: newRepairCounters(),
+		merge:  newMergeCounters(),
+		tomb:   newTombstoneCounters(),
+		known:  make(map[string]bool),
 	}
 	if cfg.Retry != nil {
 		n.retry = NewRetryingTransport(cfg.Transport, *cfg.Retry)
@@ -154,6 +188,9 @@ func Start(cfg Config) (*Node, error) {
 	n.id = idOf(addr)
 	n.listener = closer
 	n.succs = []string{addr}
+	// Seed from the node id so merge-probe sampling is deterministic per
+	// address — soak schedules replay exactly across runs.
+	n.rng = rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(n.id[:8]))))
 	n.done.Add(1)
 	go n.maintenanceLoop()
 	return n, nil
@@ -178,6 +215,7 @@ func (n *Node) Join(bootstrap string) error {
 	}
 	n.mu.Lock()
 	n.succs = []string{resp.Addr}
+	n.notePeersLocked(bootstrap, resp.Addr)
 	n.mu.Unlock()
 	n.stabilizeOnce() // prompt: notify successor, adopt keys
 	return nil
@@ -221,12 +259,9 @@ func (n *Node) Leave() error {
 	succs := make([]string, len(n.succs))
 	copy(succs, n.succs)
 	var kv []KeyEntries
-	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
-		out := make([]overlay.Entry, len(entries))
-		copy(out, entries)
-		kv = append(kv, KeyEntries{Key: k, Entries: out})
-		return true
-	})
+	for _, k := range n.localKeysLocked() {
+		kv = append(kv, KeyEntries{Key: k, Entries: n.store.Get(k), Tombs: n.store.Tombstones(k)})
+	}
 	n.mu.Unlock()
 	var handoffErr error
 	if len(kv) > 0 {
@@ -292,9 +327,26 @@ func (n *Node) maintenanceLoop() {
 					n.repairOnce()
 				}
 			}
+			if n.cfg.MergeProbeEvery > 0 && round%n.cfg.MergeProbeEvery == 0 {
+				n.mergeProbe()
+			}
+			if n.cfg.TombstoneTTL > 0 && n.cfg.RepairEvery > 0 && round%n.cfg.RepairEvery == 0 {
+				n.gcTombstones()
+			}
 		case <-n.stop:
 			return
 		}
+	}
+}
+
+// gcTombstones collects deletion records older than TombstoneTTL.
+func (n *Node) gcTombstones() {
+	cutoff := time.Now().Add(-n.cfg.TombstoneTTL).UnixNano()
+	n.mu.Lock()
+	collected, err := n.store.GCTombstones(cutoff)
+	n.mu.Unlock()
+	if err == nil && collected > 0 {
+		n.tomb.gcd.Add(int64(collected))
 	}
 }
 
@@ -336,6 +388,9 @@ func (n *Node) stabilizeOnce() {
 		succ = x
 		n.mu.Unlock()
 	}
+	n.mu.Lock()
+	n.notePeersLocked(resp.Addr)
+	n.mu.Unlock()
 
 	// Notify the successor; it may hand us keys we now own.
 	nresp, err := n.cfg.Transport.Call(succ, Message{Op: OpNotify, Addr: n.addr})
@@ -363,6 +418,7 @@ func (n *Node) stabilizeOnce() {
 	}
 	n.mu.Lock()
 	n.succs = list
+	n.notePeersLocked(sresp.Addrs...)
 	n.mu.Unlock()
 }
 
@@ -437,22 +493,38 @@ func (n *Node) fixFingers(count int) {
 		}
 		n.mu.Lock()
 		n.fingers[idx] = resp.Addr
+		n.notePeersLocked(resp.Addr)
 		n.mu.Unlock()
 	}
 }
 
-// adoptKeys stores transferred entries locally. The first store
-// failure is returned (remaining items are still attempted): a durable
-// store that cannot append its WAL must not silently ack a transfer, or
-// the sender would drop its only copy.
+// adoptKeys stores transferred entries locally, honoring tombstones in
+// both directions: tombstones riding with the transfer are entombed
+// first (each kills its matching live entry), and entries suppressed by
+// a local tombstone are refused — a stale copy arriving by transfer or
+// replication must not resurrect a removal. The first store failure is
+// returned (remaining items are still attempted): a durable store that
+// cannot append its WAL must not silently ack a transfer, or the sender
+// would drop its only copy.
 func (n *Node) adoptKeys(kv []KeyEntries) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var firstErr error
 	for _, item := range kv {
-		for _, e := range item.Entries {
-			if _, err := n.store.Put(item.Key, e); err != nil && firstErr == nil {
+		if len(item.Tombs) > 0 {
+			fresh, err := n.store.Entomb(item.Key, item.Tombs)
+			if err != nil && firstErr == nil {
 				firstErr = err
+			}
+			n.tomb.merged.Add(int64(fresh))
+		}
+		for _, e := range item.Entries {
+			added, err := n.store.Put(item.Key, e)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if !added && err == nil && n.store.Tombstoned(item.Key, e) {
+				n.tomb.suppressed.Inc()
 			}
 		}
 	}
@@ -522,6 +594,40 @@ func (n *Node) RepairStats() RepairStats {
 	}
 }
 
+// MergeStats returns the node's ring-merge counters.
+func (n *Node) MergeStats() MergeStats {
+	return MergeStats{
+		Probes:        n.merge.probes.Value(),
+		Detected:      n.merge.detected.Value(),
+		Aborts:        n.merge.aborts.Value(),
+		Coordinations: n.merge.coordinations.Value(),
+		Rejoins:       n.merge.rejoins.Value(),
+		Adopts:        n.merge.adopts.Value(),
+	}
+}
+
+// TombstoneStats returns the node's deletion-record counters.
+func (n *Node) TombstoneStats() TombstoneStats {
+	return TombstoneStats{
+		Created:    n.tomb.created.Value(),
+		Merged:     n.tomb.merged.Value(),
+		Suppressed: n.tomb.suppressed.Value(),
+		GCd:        n.tomb.gcd.Value(),
+	}
+}
+
+// KnownPeers returns a copy of the node's bounded known-peers set (the
+// addresses merge probes sample from).
+func (n *Node) KnownPeers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.known))
+	for p := range n.known {
+		out = append(out, p)
+	}
+	return out
+}
+
 // Instrument attaches the node's retry and repair counters to reg. All
 // nodes of a fleet may attach to one registry: the snapshot reports
 // fleet-wide sums while RetryStats/RepairStats stay per-node.
@@ -530,6 +636,8 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		return
 	}
 	n.repair.attach(reg)
+	n.merge.attach(reg)
+	n.tomb.attach(reg)
 	if n.retry != nil {
 		n.retry.Instrument(reg)
 	}

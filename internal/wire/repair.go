@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"sort"
 
@@ -15,15 +16,21 @@ import (
 // the stored state match.
 //
 //  1. Sync: for each owned key, exchange a small (key, digest) pair with
-//     the first ReplicationFactor successors (OpRepairSync). Replicas
-//     answer with the keys whose digest differs; only those are shipped,
-//     with replace semantics so stale extra entries on the replica (e.g.
-//     a Remove it missed during a partition) are corrected too.
+//     the first ReplicationFactor successors (OpRepairSync). The digest
+//     covers live entries AND tombstone identities. Replicas answer with
+//     the keys whose digest differs — plus their own tombstones for
+//     those keys, which the owner entombs BEFORE shipping: a removal
+//     that only a replica witnessed (the far side of a healed partition)
+//     must reach the owner, or the owner's replace-ship would resurrect
+//     the entry. Divergent keys are then shipped with replace semantics
+//     covering both sets.
 //  2. Drop: keys this node no longer owes — outside the window
 //     (p_{R+1}, self], where p_i is the i-th predecessor — are first
 //     forwarded to their routed owner (they may be the only surviving
 //     copy, e.g. a write that landed on a stale owner during a
-//     partition) and only then deleted locally.
+//     partition) and only then deleted locally. Tombstone-only keys are
+//     forwarded too: the deletion record may be the only thing standing
+//     between a stale copy elsewhere and a resurrection.
 //
 // Both halves are idempotent and best-effort: a failed RPC leaves the
 // key in place and a later round retries. A converged replica set costs
@@ -110,6 +117,68 @@ func entriesDigest(entries []overlay.Entry) uint64 {
 	return h.Sum64()
 }
 
+// stateDigest extends entriesDigest with the key's tombstone
+// identities. At timestamps are excluded: they are local-clock GC
+// metadata, and two stores holding tombstones for the same entries must
+// agree on the digest regardless of when each learned of the removal.
+func stateDigest(entries []overlay.Entry, tombs []Tombstone) uint64 {
+	if len(tombs) == 0 {
+		return entriesDigest(entries)
+	}
+	sorted := make([]Tombstone, len(tombs))
+	copy(sorted, tombs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Entry.Kind != sorted[j].Entry.Kind {
+			return sorted[i].Entry.Kind < sorted[j].Entry.Kind
+		}
+		return sorted[i].Entry.Value < sorted[j].Entry.Value
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], entriesDigest(entries))
+	_, _ = h.Write(buf[:])
+	for _, t := range sorted {
+		_, _ = h.Write([]byte(t.Entry.Kind))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(t.Entry.Value))
+		_, _ = h.Write([]byte{0xfe})
+	}
+	return h.Sum64()
+}
+
+// ownedStateLocked collects the keys this node owns (live entries or
+// tombstones) and their digests. Callers hold n.mu.
+func (n *Node) ownedStateLocked(pred string) []KeyDigest {
+	keys := n.localKeysLocked()
+	var owned []KeyDigest
+	for _, k := range keys {
+		if pred != "" && !k.Between(idOf(pred), n.id) {
+			continue // a replica held for another owner
+		}
+		owned = append(owned, KeyDigest{Key: k, Digest: stateDigest(n.store.Get(k), n.store.Tombstones(k))})
+	}
+	return owned
+}
+
+// localKeysLocked lists every key the store holds state for — live
+// entries or tombstones. Callers hold n.mu.
+func (n *Node) localKeysLocked() []keyspace.Key {
+	var keys []keyspace.Key
+	seen := make(map[keyspace.Key]bool)
+	n.store.ForEach(func(k keyspace.Key, _ []overlay.Entry) bool {
+		seen[k] = true
+		keys = append(keys, k)
+		return true
+	})
+	n.store.ForEachTombstone(func(k keyspace.Key, _ []Tombstone) bool {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	return keys
+}
+
 // repairOnce runs one anti-entropy round (sync then drop). Called from
 // the maintenance goroutine; all RPCs happen outside the node lock.
 func (n *Node) repairOnce() {
@@ -119,20 +188,15 @@ func (n *Node) repairOnce() {
 }
 
 // syncReplicas digest-syncs the locally-owned keys with the first
-// ReplicationFactor successors and ships only the divergent ones.
+// ReplicationFactor successors and ships only the divergent ones. A
+// replica's answer may carry tombstones the owner has not seen; they
+// are entombed locally before the ship so the merged state — not the
+// owner's stale view — is what replicas converge to.
 func (n *Node) syncReplicas() {
 	n.mu.Lock()
 	succs := make([]string, len(n.succs))
 	copy(succs, n.succs)
-	pred := n.pred
-	var owned []KeyDigest
-	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
-		if pred != "" && !k.Between(idOf(pred), n.id) {
-			return true // a replica held for another owner
-		}
-		owned = append(owned, KeyDigest{Key: k, Digest: entriesDigest(entries)})
-		return true
-	})
+	owned := n.ownedStateLocked(n.pred)
 	n.mu.Unlock()
 	if len(owned) == 0 {
 		return
@@ -157,9 +221,24 @@ func (n *Node) syncReplicas() {
 			continue // replica already converged
 		}
 		n.mu.Lock()
+		for _, item := range resp.KV {
+			// Tombstone push-back: the replica witnessed removals this
+			// owner missed. Entomb them first — shipping without them
+			// would resurrect the entries on every replica.
+			if len(item.Tombs) == 0 {
+				continue
+			}
+			if fresh, terr := n.store.Entomb(item.Key, item.Tombs); terr == nil {
+				n.tomb.merged.Add(int64(fresh))
+			}
+		}
 		kv := make([]KeyEntries, 0, len(resp.Digests))
 		for _, want := range resp.Digests {
-			kv = append(kv, KeyEntries{Key: want.Key, Entries: n.store.Get(want.Key)})
+			kv = append(kv, KeyEntries{
+				Key:     want.Key,
+				Entries: n.store.Get(want.Key),
+				Tombs:   n.store.Tombstones(want.Key),
+			})
 		}
 		n.mu.Unlock()
 		if sresp, serr := n.cfg.Transport.Call(succ, Message{Op: OpRepairSync, KV: kv}); serr == nil && remoteError(sresp) == nil {
@@ -198,15 +277,12 @@ func (n *Node) dropStaleCopies() {
 
 	n.mu.Lock()
 	var stale []KeyEntries
-	n.store.ForEach(func(k keyspace.Key, entries []overlay.Entry) bool {
+	for _, k := range n.localKeysLocked() {
 		if k.Between(windowFrom, n.id) {
-			return true // owed: owned or within the replica window
+			continue // owed: owned or within the replica window
 		}
-		out := make([]overlay.Entry, len(entries))
-		copy(out, entries)
-		stale = append(stale, KeyEntries{Key: k, Entries: out})
-		return true
-	})
+		stale = append(stale, KeyEntries{Key: k, Entries: n.store.Get(k), Tombs: n.store.Tombstones(k)})
+	}
 	n.mu.Unlock()
 
 	// Group the misplaced keys by their routed owner so each owner
@@ -240,8 +316,8 @@ func (n *Node) dropStaleCopies() {
 		for _, item := range group {
 			// Drop only if unchanged since the snapshot — an entry written
 			// in the meantime has not been forwarded and must not be lost.
-			if entriesDigest(n.store.Get(item.Key)) == entriesDigest(item.Entries) {
-				if n.store.Replace(item.Key, nil) == nil {
+			if stateDigest(n.store.Get(item.Key), n.store.Tombstones(item.Key)) == stateDigest(item.Entries, item.Tombs) {
+				if n.store.Replace(item.Key, nil, nil) == nil {
 					n.repair.drops.Inc()
 				}
 			}
@@ -251,17 +327,19 @@ func (n *Node) dropStaleCopies() {
 }
 
 // handleRepairSync serves both halves of the repair exchange. A request
-// carrying KV is the ship phase: the owner's entry sets REPLACE the
-// local ones (an empty set deletes), so divergent extra entries — e.g. a
-// Remove this replica missed — are corrected, not merged back in. A
-// request carrying only Digests is the offer phase: the response lists
-// the keys whose local digest differs and should be shipped.
+// carrying KV is the ship phase: the owner's entry AND tombstone sets
+// REPLACE the local ones (both empty deletes), so divergent extra
+// entries — e.g. a Remove this replica missed — are corrected, not
+// merged back in. A request carrying only Digests is the offer phase:
+// the response lists the keys whose local digest differs, and carries
+// this replica's tombstones for those keys so the owner can entomb
+// removals it missed before shipping the merged state back.
 func (n *Node) handleRepairSync(req Message) Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if len(req.KV) > 0 {
 		for _, item := range req.KV {
-			if err := n.store.Replace(item.Key, item.Entries); err != nil {
+			if err := n.store.Replace(item.Key, item.Entries, item.Tombs); err != nil {
 				// Refuse the ack: the owner keeps counting this replica as
 				// divergent and re-ships next round.
 				return Message{Op: req.Op, Err: err.Error()}
@@ -270,12 +348,16 @@ func (n *Node) handleRepairSync(req Message) Message {
 		return Message{Op: req.Op, Ok: true}
 	}
 	var want []KeyDigest
+	var push []KeyEntries
 	for _, d := range req.Digests {
-		if entriesDigest(n.store.Get(d.Key)) != d.Digest {
+		if stateDigest(n.store.Get(d.Key), n.store.Tombstones(d.Key)) != d.Digest {
 			want = append(want, KeyDigest{Key: d.Key})
+			if ts := n.store.Tombstones(d.Key); len(ts) > 0 {
+				push = append(push, KeyEntries{Key: d.Key, Tombs: ts})
+			}
 		}
 	}
-	return Message{Op: req.Op, Ok: true, Digests: want}
+	return Message{Op: req.Op, Ok: true, Digests: want, KV: push}
 }
 
 // ownerOf is a small helper for tests and diagnostics: it routes key

@@ -39,6 +39,24 @@ type SoakConfig struct {
 	// PartitionLen ops later it heals (default Ops/5).
 	PartitionAt  int
 	PartitionLen int
+	// PartitionWidth, when > 0, turns the partition episode into a GROUP
+	// partition: a contiguous arc of PartitionWidth ring-ordered members
+	// is cut from the rest of the ring in both directions, so the two
+	// sides stabilize into independent rings (split brain). Healing uses
+	// targeted HealLink calls over the cut pairs, and re-convergence
+	// afterwards requires the merge coordinator — plain stabilization
+	// cannot bridge two complete rings. While a group episode is active
+	// the crash/leave/restart schedules pause (those scenarios compose
+	// elsewhere; here the episode itself is the subject under test).
+	// 0 keeps the legacy adjacent-pair cut.
+	PartitionWidth int
+	// RemoveEvery, when > 0, removes one previously-acked entry through
+	// the cluster every RemoveEvery storm ops. Removed entries leave the
+	// loss check and are instead held to the anti-resurrection check:
+	// after the storm no live node may still serve them. Removes issued
+	// during a split-brain episode land on one side only — the merge and
+	// the tombstone exchange must keep them deleted ring-wide.
+	RemoveEvery int
 	// ReplicationFactor for the ring (default 2).
 	ReplicationFactor int
 	// StabilizeInterval for the ring (default 25ms).
@@ -189,6 +207,19 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	return c
 }
 
+// PartitionEpisode records one partition window of a soak run.
+type PartitionEpisode struct {
+	// StartOp is the storm op index where the cut was made.
+	StartOp int
+	// HealOp is the op index where it healed (-1 when the episode was
+	// still open at storm end and the global heal closed it).
+	HealOp int
+	// SideA and SideB are the side sizes (1 and 1 for the legacy
+	// adjacent-pair cut).
+	SideA int
+	SideB int
+}
+
 // SoakReport is the outcome of a soak run: what was injected, what the
 // retry layer absorbed, and whether the ring kept its promises.
 type SoakReport struct {
@@ -216,6 +247,24 @@ type SoakReport struct {
 	// Crashes and Partitions count the schedule's executed events.
 	Crashes    int
 	Partitions int
+	// Episodes records each executed partition episode's window and side
+	// sizes.
+	Episodes []PartitionEpisode
+	// Removes and RemoveFailures count the remove schedule's executed
+	// and failed removals (RemoveEvery > 0). A failed remove is
+	// ambiguous — a tombstone may or may not have been planted — so its
+	// key is excluded from both the loss and the resurrection checks.
+	Removes        int
+	RemoveFailures int
+	// Resurrections lists removed entries some live node still served
+	// after the storm settled — must be empty: a resurrection means a
+	// stale replica re-propagated a deleted entry past its tombstone.
+	Resurrections []string
+	// Merges is the fleet-wide ring-merge work (probes, detections,
+	// coordinated rejoins).
+	Merges MergeStats
+	// Tombstones is the fleet-wide deletion-record work.
+	Tombstones TombstoneStats
 	// Joins and Leaves count the churn schedule's executed member
 	// additions and graceful departures.
 	Joins  int
@@ -400,13 +449,25 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	}
 
 	var acked []string
+	ackedEntry := make(map[string]overlay.Entry)
+	type removedPair struct {
+		key   string
+		entry overlay.Entry
+	}
+	var removed []removedPair
 	partitioned := false
 	var partA, partB string
+	var groupA, groupB []string
 	for op := 0; op < cfg.Ops; op++ {
+		// While a group partition is open, pause member churn: a node
+		// revived or joined mid-episode sits outside both blocked sides
+		// and would bridge the rings, short-circuiting the merge the
+		// episode exists to exercise.
+		groupOpen := len(groupA) > 0
 		// Revive downed members whose downtime has elapsed. A failed
 		// rejoin re-queues the member a few ops out — its data directory
 		// is durable, so nothing is lost by waiting.
-		for i := 0; i < len(downed); {
+		for i := 0; i < len(downed) && !groupOpen; {
 			d := downed[i]
 			if d.reviveAt > op {
 				i++
@@ -430,7 +491,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		// their data directories. Until they return, their key ranges
 		// live only on disk (plus whatever replicas survive outside the
 		// burst), which is exactly the property under test.
-		if cfg.RestartEvery > 0 && op > 0 && op%cfg.RestartEvery == 0 {
+		if cfg.RestartEvery > 0 && op > 0 && op%cfg.RestartEvery == 0 && !groupOpen {
 			ring := cluster.Addrs()
 			if len(ring) >= cfg.RestartBurst+2 {
 				at := schedule.Intn(len(ring))
@@ -452,7 +513,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			}
 		}
 		// Fault schedule first, so writes land on the faulted topology.
-		if op > 0 && op%cfg.CrashEvery == 0 && len(alive) > cfg.Nodes/2 {
+		if op > 0 && op%cfg.CrashEvery == 0 && len(alive) > cfg.Nodes/2 && !groupOpen {
 			victim := pickVictim(schedule, cluster.Addrs(), alive, partA, partB)
 			if victim != nil {
 				ft.Crash(victim.Addr())
@@ -465,20 +526,46 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 			}
 		}
 		if op == cfg.PartitionAt && len(alive) >= 4 {
-			partA, partB = adjacentPair(schedule, cluster.Addrs())
-			if partA != "" {
-				ft.Partition(partA, partB)
-				partitioned = true
-				report.Partitions++
-				cfg.Log("soak: op %d: partitioned %s <-> %s", op, partA, partB)
+			if cfg.PartitionWidth > 0 {
+				groupA, groupB = splitArc(schedule, cluster.Addrs(), cfg.PartitionWidth)
+				if len(groupA) > 0 {
+					ft.PartitionGroups(groupA, groupB)
+					partitioned = true
+					report.Partitions++
+					report.Episodes = append(report.Episodes, PartitionEpisode{
+						StartOp: op, HealOp: -1, SideA: len(groupA), SideB: len(groupB)})
+					cfg.Log("soak: op %d: group partition %d|%d nodes", op, len(groupA), len(groupB))
+				}
+			} else {
+				partA, partB = adjacentPair(schedule, cluster.Addrs())
+				if partA != "" {
+					ft.Partition(partA, partB)
+					partitioned = true
+					report.Partitions++
+					report.Episodes = append(report.Episodes, PartitionEpisode{
+						StartOp: op, HealOp: -1, SideA: 1, SideB: 1})
+					cfg.Log("soak: op %d: partitioned %s <-> %s", op, partA, partB)
+				}
 			}
 		}
 		if partitioned && op == cfg.PartitionAt+cfg.PartitionLen {
-			ft.Heal()
+			// Heal by cut pair, not globally: the episode must not quietly
+			// restore links the crash schedule severed.
+			if len(groupA) > 0 {
+				for _, a := range groupA {
+					for _, b := range groupB {
+						ft.HealLink(a, b)
+					}
+				}
+				groupA, groupB = nil, nil
+			} else {
+				ft.HealLink(partA, partB)
+			}
 			partitioned = false
+			report.Episodes[len(report.Episodes)-1].HealOp = op
 			cfg.Log("soak: op %d: partition healed", op)
 		}
-		if cfg.JoinEvery > 0 && op > 0 && op%cfg.JoinEvery == 0 {
+		if cfg.JoinEvery > 0 && op > 0 && op%cfg.JoinEvery == 0 && !groupOpen {
 			n, _, err := startMember(nextIdx, cfg.ListenAddr)
 			if err != nil {
 				return report, fmt.Errorf("soak: op %d: start joiner: %w", op, err)
@@ -508,7 +595,7 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 				cfg.Log("soak: op %d: join attempt drowned in the storm", op)
 			}
 		}
-		if cfg.LeaveEvery > 0 && op > 0 && op%cfg.LeaveEvery == 0 && len(alive) > cfg.Nodes/2 {
+		if cfg.LeaveEvery > 0 && op > 0 && op%cfg.LeaveEvery == 0 && len(alive) > cfg.Nodes/2 && !groupOpen {
 			victim := pickVictim(schedule, cluster.Addrs(), alive, partA, partB)
 			if victim != nil {
 				// Untrack first so the adapter stops routing reads into a
@@ -530,8 +617,37 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		entry := overlay.Entry{Kind: "soak", Value: fmt.Sprintf("v%d", op)}
 		if putWithRetry(cluster, keyspace.NewKey(key), entry, cfg.PutRetries) {
 			acked = append(acked, key)
+			ackedEntry[key] = entry
 		} else {
 			report.PutFailures++
+		}
+
+		// Remove schedule: delete a previously-acked entry through the
+		// cluster. The key leaves the loss check either way — the remove
+		// handler plants a tombstone on whichever owner it reached, so
+		// even a client-visible failure may already have doomed the
+		// entry. Only an acked remove joins the resurrection check.
+		if cfg.RemoveEvery > 0 && op > 0 && op%cfg.RemoveEvery == 0 && len(acked) > 0 {
+			i := schedule.Intn(len(acked))
+			rkey := acked[i]
+			rentry := ackedEntry[rkey]
+			acked = append(acked[:i], acked[i+1:]...)
+			delete(ackedEntry, rkey)
+			okRemove := false
+			for try := 0; try < cfg.PutRetries && !okRemove; try++ {
+				if _, err := cluster.Remove(keyspace.NewKey(rkey), rentry); err == nil {
+					okRemove = true
+				} else {
+					time.Sleep(time.Duration(10*(try+1)) * time.Millisecond)
+				}
+			}
+			if okRemove {
+				removed = append(removed, removedPair{key: rkey, entry: rentry})
+				report.Removes++
+			} else {
+				report.RemoveFailures++
+				cfg.Log("soak: op %d: remove of %s failed end-to-end", op, rkey)
+			}
 		}
 
 		// Read back a random previously-acked key; failures during the
@@ -620,6 +736,42 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		}
 	}
 
+	// Anti-resurrection: every acked remove must stay removed. Repair and
+	// merge traffic may lawfully take a few rounds to push tombstones over
+	// stale replicas, so poll toward zero holders; a holder remaining at
+	// the deadline is a resurrection — a deleted entry that outlived its
+	// removal by riding replica repair past the tombstone exchange.
+	if len(removed) > 0 {
+		resDeadline := time.Now().Add(cfg.ReadbackTimeout)
+		for _, r := range removed {
+			k := keyspace.NewKey(r.key)
+			for {
+				holders := 0
+				for _, addr := range cluster.Addrs() {
+					resp, err := ft.Call(addr, Message{Op: OpGet, Key: k})
+					if err != nil || resp.Err != "" {
+						continue
+					}
+					for _, e := range resp.Entries {
+						if e == r.entry {
+							holders++
+							break
+						}
+					}
+				}
+				if holders == 0 {
+					break
+				}
+				if time.Now().After(resDeadline) {
+					report.Resurrections = append(report.Resurrections,
+						fmt.Sprintf("%s: %d nodes still serve the removed entry", r.key, holders))
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
 	if cfg.PostStorm != nil {
 		if err := cfg.PostStorm(cluster, ft); err != nil {
 			return report, fmt.Errorf("soak: post-storm probe: %w", err)
@@ -631,6 +783,8 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 		report.Retry.Merge(n.RetryStats())
 		report.Repair.Merge(n.RepairStats())
 		report.Breaker.Merge(n.BreakerStats())
+		report.Merges.Merge(n.MergeStats())
+		report.Tombstones.Merge(n.TombstoneStats())
 	}
 	if rt, ok := cluster.transport.(*RetryingTransport); ok {
 		report.Retry.Merge(rt.Stats())
@@ -638,11 +792,14 @@ func RunSoak(cfg SoakConfig) (SoakReport, error) {
 	}
 	report.Cluster = cluster.Metrics()
 	report.Elapsed = time.Since(start)
-	cfg.Log("soak: done in %v: acked=%d lost=%d badreplicas=%d crashes=%d partitions=%d joins=%d leaves=%d restarts=%d amplification=%.2f repair=[pushes=%d drops=%d] recovery=[snap=%d replayed=%d torn=%d]",
+	cfg.Log("soak: done in %v: acked=%d lost=%d badreplicas=%d removes=%d resurrections=%d crashes=%d partitions=%d joins=%d leaves=%d restarts=%d amplification=%.2f repair=[pushes=%d drops=%d] merge=[probes=%d detected=%d rejoins=%d] tombstones=[created=%d merged=%d suppressed=%d] recovery=[snap=%d replayed=%d torn=%d]",
 		report.Elapsed.Round(time.Millisecond), report.Acked, len(report.LostKeys),
-		len(report.ReplicaViolations), report.Crashes, report.Partitions,
+		len(report.ReplicaViolations), report.Removes, len(report.Resurrections),
+		report.Crashes, report.Partitions,
 		report.Joins, report.Leaves, report.Restarts, report.RetryAmplification(),
 		report.Repair.Pushes, report.Repair.Drops,
+		report.Merges.Probes, report.Merges.Detected, report.Merges.Rejoins,
+		report.Tombstones.Created, report.Tombstones.Merged, report.Tombstones.Suppressed,
 		report.Recovery.SnapshotKeys, report.Recovery.ReplayedRecords, report.Recovery.TornRecords)
 	return report, nil
 }
@@ -692,6 +849,36 @@ func countCopies(t Transport, addrs []string, key keyspace.Key) int {
 		}
 	}
 	return copies
+}
+
+// splitArc cuts a contiguous arc of width ring-ordered members as one
+// side of a group partition and returns the remainder as the other.
+// Contiguity matters: an arc is a run of ring neighbours, so each side
+// re-closes into its own consistent ring instead of fragmenting. Width
+// is clamped to half the ring so both sides stay viable.
+func splitArc(rng *rand.Rand, ringOrder []string, width int) (arc, rest []string) {
+	if len(ringOrder) < 4 {
+		return nil, nil
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > len(ringOrder)/2 {
+		width = len(ringOrder) / 2
+	}
+	at := rng.Intn(len(ringOrder))
+	in := make(map[string]bool, width)
+	for i := 0; i < width; i++ {
+		a := ringOrder[(at+i)%len(ringOrder)]
+		arc = append(arc, a)
+		in[a] = true
+	}
+	for _, a := range ringOrder {
+		if !in[a] {
+			rest = append(rest, a)
+		}
+	}
+	return arc, rest
 }
 
 // adjacentPair picks a ring-adjacent pair of tracked members — adjacency

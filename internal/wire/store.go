@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"sort"
+	"time"
+
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
 	"dhtindex/internal/telemetry"
@@ -23,20 +26,47 @@ type Store interface {
 	// Get returns a copy of the entries stored under key (nil if none).
 	Get(key keyspace.Key) []overlay.Entry
 	// Put appends e under key unless an identical entry is already
-	// present, reporting whether it was added.
+	// present or a live tombstone for e suppresses the write, reporting
+	// whether it was added. A suppressed put returns (false, nil);
+	// callers that must distinguish suppression from a duplicate check
+	// Tombstoned. Tombstones win until they are garbage-collected: the
+	// index's entries are write-once, so re-adding an identical removed
+	// entry within the TTL is the one unsupported pattern (DESIGN.md
+	// §15).
 	Put(key keyspace.Key, e overlay.Entry) (bool, error)
 	// Remove deletes the exact entry under key, reporting whether it
-	// existed. Removing the last entry removes the key.
+	// existed, and records a tombstone for it either way — a removal
+	// must suppress stale copies this node has not seen yet (a replica
+	// behind a partition), so the deletion record matters even when the
+	// live entry is absent. Removing the last entry keeps the key alive
+	// while tombstones remain.
 	Remove(key keyspace.Key, e overlay.Entry) (bool, error)
-	// Replace sets key's whole entry set at once (repair-sync ship
-	// semantics); an empty set deletes the key.
-	Replace(key keyspace.Key, entries []overlay.Entry) error
-	// ForEach calls fn for every stored key until fn returns false. The
-	// entries slice is the store's internal state: callers must copy it
-	// before retaining or mutating, and must not call other Store
-	// methods from within fn.
+	// Replace sets key's whole entry set and tombstone set at once
+	// (repair-sync ship semantics); both empty deletes the key.
+	Replace(key keyspace.Key, entries []overlay.Entry, tombs []Tombstone) error
+	// Tombstoned reports whether a live tombstone suppresses e under key.
+	Tombstoned(key keyspace.Key, e overlay.Entry) bool
+	// Tombstones returns a copy of key's tombstones (nil if none).
+	Tombstones(key keyspace.Key) []Tombstone
+	// Entomb merges foreign tombstones into key: each one removes its
+	// matching live entry if present and is recorded keeping the latest
+	// At. It returns how many tombstones were newly recorded or
+	// refreshed to a later At.
+	Entomb(key keyspace.Key, tombs []Tombstone) (int, error)
+	// ForEachTombstone calls fn for every key holding tombstones until
+	// fn returns false, under the same aliasing rules as ForEach.
+	ForEachTombstone(fn func(key keyspace.Key, tombs []Tombstone) bool)
+	// GCTombstones drops every tombstone with At < before, returning how
+	// many were collected. A key left with no entries and no tombstones
+	// is removed.
+	GCTombstones(before int64) (int, error)
+	// ForEach calls fn for every key with live entries until fn returns
+	// false (keys holding only tombstones are skipped — use
+	// ForEachTombstone). The entries slice is the store's internal
+	// state: callers must copy it before retaining or mutating, and must
+	// not call other Store methods from within fn.
 	ForEach(fn func(key keyspace.Key, entries []overlay.Entry) bool)
-	// Len returns the number of distinct keys stored.
+	// Len returns the number of distinct keys with live entries.
 	Len() int
 	// Sync flushes buffered writes to stable storage (no-op for
 	// memory-backed stores).
@@ -100,14 +130,18 @@ type InstrumentedStore interface {
 // is exactly the behaviour the replicated ring's anti-entropy repair is
 // sized for.
 type MemStore struct {
-	m map[keyspace.Key][]overlay.Entry
+	m     map[keyspace.Key][]overlay.Entry
+	tombs map[keyspace.Key]map[overlay.Entry]int64
 }
 
 var _ Store = (*MemStore)(nil)
 
 // NewMemStore creates an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{m: make(map[keyspace.Key][]overlay.Entry)}
+	return &MemStore{
+		m:     make(map[keyspace.Key][]overlay.Entry),
+		tombs: make(map[keyspace.Key]map[overlay.Entry]int64),
+	}
 }
 
 // Get implements Store.
@@ -123,6 +157,9 @@ func (s *MemStore) Get(key keyspace.Key) []overlay.Entry {
 
 // Put implements Store.
 func (s *MemStore) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
+	if _, dead := s.tombs[key][e]; dead {
+		return false, nil
+	}
 	for _, have := range s.m[key] {
 		if have == e {
 			return false, nil
@@ -134,6 +171,14 @@ func (s *MemStore) Put(key keyspace.Key, e overlay.Entry) (bool, error) {
 
 // Remove implements Store.
 func (s *MemStore) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
+	removed := s.removeLive(key, e)
+	s.entombOne(key, Tombstone{Entry: e, At: time.Now().UnixNano()})
+	return removed, nil
+}
+
+// removeLive deletes the live entry e under key, reporting whether it
+// was present.
+func (s *MemStore) removeLive(key keyspace.Key, e overlay.Entry) bool {
 	entries := s.m[key]
 	for i, have := range entries {
 		if have == e {
@@ -143,22 +188,119 @@ func (s *MemStore) Remove(key keyspace.Key, e overlay.Entry) (bool, error) {
 			} else {
 				s.m[key] = entries
 			}
-			return true, nil
+			return true
 		}
 	}
-	return false, nil
+	return false
+}
+
+// entombOne records t under key keeping the latest At, reporting
+// whether the tombstone was new or refreshed.
+func (s *MemStore) entombOne(key keyspace.Key, t Tombstone) bool {
+	m := s.tombs[key]
+	if m == nil {
+		m = make(map[overlay.Entry]int64)
+		s.tombs[key] = m
+	}
+	if at, ok := m[t.Entry]; ok && at >= t.At {
+		return false
+	}
+	m[t.Entry] = t.At
+	return true
 }
 
 // Replace implements Store.
-func (s *MemStore) Replace(key keyspace.Key, entries []overlay.Entry) error {
+func (s *MemStore) Replace(key keyspace.Key, entries []overlay.Entry, tombs []Tombstone) error {
 	if len(entries) == 0 {
 		delete(s.m, key)
+	} else {
+		out := make([]overlay.Entry, len(entries))
+		copy(out, entries)
+		s.m[key] = out
+	}
+	if len(tombs) == 0 {
+		delete(s.tombs, key)
+	} else {
+		m := make(map[overlay.Entry]int64, len(tombs))
+		for _, t := range tombs {
+			if at, ok := m[t.Entry]; !ok || t.At > at {
+				m[t.Entry] = t.At
+			}
+		}
+		s.tombs[key] = m
+	}
+	return nil
+}
+
+// Tombstoned implements Store.
+func (s *MemStore) Tombstoned(key keyspace.Key, e overlay.Entry) bool {
+	_, dead := s.tombs[key][e]
+	return dead
+}
+
+// Tombstones implements Store.
+func (s *MemStore) Tombstones(key keyspace.Key) []Tombstone {
+	return tombstoneSlice(s.tombs[key])
+}
+
+// Entomb implements Store.
+func (s *MemStore) Entomb(key keyspace.Key, tombs []Tombstone) (int, error) {
+	fresh := 0
+	for _, t := range tombs {
+		s.removeLive(key, t.Entry)
+		if s.entombOne(key, t) {
+			fresh++
+		}
+	}
+	return fresh, nil
+}
+
+// ForEachTombstone implements Store.
+func (s *MemStore) ForEachTombstone(fn func(key keyspace.Key, tombs []Tombstone) bool) {
+	for k, m := range s.tombs {
+		if len(m) == 0 {
+			continue
+		}
+		if !fn(k, tombstoneSlice(m)) {
+			return
+		}
+	}
+}
+
+// GCTombstones implements Store.
+func (s *MemStore) GCTombstones(before int64) (int, error) {
+	collected := 0
+	for k, m := range s.tombs {
+		for e, at := range m {
+			if at < before {
+				delete(m, e)
+				collected++
+			}
+		}
+		if len(m) == 0 {
+			delete(s.tombs, k)
+		}
+	}
+	return collected, nil
+}
+
+// tombstoneSlice copies a tombstone map into a sorted slice (stable
+// order keeps digests and tests deterministic).
+func tombstoneSlice(m map[overlay.Entry]int64) []Tombstone {
+	if len(m) == 0 {
 		return nil
 	}
-	out := make([]overlay.Entry, len(entries))
-	copy(out, entries)
-	s.m[key] = out
-	return nil
+	out := make([]Tombstone, 0, len(m))
+	for e, at := range m {
+		out = append(out, Tombstone{Entry: e, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entry.Kind != out[j].Entry.Kind {
+			return out[i].Entry.Kind < out[j].Entry.Kind
+		}
+		return out[i].Entry.Value < out[j].Entry.Value
+	})
+	return out
 }
 
 // ForEach implements Store.

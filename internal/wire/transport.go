@@ -38,6 +38,7 @@ const (
 	OpRepairSync
 	OpPutBatch
 	OpRemoveBatch
+	OpMerge
 )
 
 // String returns the wire name of the operation.
@@ -75,15 +76,38 @@ func (o Op) String() string {
 		return "put-batch"
 	case OpRemoveBatch:
 		return "remove-batch"
+	case OpMerge:
+		return "merge"
 	default:
 		return "unknown"
 	}
 }
 
-// KeyEntries carries one key's entries in a transfer.
+// Tombstone is a deletion record: proof that an exact entry was removed
+// from a key, kept so anti-entropy cannot resurrect the entry from a
+// stale copy (a replica that missed the removal, or the far side of a
+// healed partition). While a tombstone is live, re-adding the identical
+// entry is suppressed everywhere; tombstones are garbage-collected
+// after Config.TombstoneTTL, which must exceed the longest partition or
+// downtime a stale copy can hide behind.
+type Tombstone struct {
+	// Entry is the removed entry.
+	Entry overlay.Entry
+	// At is the removal's wall-clock time in Unix nanoseconds. It only
+	// schedules garbage collection — conflict resolution never compares
+	// clocks across nodes; merges keep the latest At so a tombstone's
+	// TTL restarts when it is re-asserted.
+	At int64
+}
+
+// KeyEntries carries one key's entries (and deletion records) in a
+// transfer.
 type KeyEntries struct {
 	Key     keyspace.Key
 	Entries []overlay.Entry
+	// Tombs carries the key's tombstones alongside its live entries, so
+	// handovers, transfers and repair ships move deletions with the data.
+	Tombs []Tombstone
 }
 
 // KeyDigest summarizes one key's entry set for the anti-entropy repair
