@@ -91,6 +91,12 @@ func main() {
 
 		benchOut = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json); with -load, merge the load trajectory into it instead")
 
+		ingestMode   = flag.Bool("ingest", false, "run the continuous-ingest soak (durable backpressured pipeline feeding a stormed ring, ingester crash-restart mid-stream, poison quarantine) and exit non-zero on any gate violation")
+		ingestDocs   = flag.Int("ingest-docs", 0, "ingest: documents streamed through the pipeline (0 = harness default)")
+		ingestBudget = flag.Duration("ingest-budget", 15*time.Second, "ingest: ack-to-visibility freshness budget")
+		ingestSpool  = flag.String("ingest-spool", "", "ingest: pipeline spool directory, kept after the run for indexctl queue (default: a temp dir, removed after the run)")
+		ingestOut    = flag.String("ingest-out", "", "ingest: write the full JSON ingest report to this file")
+
 		loadMode   = flag.Bool("load", false, "run the open-loop overload harness (rated phase, then 2-4x overload with a flash crowd) and exit non-zero on any SLO violation")
 		loadRated  = flag.Float64("load-rated", 0, "load: rated arrival rate in ops/s (0 = harness default)")
 		loadFactor = flag.Float64("load-factor", 0, "load: overload multiple of the rated rate (0 = harness default)")
@@ -104,7 +110,13 @@ func main() {
 	flag.Parse()
 	reg := telemetry.NewRegistry()
 	var err error
-	if *loadMode {
+	if *ingestMode {
+		err = runIngestMode(ingestOpts{
+			nodes: *soakNodes, ops: *soakOps, drop: *soakDrop, latency: *soakLatency,
+			seed: *seed, docs: *ingestDocs, budget: *ingestBudget,
+			spoolDir: *ingestSpool, out: *ingestOut,
+		}, reg, *metricsAddr, *metricsOut)
+	} else if *loadMode {
 		err = runLoadMode(loadOpts{
 			rated: *loadRated, factor: *loadFactor, duration: *duration,
 			seed: *seed, out: *loadOut, benchOut: *benchOut,

@@ -10,6 +10,11 @@
 // offline instead of starting the shell:
 //
 //	indexctl snapshot [-keys] <data-dir>
+//
+// The `queue` subcommand inspects an ingest pipeline's durable spool
+// offline — pending, published and quarantined documents:
+//
+//	indexctl queue [-dead] <spool-dir>
 package main
 
 import (
@@ -20,6 +25,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
 		if err := runSnapshot(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "indexctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "queue" {
+		if err := runQueue(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "indexctl:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"dhtindex/internal/ingest"
+)
+
+// runQueue implements `indexctl queue [-dead] <spool-dir>`: an offline,
+// read-only inspection of an ingest pipeline's durable spool — what a
+// restarting ingester would recover, per lifecycle state, without
+// opening the spool for writing or repairing a torn tail. The
+// pipeline-side mirror of `indexctl snapshot`.
+func runQueue(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("queue", flag.ContinueOnError)
+	fs.SetOutput(out)
+	listDead := fs.Bool("dead", false, "list every quarantined document with its reason")
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: indexctl queue [-dead] <spool-dir>")
+		fmt.Fprintln(out, "inspect an ingest pipeline's durable spool offline (read-only)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("queue: expected exactly one spool directory, got %d args", fs.NArg())
+	}
+	sum, err := ingest.InspectSpool(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "spool dir:  %s\n", sum.Dir)
+	fmt.Fprintf(out, "pending:    %d documents awaiting publication\n", sum.Pending)
+	if sum.Pending > 0 {
+		fmt.Fprintf(out, "oldest:     %s (queued %v ago)\n", sum.OldestPendingID, sum.OldestPendingAge.Round(time.Second))
+	}
+	fmt.Fprintf(out, "published:  %d documents under freshness maintenance\n", sum.Published)
+	if !sum.NextDeadline.IsZero() {
+		fmt.Fprintf(out, "next due:   %s\n", sum.NextDeadline.Format(time.RFC3339))
+	}
+	fmt.Fprintf(out, "dead:       %d quarantined documents\n", sum.Dead)
+
+	if *listDead {
+		fmt.Fprintln(out)
+		for _, dl := range sum.DeadLetters {
+			fmt.Fprintf(out, "  %s  %s  %s\n", dl.Doc.ID, dl.At.Format(time.RFC3339), dl.Reason)
+		}
+	}
+	return nil
+}

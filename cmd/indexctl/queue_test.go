@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/ingest"
+)
+
+// stubPub publishes everything instantly.
+type stubPub struct{}
+
+func (stubPub) Publish(ingest.Document) error { return nil }
+
+// TestQueueSubcommand drives a real pipeline to build a spool, then
+// inspects it offline through the subcommand.
+func TestQueueSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	p, err := ingest.Open(dir, stubPub{}, ingest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ingest.Document{ID: "doc-1", File: "a.pdf", Article: descriptor.Article{Title: "T"}}
+	if err := p.Enqueue(doc); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runQueue([]string{dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"pending:    0", "published:  1", "dead:       0", "next due:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("queue output missing %q:\n%s", want, got)
+		}
+	}
+
+	if err := runQueue([]string{}, &out); err == nil {
+		t.Fatal("queue with no args must fail")
+	}
+}

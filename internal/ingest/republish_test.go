@@ -1,0 +1,140 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
+)
+
+// startWireRing boots a converged replicated wire ring over a
+// MemTransport and returns the cluster adapter plus the raw transport
+// (for direct per-node store observation).
+func startWireRing(t *testing.T, n, replication int) (*wire.Cluster, wire.Transport) {
+	t.Helper()
+	mt := wire.NewMemTransport()
+	cluster := wire.NewCluster(wire.NewRetryingTransport(mt, wire.RetryPolicy{}), 7, replication)
+	var nodes []*wire.Node
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	var bootstrap string
+	for i := 0; i < n; i++ {
+		nd, err := wire.Start(wire.Config{
+			Transport:         mt,
+			Addr:              "mem:0",
+			StabilizeInterval: 10 * time.Millisecond,
+			ReplicationFactor: replication,
+		})
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+		if bootstrap == "" {
+			bootstrap = nd.Addr()
+		} else if err := nd.Join(bootstrap); err != nil {
+			t.Fatalf("join node %d: %v", i, err)
+		}
+		cluster.Track(nd.Addr())
+	}
+	if err := cluster.WaitConverged(20 * time.Second); err != nil {
+		t.Fatalf("ring never converged: %v", err)
+	}
+	return cluster, mt
+}
+
+// TestRepublishDoesNotResurrectRemovedArticle is the tombstone-vs-
+// republish interaction check (extending the split-brain PR's
+// anti-resurrection suite): an article removed from the index during
+// the refresh window must stay removed even when the republisher —
+// still tracking it — re-puts its entries. The wire stores' live
+// tombstones suppress the re-puts ring-wide.
+func TestRepublishDoesNotResurrectRemovedArticle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire ring test")
+	}
+	cluster, mt := startWireRing(t, 8, 1)
+	svc := index.New(cluster, cache.None, 0)
+	scheme := index.Simple
+	pub := IndexPublisher{Service: svc, Scheme: scheme}
+
+	cfg := fastConfig()
+	p, err := Open(t.TempDir(), pub, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	d := doc(0)
+	if err := p.Enqueue(d); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	if st := p.Stats(); st.Published != 1 {
+		t.Fatalf("publish failed: %+v", st)
+	}
+
+	msd := dataset.MSD(d.Article)
+	dataEntry := overlay.Entry{Kind: index.KindData, Value: d.File}
+	entries, _, err := cluster.Get(msd.Key())
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("published article not served: %v %v", entries, err)
+	}
+
+	// Remove the article mid-refresh-window: the DHT side is
+	// unpublished, but the pipeline still tracks the document.
+	if err := svc.UnpublishArticle(d.File, d.Article, scheme); err != nil {
+		t.Fatalf("unpublish: %v", err)
+	}
+	if entries, _, err := cluster.Get(msd.Key()); err != nil || len(entries) != 0 {
+		t.Fatalf("after unpublish: entries=%v err=%v", entries, err)
+	}
+
+	// Force the republisher to refresh everything it tracks. The re-put
+	// of the removed article's entries must be suppressed by the live
+	// tombstones on every replica.
+	if n := p.ForceRepublish(); n != 1 {
+		t.Fatalf("force republish refreshed %d docs, want 1", n)
+	}
+
+	if entries, _, err := cluster.Get(msd.Key()); err != nil || len(entries) != 0 {
+		t.Fatalf("republish resurrected the removed article: entries=%v err=%v", entries, err)
+	}
+	// Physical check: no node's local store may serve the data entry.
+	count := 0
+	for _, addr := range cluster.Addrs() {
+		resp, err := mt.Call(addr, wire.Message{Op: wire.OpGet, Key: msd.Key()})
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		for _, have := range resp.Entries {
+			if have == dataEntry {
+				count++
+				break
+			}
+		}
+	}
+	if count != 0 {
+		t.Fatalf("%d nodes still physically serve the removed data entry after republish", count)
+	}
+	// The index mappings must stay removed too: the author query's key
+	// must not have regained an index entry pointing back toward the
+	// article.
+	author := dataset.AuthorQuery(d.Article.AuthorFirst, d.Article.AuthorLast)
+	if entries, _, err := cluster.Get(author.Key()); err != nil || len(entries) != 0 {
+		t.Fatalf("republish resurrected index mappings: entries=%v err=%v", entries, err)
+	}
+
+	// The proper removal path — Forget — stops the pipeline from even
+	// attempting the refresh.
+	p.Forget(d.ID)
+	if n := p.ForceRepublish(); n != 0 {
+		t.Fatalf("force republish after Forget refreshed %d docs, want 0", n)
+	}
+}

@@ -1,0 +1,213 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"dhtindex/internal/descriptor"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire/durable"
+)
+
+// Spool entry kinds: each document's spool record is one overlay.Entry
+// whose Kind encodes its lifecycle state and whose Value is the JSON
+// spoolRecord. State transitions go through durable.Store.Replace, so
+// a document is always in exactly one state and every transition is a
+// single WAL record.
+const (
+	// SpoolPending marks an acked document not yet published.
+	SpoolPending = "pending"
+	// SpoolPublished marks a published document under freshness
+	// maintenance.
+	SpoolPublished = "published"
+	// SpoolDead marks a quarantined document.
+	SpoolDead = "dead"
+)
+
+// spoolRecord is the JSON payload of one spool entry.
+type spoolRecord struct {
+	ID          string             `json:"id"`
+	File        string             `json:"file"`
+	Article     descriptor.Article `json:"article"`
+	EnqueuedAt  int64              `json:"enqueued_at"`
+	Attempts    int                `json:"attempts,omitempty"`
+	PublishedAt int64              `json:"published_at,omitempty"`
+	Deadline    int64              `json:"deadline,omitempty"`
+	Reason      string             `json:"reason,omitempty"`
+	DeadAt      int64              `json:"dead_at,omitempty"`
+}
+
+// spoolKey maps a document ID onto the spool's keyspace. The prefix
+// keeps ingest records recognizably distinct from DHT entry keys if a
+// spool directory is ever pointed at general tooling.
+func spoolKey(id string) keyspace.Key {
+	return keyspace.NewKey("ingest/" + id)
+}
+
+// encodeSpool renders a record into its overlay.Entry.
+func encodeSpool(kind string, rec spoolRecord) (overlay.Entry, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return overlay.Entry{}, err
+	}
+	return overlay.Entry{Kind: kind, Value: string(b)}, nil
+}
+
+// spoolPendingLocked writes (or rewrites) a document's pending record.
+// Callers hold p.mu.
+func (p *Pipeline) spoolPendingLocked(q queued) error {
+	e, err := encodeSpool(SpoolPending, spoolRecord{
+		ID: q.doc.ID, File: q.doc.File, Article: q.doc.Article,
+		EnqueuedAt: q.enqueuedAt.UnixNano(), Attempts: q.attempts,
+	})
+	if err != nil {
+		return err
+	}
+	return p.spool.Replace(spoolKey(q.doc.ID), []overlay.Entry{e}, nil)
+}
+
+// spoolPublishedLocked transitions a document's record to published,
+// stamping the publish time and freshness deadline. Callers hold p.mu.
+func (p *Pipeline) spoolPublishedLocked(q queued, at, deadline time.Time) error {
+	e, err := encodeSpool(SpoolPublished, spoolRecord{
+		ID: q.doc.ID, File: q.doc.File, Article: q.doc.Article,
+		EnqueuedAt:  q.enqueuedAt.UnixNano(),
+		PublishedAt: at.UnixNano(), Deadline: deadline.UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+	return p.spool.Replace(spoolKey(q.doc.ID), []overlay.Entry{e}, nil)
+}
+
+// spoolDeadLocked transitions a document's record to dead. Callers
+// hold p.mu.
+func (p *Pipeline) spoolDeadLocked(q queued, dl DeadLetter) error {
+	e, err := encodeSpool(SpoolDead, spoolRecord{
+		ID: q.doc.ID, File: q.doc.File, Article: q.doc.Article,
+		EnqueuedAt: q.enqueuedAt.UnixNano(), Attempts: q.attempts,
+		Reason: dl.Reason, DeadAt: dl.At.UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+	return p.spool.Replace(spoolKey(q.doc.ID), []overlay.Entry{e}, nil)
+}
+
+// recoverSpool replays the freshly opened spool into the pipeline's
+// in-memory state: pending documents re-enter the queue (oldest
+// first — at-least-once delivery across the crash), published
+// documents re-enter the republish set with their recorded deadlines,
+// and dead letters are restored. Corrupt records are skipped rather
+// than wedging recovery.
+func (p *Pipeline) recoverSpool() error {
+	type kinded struct {
+		kind string
+		rec  spoolRecord
+	}
+	var recs []kinded
+	p.spool.ForEach(func(_ keyspace.Key, entries []overlay.Entry) bool {
+		for _, e := range entries {
+			var rec spoolRecord
+			if err := json.Unmarshal([]byte(e.Value), &rec); err != nil || rec.ID == "" {
+				continue
+			}
+			recs = append(recs, kinded{kind: e.Kind, rec: rec})
+		}
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].rec.EnqueuedAt < recs[j].rec.EnqueuedAt })
+	for _, kr := range recs {
+		doc := Document{ID: kr.rec.ID, File: kr.rec.File, Article: kr.rec.Article}
+		switch kr.kind {
+		case SpoolPending:
+			p.queue = append(p.queue, queued{
+				doc: doc, attempts: kr.rec.Attempts,
+				enqueuedAt: time.Unix(0, kr.rec.EnqueuedAt),
+			})
+			p.recoveredPending++
+			p.c.enqueued.Inc()
+		case SpoolPublished:
+			p.published[doc.ID] = tracked{doc: doc, deadline: time.Unix(0, kr.rec.Deadline)}
+			p.recoveredPublished++
+		case SpoolDead:
+			p.dead = append(p.dead, DeadLetter{Doc: doc, Reason: kr.rec.Reason, At: time.Unix(0, kr.rec.DeadAt)})
+			p.recoveredDead++
+		}
+	}
+	return nil
+}
+
+// SpoolSummary is the result of offline-inspecting an ingest spool
+// directory, printed by `indexctl queue`.
+type SpoolSummary struct {
+	// Dir is the inspected spool directory.
+	Dir string
+	// Pending is the number of acked-but-unpublished documents.
+	Pending int
+	// Published is the number of documents under freshness
+	// maintenance.
+	Published int
+	// Dead is the number of quarantined documents.
+	Dead int
+	// OldestPendingID is the oldest pending document's ID (empty when
+	// none are pending).
+	OldestPendingID string
+	// OldestPendingAge is that document's age at inspection time.
+	OldestPendingAge time.Duration
+	// NextDeadline is the earliest freshness deadline among published
+	// documents (zero when none are published).
+	NextDeadline time.Time
+	// DeadLetters lists the quarantined documents, oldest first.
+	DeadLetters []DeadLetter
+}
+
+// InspectSpool performs a read-only replay of an ingest spool
+// directory and summarizes the pipeline state a restart would recover.
+// Like durable.Inspect it never mutates the directory, so it is safe
+// to point at a live pipeline's spool.
+func InspectSpool(dir string) (SpoolSummary, error) {
+	dump, err := durable.Dump(dir)
+	if err != nil {
+		return SpoolSummary{Dir: dir}, fmt.Errorf("ingest: inspect spool: %w", err)
+	}
+	sum := SpoolSummary{Dir: dir}
+	now := time.Now()
+	oldest := time.Time{}
+	for _, k := range dump {
+		for _, e := range k.Entries {
+			var rec spoolRecord
+			if err := json.Unmarshal([]byte(e.Value), &rec); err != nil || rec.ID == "" {
+				continue
+			}
+			switch e.Kind {
+			case SpoolPending:
+				sum.Pending++
+				at := time.Unix(0, rec.EnqueuedAt)
+				if oldest.IsZero() || at.Before(oldest) {
+					oldest = at
+					sum.OldestPendingID = rec.ID
+					sum.OldestPendingAge = now.Sub(at)
+				}
+			case SpoolPublished:
+				sum.Published++
+				d := time.Unix(0, rec.Deadline)
+				if sum.NextDeadline.IsZero() || d.Before(sum.NextDeadline) {
+					sum.NextDeadline = d
+				}
+			case SpoolDead:
+				sum.Dead++
+				sum.DeadLetters = append(sum.DeadLetters, DeadLetter{
+					Doc:    Document{ID: rec.ID, File: rec.File, Article: rec.Article},
+					Reason: rec.Reason,
+					At:     time.Unix(0, rec.DeadAt),
+				})
+			}
+		}
+	}
+	sort.Slice(sum.DeadLetters, func(i, j int) bool { return sum.DeadLetters[i].At.Before(sum.DeadLetters[j].At) })
+	return sum, nil
+}

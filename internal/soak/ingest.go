@@ -1,0 +1,494 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"dhtindex/internal/cache"
+	"dhtindex/internal/dataset"
+	"dhtindex/internal/index"
+	"dhtindex/internal/ingest"
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/telemetry"
+	"dhtindex/internal/wire"
+)
+
+// IngestConfig parameterizes the continuous-ingest soak: a crawl-rate
+// document stream fed through an ingest.Pipeline into a ring that is
+// simultaneously being stormed (drops, latency, crashes, partitions),
+// with the ingester itself crash-restarted mid-stream. The zero value
+// gets scenario-shaped defaults; the wire storm is configured through
+// Wire.
+type IngestConfig struct {
+	// Wire is the underlying churn-soak configuration. Its
+	// Telemetry/Setup/OnOp/PostStorm hooks are owned by this package and
+	// must be left nil.
+	Wire wire.SoakConfig
+	// Pipeline tunes the ingest pipeline under test. Zero fields get
+	// soak-shaped defaults rather than ingest's production defaults: a
+	// short FreshnessTTL (4s) and RepublishInterval (500ms) so the
+	// republisher demonstrably fires within the run, and a publish retry
+	// cap of 8 so storm-transient failures don't quarantine healthy
+	// documents.
+	Pipeline ingest.Config
+	// Documents is the corpus size streamed through the pipeline during
+	// the storm (default 40).
+	Documents int
+	// PoisonEvery injects one poison document (blank title — its MSD is
+	// not concrete, so publication can never succeed) per this many
+	// documents (default 10; negative disables). Every acked poison
+	// document must end up dead-lettered, never visible.
+	PoisonEvery int
+	// FreshnessBudget is the ack-to-visibility SLO: every acked
+	// non-poison document must be observable at its MSD key within this
+	// budget of its enqueue ack (default 15s).
+	FreshnessBudget time.Duration
+	// RestartAtOp is the storm op at which the ingester is crash-stopped
+	// (ingest.Pipeline.Kill — no graceful drain) and reopened on the
+	// same spool directory (default Ops/2; negative disables). The
+	// restarted pipeline must recover its spool and lose nothing.
+	RestartAtOp int
+	// ProbePerOp is how many acked-but-unverified documents are probed
+	// for visibility per storm op (default 4).
+	ProbePerOp int
+	// SpoolDir is the pipeline's durable spool directory. Empty means a
+	// fresh temporary directory, removed when the run finishes; a
+	// caller-provided directory is kept (inspect it afterwards with
+	// `indexctl queue`).
+	SpoolDir string
+	// Scheme selects the indexing scheme documents are published under
+	// (default index.Simple).
+	Scheme index.Scheme
+	// Telemetry, when non-nil, receives the wire layer's series plus the
+	// index service's counters and the pipeline's ingest_* series.
+	Telemetry *telemetry.Registry
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Documents == 0 {
+		c.Documents = 40
+	}
+	if c.PoisonEvery == 0 {
+		c.PoisonEvery = 10
+	}
+	if c.FreshnessBudget == 0 {
+		c.FreshnessBudget = 15 * time.Second
+	}
+	if c.RestartAtOp == 0 {
+		c.RestartAtOp = c.wireOps() / 2
+	}
+	if c.ProbePerOp == 0 {
+		c.ProbePerOp = 4
+	}
+	if c.Scheme == nil {
+		c.Scheme = index.Simple
+	}
+	if c.Pipeline.QueueBound == 0 {
+		c.Pipeline.QueueBound = 16
+	}
+	if c.Pipeline.PublishRetryCap == 0 {
+		c.Pipeline.PublishRetryCap = 8
+	}
+	if c.Pipeline.FreshnessTTL == 0 {
+		c.Pipeline.FreshnessTTL = 4 * time.Second
+	}
+	if c.Pipeline.RepublishInterval == 0 {
+		c.Pipeline.RepublishInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// wireOps mirrors wire.SoakConfig's Ops default for schedule math.
+func (c IngestConfig) wireOps() int {
+	if c.Wire.Ops > 0 {
+		return c.Wire.Ops
+	}
+	return 150
+}
+
+// IngestReport is the outcome of a continuous-ingest soak: the wire
+// layer's own report plus the ingest stream's accounting and the
+// scenario's pass/fail gates.
+type IngestReport struct {
+	wire.SoakReport
+
+	// Enqueued is the number of documents offered to the pipeline.
+	Enqueued int `json:"enqueued"`
+	// Acked is the number of enqueues the pipeline durably acked; every
+	// acked non-poison document is held to the loss and freshness gates.
+	Acked int `json:"acked"`
+	// Poison is the number of acked poison documents.
+	Poison int `json:"poison"`
+	// EnqueueFailures counts enqueues the pipeline refused — must be
+	// zero under the Block policy.
+	EnqueueFailures int `json:"enqueue_failures"`
+	// Published / Retries / OverloadBackoffs / DeadLettered /
+	// Republished / RepublishFailures / Shed aggregate the pipeline's
+	// counters across the ingester restart.
+	Published         int64 `json:"published"`
+	Retries           int64 `json:"retries"`
+	OverloadBackoffs  int64 `json:"overload_backoffs"`
+	DeadLettered      int64 `json:"dead_lettered"`
+	Republished       int64 `json:"republished"`
+	RepublishFailures int64 `json:"republish_failures"`
+	Shed              int64 `json:"shed"`
+	// IngesterRestarts counts executed ingester crash-restarts.
+	IngesterRestarts int `json:"ingester_restarts"`
+	// SpoolRecovered is what the restarted pipeline replayed from its
+	// spool (pending + published + dead records) — must be > 0 when a
+	// restart ran.
+	SpoolRecovered int `json:"spool_recovered"`
+	// LostDocs lists acked non-poison documents never observed at their
+	// MSD key — must be empty: an ack is a durability promise.
+	LostDocs []string `json:"lost_docs,omitempty"`
+	// FreshnessViolations lists documents that became visible only after
+	// their FreshnessBudget had lapsed.
+	FreshnessViolations []string `json:"freshness_violations,omitempty"`
+	// PoisonSurvivors lists acked poison documents that were NOT
+	// dead-lettered — must be empty: quarantine must be total.
+	PoisonSurvivors []string `json:"poison_survivors,omitempty"`
+	// MaxAckToVisible is the worst observed ack-to-visibility latency.
+	MaxAckToVisible time.Duration `json:"max_ack_to_visible_ns"`
+	// DeadLetterReasons counts quarantined documents by reason.
+	DeadLetterReasons map[string]int `json:"dead_letter_reasons,omitempty"`
+	// SpoolDir is where the pipeline's spool lived (already removed when
+	// IngestConfig.SpoolDir was empty).
+	SpoolDir string `json:"spool_dir,omitempty"`
+	// Violations lists every unmet scenario gate; empty is a pass.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Passed reports whether every ingest-scenario gate held.
+func (r IngestReport) Passed() bool { return len(r.Violations) == 0 }
+
+// ingestDoc is one streamed document's scenario-side state.
+type ingestDoc struct {
+	doc       ingest.Document
+	key       keyspace.Key
+	poison    bool
+	acked     bool
+	ackAt     time.Time
+	visibleAt time.Time
+}
+
+// RunIngest executes the continuous-ingest soak. The error is non-nil
+// only for harness failures (corpus generation, node boot, the ingester
+// refusing to reopen); scenario misbehaviour — lost acked documents,
+// freshness misses, surviving poison — is reported in the
+// IngestReport's Violations for the caller to judge.
+func RunIngest(cfg IngestConfig) (IngestReport, error) {
+	cfg = cfg.withDefaults()
+	var report IngestReport
+
+	corpus, err := dataset.Generate(dataset.Config{Articles: cfg.Documents, Seed: cfg.Wire.Seed})
+	if err != nil {
+		return report, fmt.Errorf("soak: corpus: %w", err)
+	}
+
+	spoolDir := cfg.SpoolDir
+	if spoolDir == "" {
+		spoolDir, err = os.MkdirTemp("", "dht-ingest-soak-")
+		if err != nil {
+			return report, fmt.Errorf("soak: spool dir: %w", err)
+		}
+		defer os.RemoveAll(spoolDir)
+	}
+	report.SpoolDir = spoolDir
+
+	docs := make([]ingestDoc, cfg.Documents)
+	for i := range docs {
+		a := corpus.Articles[i]
+		poison := cfg.PoisonEvery > 0 && i%cfg.PoisonEvery == cfg.PoisonEvery-1
+		if poison {
+			// A blank title leaves the article's most specific descriptor
+			// presence-only — not concrete — so every publish attempt
+			// fails permanently: the pipeline must quarantine it, not
+			// spin on it.
+			a.Title = ""
+		}
+		docs[i] = ingestDoc{
+			doc: ingest.Document{
+				ID:      fmt.Sprintf("doc-%04d", i),
+				File:    fmt.Sprintf("ingest-%04d.pdf", i),
+				Article: a,
+			},
+			key:    dataset.MSD(a).Key(),
+			poison: poison,
+		}
+	}
+
+	// Finish enqueuing by ~3/4 of the storm so late acks still get probe
+	// time before the storm ends.
+	spacing := (cfg.wireOps() * 3 / 4) / cfg.Documents
+	if spacing < 1 {
+		spacing = 1
+	}
+
+	// Setup/OnOp/PostStorm run sequentially on the soak goroutine, so
+	// plain closure state suffices (the pipeline's own concurrency is
+	// internal to it).
+	var (
+		pipe        *ingest.Pipeline
+		pub         ingest.IndexPublisher
+		nextDoc     int
+		probeCursor int
+		restartErr  error
+		base        ingest.Stats // counters accumulated before the restart
+	)
+	defer func() {
+		if pipe != nil {
+			pipe.Close()
+		}
+	}()
+
+	enqueueNext := func() {
+		if nextDoc >= len(docs) {
+			return
+		}
+		d := &docs[nextDoc]
+		nextDoc++
+		report.Enqueued++
+		if err := pipe.Enqueue(d.doc); err != nil {
+			report.EnqueueFailures++
+			return
+		}
+		d.acked = true
+		d.ackAt = time.Now()
+		report.Acked++
+		if d.poison {
+			report.Poison++
+		}
+	}
+
+	// probeVisibility checks one document's data entry at its MSD key
+	// with a short per-probe budget; storm-time failures are tolerated —
+	// the document is simply probed again later.
+	probeVisibility := func(c *wire.Cluster, d *ingestDoc, budget time.Duration) {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		entries, _, err := c.GetCtx(ctx, d.key)
+		cancel()
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.Kind == index.KindData && e.Value == d.doc.File {
+				d.visibleAt = time.Now()
+				return
+			}
+		}
+	}
+
+	wcfg := cfg.Wire
+	wcfg.Telemetry = cfg.Telemetry
+
+	wcfg.Setup = func(c *wire.Cluster) error {
+		svc := index.New(c, cache.None, 0)
+		if cfg.Telemetry != nil {
+			svc.Instrument(cfg.Telemetry, telemetry.L("scheme", "ingest/"+cfg.Scheme.Name()))
+		}
+		pub = ingest.IndexPublisher{Service: svc, Scheme: cfg.Scheme}
+		p, err := ingest.Open(spoolDir, pub, cfg.Pipeline)
+		if err != nil {
+			return fmt.Errorf("open ingest pipeline: %w", err)
+		}
+		if cfg.Telemetry != nil {
+			p.Instrument(cfg.Telemetry)
+		}
+		pipe = p
+		return nil
+	}
+
+	wcfg.OnOp = func(op int, c *wire.Cluster) {
+		if restartErr != nil {
+			return
+		}
+		if op%spacing == 0 {
+			enqueueNext()
+		}
+		if cfg.RestartAtOp > 0 && op == cfg.RestartAtOp && report.IngesterRestarts == 0 {
+			// Crash the ingester mid-stream. Enqueue a small burst first
+			// so the spool very likely holds pending (not just published)
+			// records across the crash; Kill skips the graceful drain.
+			for i := 0; i < 4; i++ {
+				enqueueNext()
+			}
+			pipe.Kill()
+			// Snapshot AFTER the kill: the workers have stopped, so the
+			// counters are final — a publish completing between a
+			// pre-kill snapshot and the kill would otherwise vanish from
+			// the accumulated totals.
+			st := pipe.Stats()
+			base.Shed += st.Shed
+			base.Published += st.Published
+			base.Retries += st.Retries
+			base.OverloadBackoffs += st.OverloadBackoffs
+			base.DeadLettered += st.DeadLettered
+			base.Republished += st.Republished
+			base.RepublishFailures += st.RepublishFailures
+			p, err := ingest.Open(spoolDir, pub, cfg.Pipeline)
+			if err != nil {
+				restartErr = fmt.Errorf("reopen ingest pipeline after crash: %w", err)
+				return
+			}
+			if cfg.Telemetry != nil {
+				p.Instrument(cfg.Telemetry)
+			}
+			pipe = p
+			report.IngesterRestarts++
+			rs := p.Stats()
+			report.SpoolRecovered = rs.RecoveredPending + rs.RecoveredPublished + rs.RecoveredDead
+		}
+		// Round-robin visibility probes over acked-but-unverified
+		// documents, bounded per op so probing never dominates the storm.
+		probed := 0
+		for i := 0; i < len(docs) && probed < cfg.ProbePerOp; i++ {
+			d := &docs[(probeCursor+i)%len(docs)]
+			if !d.acked || d.poison || !d.visibleAt.IsZero() {
+				continue
+			}
+			probed++
+			probeVisibility(c, d, 500*time.Millisecond)
+		}
+		probeCursor++
+	}
+
+	wcfg.PostStorm = func(c *wire.Cluster, _ *wire.FaultTransport) error {
+		// Flush the stream: any documents the crawl schedule didn't reach
+		// go in now, then the queue must drain to terminal states.
+		for nextDoc < len(docs) {
+			enqueueNext()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := pipe.Drain(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("drain ingest queue: %w", err)
+		}
+		// Final visibility sweep over the healed ring: poll every acked
+		// non-poison document until it is served or the budget lapses.
+		deadline := time.Now().Add(cfg.FreshnessBudget)
+		for {
+			missing := 0
+			for i := range docs {
+				d := &docs[i]
+				if !d.acked || d.poison || !d.visibleAt.IsZero() {
+					continue
+				}
+				probeVisibility(c, d, time.Second)
+				if d.visibleAt.IsZero() {
+					missing++
+				}
+			}
+			if missing == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		// Hold the run until the republisher demonstrably fired: with the
+		// soak's short FreshnessTTL at least one refresh must land well
+		// within two TTL windows.
+		repDeadline := time.Now().Add(2 * cfg.Pipeline.FreshnessTTL)
+		for time.Now().Before(repDeadline) {
+			if base.Republished+pipe.Stats().Republished > 0 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return nil
+	}
+
+	report.SoakReport, err = wire.RunSoak(wcfg)
+	if err != nil {
+		return report, err
+	}
+	if restartErr != nil {
+		return report, restartErr
+	}
+
+	// Aggregate the pipeline's counters across the restart and fold the
+	// per-document outcomes into the report.
+	st := pipe.Stats()
+	report.Shed = base.Shed + st.Shed
+	report.Published = base.Published + st.Published
+	report.Retries = base.Retries + st.Retries
+	report.OverloadBackoffs = base.OverloadBackoffs + st.OverloadBackoffs
+	report.DeadLettered = base.DeadLettered + st.DeadLettered
+	report.Republished = base.Republished + st.Republished
+	report.RepublishFailures = base.RepublishFailures + st.RepublishFailures
+
+	deadIDs := make(map[string]bool)
+	for _, dl := range pipe.DeadLetters() {
+		if report.DeadLetterReasons == nil {
+			report.DeadLetterReasons = make(map[string]int)
+		}
+		report.DeadLetterReasons[dl.Reason]++
+		deadIDs[dl.Doc.ID] = true
+	}
+	for i := range docs {
+		d := &docs[i]
+		if !d.acked {
+			continue
+		}
+		if d.poison {
+			if !deadIDs[d.doc.ID] {
+				report.PoisonSurvivors = append(report.PoisonSurvivors, d.doc.ID)
+			}
+			continue
+		}
+		if d.visibleAt.IsZero() {
+			report.LostDocs = append(report.LostDocs, d.doc.ID)
+			continue
+		}
+		age := d.visibleAt.Sub(d.ackAt)
+		if age > report.MaxAckToVisible {
+			report.MaxAckToVisible = age
+		}
+		if age > cfg.FreshnessBudget {
+			report.FreshnessViolations = append(report.FreshnessViolations,
+				fmt.Sprintf("%s: visible %v after ack, budget %v", d.doc.ID, age.Round(time.Millisecond), cfg.FreshnessBudget))
+		}
+	}
+
+	report.Violations = evaluateIngest(cfg, report)
+	return report, nil
+}
+
+// evaluateIngest turns the report into the scenario's gate list; every
+// unmet criterion becomes one line. Empty is a pass.
+func evaluateIngest(cfg IngestConfig, r IngestReport) []string {
+	var v []string
+	if !r.Converged {
+		v = append(v, "ring did not re-converge after the storm")
+	}
+	if len(r.LostKeys) > 0 {
+		v = append(v, fmt.Sprintf("%d acked wire keys lost", len(r.LostKeys)))
+	}
+	if r.Acked == 0 {
+		v = append(v, "no document was acked — the stream never ran")
+	}
+	if r.EnqueueFailures > 0 {
+		v = append(v, fmt.Sprintf("%d enqueues refused under the Block policy", r.EnqueueFailures))
+	}
+	if n := len(r.LostDocs); n > 0 {
+		v = append(v, fmt.Sprintf("%d acked documents lost: %v", n, r.LostDocs))
+	}
+	if n := len(r.FreshnessViolations); n > 0 {
+		v = append(v, fmt.Sprintf("%d documents missed the freshness budget: %v", n, r.FreshnessViolations))
+	}
+	if n := len(r.PoisonSurvivors); n > 0 {
+		v = append(v, fmt.Sprintf("%d poison documents escaped quarantine: %v", n, r.PoisonSurvivors))
+	}
+	if cfg.RestartAtOp > 0 {
+		if r.IngesterRestarts != 1 {
+			v = append(v, fmt.Sprintf("ingester restarted %d times, want 1", r.IngesterRestarts))
+		} else if r.SpoolRecovered == 0 {
+			v = append(v, "restarted ingester recovered nothing from its spool")
+		}
+	}
+	if r.Republished == 0 {
+		v = append(v, "republisher never refreshed a document")
+	}
+	return v
+}

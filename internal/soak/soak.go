@@ -63,6 +63,10 @@ type Config struct {
 	// stores. Empty means a fresh temporary directory, removed when the
 	// run finishes; a caller-provided directory is kept.
 	DataDir string
+	// SnapshotEvery is the Restart mode's per-member WAL compaction
+	// threshold (default 256 records) — how much un-snapshotted WAL a
+	// member may accumulate before its restart replay gets slow.
+	SnapshotEvery int
 	// ProbeBudget is the deadline budget of the repair mode's degraded-
 	// lookup probe (default 3s).
 	ProbeBudget time.Duration
@@ -108,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeBudget == 0 {
 		c.ProbeBudget = 3 * time.Second
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
 	}
 	return c
 }
@@ -202,7 +209,7 @@ func Run(cfg Config) (Report, error) {
 		report.DataDir = dir
 		wcfg.StoreFor = func(member int) (wire.Store, error) {
 			return durable.Open(filepath.Join(dir, fmt.Sprintf("node-%03d", member)),
-				durable.Options{SnapshotEvery: 256})
+				durable.Options{SnapshotEvery: cfg.SnapshotEvery})
 		}
 		if wcfg.RestartEvery == 0 {
 			ops := wcfg.Ops

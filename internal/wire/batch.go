@@ -67,7 +67,7 @@ func (c *Cluster) PutBatch(ctx context.Context, items []overlay.KeyEntry) error 
 
 // putGroup ships one per-owner put batch.
 func (c *Cluster) putGroup(ctx context.Context, owner string, kv []KeyEntries) error {
-	resp, err := c.callCtx(ctx, owner, Message{Op: OpPutBatch, KV: kv, TTL: c.ttl})
+	resp, err := c.callCtx(ctx, owner, Message{Op: OpPutBatch, KV: kv, TTL: c.routeTTL()})
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func (c *Cluster) RemoveBatch(ctx context.Context, items []overlay.KeyEntry) (in
 // outside the owner's CURRENT successor set, exactly like Remove's
 // sweep.
 func (c *Cluster) removeGroup(ctx context.Context, owner string, kv []KeyEntries) (int, error) {
-	resp, err := c.callCtx(ctx, owner, Message{Op: OpRemoveBatch, KV: kv, TTL: c.ttl})
+	resp, err := c.callCtx(ctx, owner, Message{Op: OpRemoveBatch, KV: kv, TTL: c.routeTTL()})
 	if err != nil {
 		return 0, err
 	}

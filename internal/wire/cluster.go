@@ -20,6 +20,12 @@ import (
 // first tracked member just crashed.
 const defaultEntryAttempts = 3
 
+// DefaultRouteTTL is the hop budget stamped on routed cluster RPCs
+// (FindSuccessor and the batched put/remove fast paths) when
+// Cluster.RouteTTL is unset: generous enough for any realistic ring's
+// finger-table routing, small enough to kill a routing loop fast.
+const DefaultRouteTTL = 64
+
 // Cluster adapts a set of live wire nodes to the overlay contract, so the
 // indexing layer runs unchanged over a real message-passing network. The
 // cluster tracks member addresses (the deployment's bootstrap knowledge);
@@ -27,7 +33,6 @@ const defaultEntryAttempts = 3
 // routed by the Chord protocol itself.
 type Cluster struct {
 	transport Transport
-	ttl       int
 	// replication mirrors the ring's Config.ReplicationFactor: reads
 	// fail over across exactly the owner's replication successors (the
 	// set writes fan out to, plus one slot of post-Leave migration
@@ -48,6 +53,10 @@ type Cluster struct {
 	// per-owner RPCs of a PutBatch/RemoveBatch (default 4). Set before
 	// serving traffic.
 	BatchParallelism int
+
+	// RouteTTL is the hop budget stamped on routed RPCs (default
+	// DefaultRouteTTL). Set before serving traffic.
+	RouteTTL int
 
 	mu    sync.Mutex
 	addrs []string
@@ -94,6 +103,14 @@ var (
 	_ overlay.ContextNetwork = (*Cluster)(nil)
 )
 
+// routeTTL resolves the configured hop budget.
+func (c *Cluster) routeTTL() int {
+	if c.RouteTTL > 0 {
+		return c.RouteTTL
+	}
+	return DefaultRouteTTL
+}
+
 // NewCluster creates a cluster handle over the transport. replication
 // must equal the ring nodes' Config.ReplicationFactor — it sizes the
 // read-failover and remove-sweep window, so passing the write fan-out
@@ -102,7 +119,6 @@ var (
 func NewCluster(transport Transport, seed int64, replication int) *Cluster {
 	return &Cluster{
 		transport:   transport,
-		ttl:         64,
 		replication: replication,
 		rng:         rand.New(rand.NewSource(seed)),
 		ownerReadFailures: telemetry.NewCounter("wire_owner_read_failures_total",
@@ -254,7 +270,7 @@ func (c *Cluster) FindOwnerCtx(ctx context.Context, key keyspace.Key) (overlay.R
 		if err != nil {
 			return overlay.Route{}, err
 		}
-		resp, err := c.callCtx(ctx, via, Message{Op: OpFindSuccessor, Key: key, TTL: c.ttl})
+		resp, err := c.callCtx(ctx, via, Message{Op: OpFindSuccessor, Key: key, TTL: c.routeTTL()})
 		if err == nil {
 			if rerr := remoteError(resp); rerr != nil {
 				return overlay.Route{}, rerr

@@ -8,6 +8,7 @@ import (
 
 	"dhtindex/internal/keyspace"
 	"dhtindex/internal/overlay"
+	"dhtindex/internal/wire"
 )
 
 // Summary is the result of offline-inspecting a durable data
@@ -53,6 +54,86 @@ type KeySummary struct {
 	Kinds map[string]int
 	// Tombstones is the number of deletion records held under the key.
 	Tombstones int
+}
+
+// DumpedKey is one recovered key with its full entries and tombstones,
+// produced by Dump. Where Inspect only counts what a directory holds,
+// Dump returns the payloads themselves — the hook offline tooling needs
+// to decode application-level records (e.g. the ingest spool).
+type DumpedKey struct {
+	// Key is the ring key.
+	Key keyspace.Key
+	// Entries are the recovered entries, in replay order.
+	Entries []overlay.Entry
+	// Tombstones are the key's recovered deletion records.
+	Tombstones []wire.Tombstone
+}
+
+// Dump performs a read-only recovery replay of the data directory at
+// dir and returns every recovered key with its entries and tombstones,
+// sorted by ring position. Like Inspect it never truncates a torn tail
+// or creates missing files; a torn trailing record is simply where the
+// replay stops.
+func Dump(dir string) ([]DumpedKey, error) {
+	s := &Store{mem: make(map[keyspace.Key][]overlay.Entry), tombs: make(map[keyspace.Key]map[overlay.Entry]int64)}
+	lastSeq := uint64(0)
+
+	snap, err := os.ReadFile(filepath.Join(dir, snapFile))
+	if err == nil {
+		seq, herr := parseHeader(snap, snapMagic)
+		if herr != nil {
+			return nil, fmt.Errorf("durable: snapshot corrupt: bad header")
+		}
+		rest := snap[headerSize:]
+		for len(rest) > 0 {
+			rec, n, perr := parseFrame(rest)
+			if perr != nil {
+				return nil, fmt.Errorf("durable: snapshot corrupt: %w", perr)
+			}
+			s.apply(rec)
+			rest = rest[n:]
+		}
+		lastSeq = seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+
+	wal, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("durable: read wal: %w", err)
+	}
+	if len(wal) > 0 {
+		if base, herr := parseHeader(wal, walMagic); herr == nil {
+			i := 0
+			rest := wal[headerSize:]
+			for len(rest) > 0 {
+				rec, n, perr := parseFrame(rest)
+				if perr != nil {
+					break // torn tail: recovery would truncate here
+				}
+				i++
+				if base+uint64(i) > lastSeq {
+					s.apply(rec)
+					lastSeq = base + uint64(i)
+				}
+				rest = rest[n:]
+			}
+		}
+	}
+
+	out := make([]DumpedKey, 0, len(s.mem))
+	seen := make(map[keyspace.Key]bool, len(s.mem))
+	for k, entries := range s.mem {
+		out = append(out, DumpedKey{Key: k, Entries: entries, Tombstones: tombstoneSlice(s.tombs[k])})
+		seen[k] = true
+	}
+	for k, m := range s.tombs {
+		if !seen[k] && len(m) > 0 {
+			out = append(out, DumpedKey{Key: k, Tombstones: tombstoneSlice(m)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Cmp(out[j].Key) < 0 })
+	return out, nil
 }
 
 // Inspect performs a read-only recovery replay of the data directory
