@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -35,6 +36,11 @@ type benchResult struct {
 	P50Micros  float64 `json:"p50_us"`
 	P99Micros  float64 `json:"p99_us"`
 	BytesPerOp int64   `json:"bytes_per_op"`
+	// AllocsPerOp is the process-wide heap allocation count per op
+	// (runtime Mallocs delta / ops). Background goroutines contribute, so
+	// it is an upper bound on the scenario's own allocations — the
+	// -bench-check regression gate compares it with tolerance.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchReport is the whole BENCH_wire.json document.
@@ -75,22 +81,30 @@ func runBenchOut(path string, seed int64) error {
 			return fmt.Errorf("%s: %w", r.Name, err)
 		}
 		report.Results = append(report.Results, r)
-		fmt.Printf("%-28s %8d ops  %12.0f ops/s  p50 %8.1fµs  p99 %8.1fµs  %7d B/op\n",
-			r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.BytesPerOp)
+		fmt.Printf("%-28s %8d ops  %12.0f ops/s  p50 %8.1fµs  p99 %8.1fµs  %7d B/op  %8.1f allocs/op\n",
+			r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.BytesPerOp, r.AllocsPerOp)
 		return nil
 	}
 
-	// Transport round-trips: pooled vs dial-per-call.
+	// Transport round-trips: pooled (binary codec, the default) vs
+	// pooled forced onto gob vs dial-per-call (always gob). The
+	// binary-vs-gob pair isolates the codec's contribution on an
+	// otherwise identical fast path.
 	const callOps = 2000
-	pooled, err := benchTransport(false, callOps)
+	pooled, err := benchTransport(false, wire.CodecDefault, callOps)
 	if err := add(pooled, err); err != nil {
 		return err
 	}
-	dial, err := benchTransport(true, callOps)
+	pooledGob, err := benchTransport(false, wire.CodecGob, callOps)
+	if err := add(pooledGob, err); err != nil {
+		return err
+	}
+	dial, err := benchTransport(true, wire.CodecDefault, callOps)
 	if err := add(dial, err); err != nil {
 		return err
 	}
 	report.Ratios["transport_pooled_vs_dial"] = ratio(pooled, dial)
+	report.Ratios["transport_binary_vs_gob"] = ratio(pooled, pooledGob)
 
 	// Cluster puts: one 16-key batch vs 16 sequential routed puts.
 	const putOps = 200
@@ -133,6 +147,14 @@ func runBenchOut(path string, seed int64) error {
 		return err
 	}
 	report.Ratios["search_parallel_vs_sequential"] = ratio(searchPar, searchSeq)
+	// Tail-latency gate (ISSUE 10): the sliding-window frontier must not
+	// trade throughput for tail — one straggling lookup may not hold the
+	// whole walk hostage, so the parallel p99 has to stay within 10% of
+	// the sequential walk's.
+	if searchPar.P99Micros > searchSeq.P99Micros*1.1 {
+		return fmt.Errorf("parallel search p99 regression: %.1fµs > sequential %.1fµs × 1.1",
+			searchPar.P99Micros, searchSeq.P99Micros)
+	}
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -159,8 +181,9 @@ func ratio(fast, slow benchResult) float64 {
 	return fast.OpsPerSec / slow.OpsPerSec
 }
 
-// summarize folds per-op latencies and a wire byte count into one row.
-func summarize(name string, lats []time.Duration, bytes int64) benchResult {
+// summarize folds per-op latencies, a wire byte count and an allocation
+// count into one row.
+func summarize(name string, lats []time.Duration, bytes int64, allocs uint64) benchResult {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	var total time.Duration
 	for _, l := range lats {
@@ -172,35 +195,45 @@ func summarize(name string, lats []time.Duration, bytes int64) benchResult {
 		return float64(lats[i].Nanoseconds()) / 1e3
 	}
 	return benchResult{
-		Name:       name,
-		Ops:        n,
-		OpsPerSec:  float64(n) / total.Seconds(),
-		P50Micros:  pct(0.50),
-		P99Micros:  pct(0.99),
-		BytesPerOp: bytes / int64(n),
+		Name:        name,
+		Ops:         n,
+		OpsPerSec:   float64(n) / total.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		BytesPerOp:  bytes / int64(n),
+		AllocsPerOp: float64(allocs) / float64(n),
 	}
 }
 
-// measure times n runs of fn and returns the per-op latencies plus the
-// transport bytes (sent + received) the runs moved.
-func measure(tp *wire.TCPTransport, n int, fn func(i int) error) ([]time.Duration, int64, error) {
+// measure times n runs of fn and returns the per-op latencies, the
+// transport bytes (sent + received) the runs moved, and the heap
+// allocation count they cost (process-wide Mallocs delta).
+func measure(tp *wire.TCPTransport, n int, fn func(i int) error) ([]time.Duration, int64, uint64, error) {
 	before := tp.PoolStats()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	lats := make([]time.Duration, 0, n)
 	for i := 0; i < n; i++ {
 		start := time.Now()
 		if err := fn(i); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		lats = append(lats, time.Since(start))
 	}
+	runtime.ReadMemStats(&msAfter)
 	after := tp.PoolStats()
 	moved := (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived)
-	return lats, moved, nil
+	return lats, moved, msAfter.Mallocs - msBefore.Mallocs, nil
 }
 
 // benchTransport measures one echo round-trip per op on loopback TCP.
-func benchTransport(disablePool bool, ops int) (benchResult, error) {
+// codec selects the pooled path's wire encoding (CodecGob pins the
+// legacy gob stream; the default negotiates binary).
+func benchTransport(disablePool bool, codec wire.Codec, ops int) (benchResult, error) {
 	name := "transport_call/pooled"
+	if codec == wire.CodecGob {
+		name = "transport_call/pooled-gob"
+	}
 	if disablePool {
 		name = "transport_call/dial-per-call"
 	}
@@ -214,18 +247,19 @@ func benchTransport(disablePool bool, ops int) (benchResult, error) {
 	defer closer.Close()
 	client := wire.NewTCPTransport()
 	client.DisablePool = disablePool
+	client.Codec = codec
 	req := wire.Message{Op: wire.OpPing, Addr: "bench"}
-	if _, err := client.Call(addr, req); err != nil { // warm the pool / gob types
+	if _, err := client.Call(addr, req); err != nil { // warm the pool / codec
 		return benchResult{Name: name}, err
 	}
-	lats, bytes, err := measure(client, ops, func(int) error {
+	lats, bytes, allocs, err := measure(client, ops, func(int) error {
 		_, err := client.Call(addr, req)
 		return err
 	})
 	if err != nil {
 		return benchResult{Name: name}, err
 	}
-	return summarize(name, lats, bytes), nil
+	return summarize(name, lats, bytes, allocs), nil
 }
 
 // benchOutRing boots a converged 4-node loopback ring for the cluster
@@ -288,7 +322,7 @@ func benchClusterPut(batched bool, ops int, seed int64) (benchResult, error) {
 		}
 		return out
 	}
-	lats, bytes, err := measure(tp, ops, func(i int) error {
+	lats, bytes, allocs, err := measure(tp, ops, func(i int) error {
 		if batched {
 			return cluster.PutBatch(context.Background(), items(i))
 		}
@@ -302,7 +336,7 @@ func benchClusterPut(batched bool, ops int, seed int64) (benchResult, error) {
 	if err != nil {
 		return benchResult{Name: name}, err
 	}
-	return summarize(name, lats, bytes), nil
+	return summarize(name, lats, bytes, allocs), nil
 }
 
 // benchPublish publishes one article per op with the Complex scheme.
@@ -325,14 +359,14 @@ func benchPublish(batched bool, ops int, seed int64) (benchResult, error) {
 		net = seqPublishNet{cluster}
 	}
 	svc := index.New(net, cache.None, 0)
-	lats, bytes, err := measure(tp, ops, func(i int) error {
+	lats, bytes, allocs, err := measure(tp, ops, func(i int) error {
 		a := corpus.Articles[i%len(corpus.Articles)]
 		return svc.PublishArticle(fmt.Sprintf("bench-%s-%d.pdf", name, i), a, index.Complex)
 	})
 	if err != nil {
 		return benchResult{Name: name}, err
 	}
-	return summarize(name, lats, bytes), nil
+	return summarize(name, lats, bytes, allocs), nil
 }
 
 // benchSearchAll explores a published corpus's index DAG per op.
@@ -362,7 +396,7 @@ func benchSearchAll(parallelism, ops int, seed int64) (benchResult, error) {
 	if _, _, err := searcher.SearchAll(query); err != nil { // warm up
 		return benchResult{Name: name}, err
 	}
-	lats, bytes, err := measure(tp, ops, func(int) error {
+	lats, bytes, allocs, err := measure(tp, ops, func(int) error {
 		results, _, err := searcher.SearchAll(query)
 		if err == nil && len(results) == 0 {
 			err = fmt.Errorf("search returned nothing")
@@ -372,5 +406,5 @@ func benchSearchAll(parallelism, ops int, seed int64) (benchResult, error) {
 	if err != nil {
 		return benchResult{Name: name}, err
 	}
-	return summarize(name, lats, bytes), nil
+	return summarize(name, lats, bytes, allocs), nil
 }

@@ -52,6 +52,9 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dhtindex/internal/dht"
@@ -89,7 +92,9 @@ func main() {
 		soakLatency = flag.Duration("soak-latency", 50*time.Millisecond, "soak: injected latency")
 		soakQueries = flag.Int("soak-queries", 2, "soak: indexed lookups per storm op")
 
-		benchOut = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json); with -load, merge the load trajectory into it instead")
+		benchOut   = flag.String("bench-out", "", "run the wire fast-path microbenchmarks (pooled transport with binary and gob codecs, batched puts, batched publish, parallel search) and write the JSON report to this file (e.g. BENCH_wire.json); with -load, merge the load trajectory into it instead")
+		benchCheck = flag.String("bench-check", "", "re-measure the pooled transport's bytes/op and allocs/op and fail if they regressed past tolerance against the committed report at this path (e.g. BENCH_wire.json) — CI's cheap wire-efficiency gate")
+		profileDir = flag.String("profile", "", "write cpu.pprof and heap.pprof covering the run to this directory (created if missing)")
 
 		ingestMode   = flag.Bool("ingest", false, "run the continuous-ingest soak (durable backpressured pipeline feeding a stormed ring, ingester crash-restart mid-stream, poison quarantine) and exit non-zero on any gate violation")
 		ingestDocs   = flag.Int("ingest-docs", 0, "ingest: documents streamed through the pipeline (0 = harness default)")
@@ -110,6 +115,15 @@ func main() {
 	flag.Parse()
 	reg := telemetry.NewRegistry()
 	var err error
+	stopProfiles := func() {}
+	if *profileDir != "" {
+		stop, perr := startProfiles(*profileDir)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "dhtbench:", perr)
+			os.Exit(1)
+		}
+		stopProfiles = stop
+	}
 	if *ingestMode {
 		err = runIngestMode(ingestOpts{
 			nodes: *soakNodes, ops: *soakOps, drop: *soakDrop, latency: *soakLatency,
@@ -128,6 +142,8 @@ func main() {
 		}, reg, *metricsAddr, *metricsOut)
 	} else if *benchOut != "" {
 		err = runBenchOut(*benchOut, *seed)
+	} else if *benchCheck != "" {
+		err = runBenchCheck(*benchCheck, *seed)
 	} else if *soakMode && *substrate != "chord" {
 		err = runSubstrateSoak(*substrate, soakOpts{
 			nodes: *soakNodes, ops: *soakOps, queries: *soakQueries, seed: *seed,
@@ -143,10 +159,49 @@ func main() {
 	} else {
 		err = run(*maxNodes, *lookups, *churn, *seed, *substrate, reg, *metricsAddr, *metricsOut)
 	}
+	// Flush the profiles before any exit: os.Exit skips defers, and a
+	// failing run is exactly when the profile is worth having.
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhtbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins a CPU profile in dir and returns a stop function
+// that ends it and writes a heap profile next to it. The artifacts
+// (cpu.pprof, heap.pprof) are what CI uploads for offline `go tool
+// pprof` triage of bench or soak regressions.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile dir: %w", err)
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	cf, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cf.Close()
+		heapPath := filepath.Join(dir, "heap.pprof")
+		hf, err := os.Create(heapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhtbench: heap profile:", err)
+			return
+		}
+		defer hf.Close()
+		runtime.GC() // capture live objects, not garbage awaiting collection
+		if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "dhtbench: heap profile:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dhtbench: profiles written to %s and %s\n", cpuPath, heapPath)
+	}, nil
 }
 
 // soakOpts bundles the soak flag values.

@@ -3,7 +3,6 @@ package index
 import (
 	"context"
 	"sort"
-	"sync"
 
 	"dhtindex/internal/xpath"
 )
@@ -36,12 +35,19 @@ func (s *Searcher) SearchAll(q xpath.Query) ([]Result, Trace, error) {
 // of the index DAG could deliver plus an exact account of what is
 // missing — instead of an all-or-nothing error.
 //
-// With Parallelism > 1 the frontier expands in waves: up to Parallelism
-// pending branches are looked up concurrently, and the wave's responses
-// are then processed in submission order, so the exploration order, the
-// result set and the trace accounting match the sequential walk. The
-// first wave is always the original query alone, which keeps the
-// not-indexed generalization fallback exact.
+// With Parallelism > 1 the frontier expands through a sliding lookahead
+// window: while the caller processes the head branch, up to
+// Parallelism-1 of the branches right behind it are already being
+// looked up concurrently, and a branch's completion immediately frees
+// its slot for the next pending one. Branches are still PROCESSED in
+// strict frontier order, so the exploration order, the result set and
+// the trace accounting match the sequential walk exactly — but unlike a
+// wave with a barrier, one slow branch only delays its own processing
+// slot: the lookups behind it keep streaming instead of parking the
+// whole wave on the straggler, which is what made the parallel walk's
+// tail latency worse than the sequential one's. The first branch is
+// always the original query alone (the window only opens behind it),
+// which keeps the not-indexed generalization fallback exact.
 func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, Trace, error) {
 	var trace Trace
 	if q.IsZero() {
@@ -57,81 +63,55 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 		resp Response
 		err  error
 	}
+	window := s.parallelism()
+	// issued maps a frontier query to its in-flight lookup. Issued
+	// queries always form a contiguous prefix of the frontier (slots are
+	// filled front to back and only the head is popped), so the top-up
+	// scan below stays O(window) per iteration.
+	issued := make(map[string]chan lookupOut)
 	for len(frontier) > 0 && explored < s.maxFanout() {
-		wave := s.waveSize(len(frontier))
-		if rem := s.maxFanout() - explored; wave > rem {
-			wave = rem
-		}
-		batch := frontier[:wave:wave]
-		frontier = frontier[wave:]
-
-		outs := make([]lookupOut, len(batch))
-		// The first branch runs inline on the caller: it saves one
-		// goroutine hand-off per wave and keeps the caller busy with real
-		// work instead of parked at the barrier — on a single-CPU host the
-		// difference between a parallel wave matching the sequential walk
-		// and losing to it.
-		var wg sync.WaitGroup
-		for i := 1; i < len(batch); i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				resp, err := s.svc.LookupCtx(ctx, batch[i])
-				outs[i] = lookupOut{resp: resp, err: err}
-			}(i)
-		}
-		resp0, err0 := s.svc.LookupCtx(ctx, batch[0])
-		outs[0] = lookupOut{resp: resp0, err: err0}
-		wg.Wait()
-
-		erred := false
-		for i, current := range batch {
-			explored++
-			resp, err := outs[i].resp, outs[i].err
-			if err != nil {
-				erred = true
-				trace.Incomplete = true
-				trace.Unresolved = append(trace.Unresolved, Unresolved{
-					Query: current.String(), Reason: err.Error(),
-				})
-				continue
-			}
-			s.account(&trace, current, resp, resp.Bytes)
-
-			for _, file := range resp.Files {
-				if q.Covers(current) {
-					results = append(results, Result{File: file, MSD: current})
-					trace.Found = true
-				}
-			}
-			next := make([]xpath.Query, 0, len(resp.Index)+len(resp.Cached))
-			next = append(next, resp.Index...)
-			next = append(next, resp.Cached...)
-			if explored == 1 && len(next) == 0 && len(resp.Files) == 0 {
-				// Original query not indexed: generalize, keep filtering by q.
-				trace.NonIndexed = true
-				for _, g := range q.Generalizations() {
-					if !seen[g.String()] {
-						seen[g.String()] = true
-						frontier = append(frontier, g)
-					}
-				}
-				continue
-			}
-			for _, cand := range next {
-				if seen[cand.String()] {
+		// Top up the lookahead window behind the head. The head itself is
+		// left for the caller to run inline: on a single-CPU host the
+		// caller doing real lookup work while the window drains beats it
+		// parking on a channel. The adaptive threshold gate is unchanged
+		// from the wave design — tiny frontiers are not worth goroutines —
+		// and speculation never exceeds the MaxFanout budget.
+		if window > 1 && len(frontier) >= s.fanoutThreshold() {
+			for i := 1; i < len(frontier) && len(issued) < window-1 && explored+1+len(issued) < s.maxFanout(); i++ {
+				key := frontier[i].String()
+				if _, ok := issued[key]; ok {
 					continue
 				}
-				if !xpath.Compatible(q, cand) {
-					continue // definite conflict: nothing below matches q
-				}
-				seen[cand.String()] = true
-				frontier = append(frontier, cand)
+				ch := make(chan lookupOut, 1)
+				issued[key] = ch
+				go func(q xpath.Query) {
+					resp, err := s.svc.LookupCtx(ctx, q)
+					ch <- lookupOut{resp: resp, err: err}
+				}(frontier[i])
 			}
 		}
-		if erred {
+		current := frontier[0]
+		frontier = frontier[1:]
+		var out lookupOut
+		if ch, ok := issued[current.String()]; ok {
+			out = <-ch
+			delete(issued, current.String())
+		} else {
+			resp, err := s.svc.LookupCtx(ctx, current)
+			out = lookupOut{resp: resp, err: err}
+		}
+
+		explored++
+		resp, err := out.resp, out.err
+		if err != nil {
+			trace.Incomplete = true
+			trace.Unresolved = append(trace.Unresolved, Unresolved{
+				Query: current.String(), Reason: err.Error(),
+			})
 			if cerr := ctx.Err(); cerr != nil {
 				// Budget spent: the rest of the frontier is unreachable too.
+				// In-flight speculative lookups drain into their buffered
+				// channels and are dropped.
 				for _, rest := range frontier {
 					trace.Unresolved = append(trace.Unresolved, Unresolved{
 						Query: rest.String(), Reason: cerr.Error(),
@@ -139,6 +119,39 @@ func (s *Searcher) SearchAllCtx(ctx context.Context, q xpath.Query) ([]Result, T
 				}
 				break
 			}
+			continue
+		}
+		s.account(&trace, current, resp, resp.Bytes)
+
+		for _, file := range resp.Files {
+			if q.Covers(current) {
+				results = append(results, Result{File: file, MSD: current})
+				trace.Found = true
+			}
+		}
+		next := make([]xpath.Query, 0, len(resp.Index)+len(resp.Cached))
+		next = append(next, resp.Index...)
+		next = append(next, resp.Cached...)
+		if explored == 1 && len(next) == 0 && len(resp.Files) == 0 {
+			// Original query not indexed: generalize, keep filtering by q.
+			trace.NonIndexed = true
+			for _, g := range q.Generalizations() {
+				if !seen[g.String()] {
+					seen[g.String()] = true
+					frontier = append(frontier, g)
+				}
+			}
+			continue
+		}
+		for _, cand := range next {
+			if seen[cand.String()] {
+				continue
+			}
+			if !xpath.Compatible(q, cand) {
+				continue // definite conflict: nothing below matches q
+			}
+			seen[cand.String()] = true
+			frontier = append(frontier, cand)
 		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].File < results[j].File })

@@ -25,9 +25,13 @@ func benchEcho(req wire.Message) wire.Message {
 }
 
 // BenchmarkTransportCall measures one round-trip RPC on loopback TCP:
-// the pooled fast path (persistent framed conns, gob descriptors sent
-// once) against the legacy dial-per-call mode (fresh conn and codec per
-// RPC). The acceptance bar for the fast path is ≥ 3× dial-per-call.
+// the pooled fast path (persistent framed conns, binary codec
+// negotiated at handshake) against the same path pinned to the legacy
+// gob stream and against dial-per-call mode (fresh conn and codec per
+// RPC). The acceptance bars: pooled ≥ 3× dial-per-call, and the binary
+// codec beats gob on the same pooled path. Run with -benchmem: the
+// allocs/op delta between pooled and pooled-gob is the codec's
+// reflection overhead made visible.
 func BenchmarkTransportCall(b *testing.B) {
 	server := wire.NewTCPTransport()
 	addr, closer, err := server.Listen("127.0.0.1:0", benchEcho)
@@ -41,6 +45,7 @@ func BenchmarkTransportCall(b *testing.B) {
 		if _, err := client.Call(addr, req); err != nil { // warm the pool / types
 			b.Fatalf("warmup call: %v", err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := client.Call(addr, req); err != nil {
@@ -50,6 +55,11 @@ func BenchmarkTransportCall(b *testing.B) {
 	}
 	b.Run("pooled", func(b *testing.B) {
 		run(b, wire.NewTCPTransport())
+	})
+	b.Run("pooled-gob", func(b *testing.B) {
+		client := wire.NewTCPTransport()
+		client.Codec = wire.CodecGob
+		run(b, client)
 	})
 	b.Run("dial-per-call", func(b *testing.B) {
 		client := wire.NewTCPTransport()

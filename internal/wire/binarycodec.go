@@ -1,0 +1,528 @@
+package wire
+
+// The compact binary encoding for Message spoken on persistent TCP
+// connections after a successful OpCodecSwitch handshake (DESIGN.md
+// §17). gob pays reflection plus a self-describing stream; the hot
+// path's messages are a small fixed set of flat fields, so a
+// hand-rolled encoding wins on both CPU and bytes:
+//
+//	[1-byte version | Op uvarint | field-presence bitmap uvarint |
+//	 present fields in bit order]
+//
+// Scalars are varints (zigzag for signed), strings and slices carry a
+// uvarint length, keys travel as raw 20-byte values and digests as
+// fixed 8-byte big-endian words. Absent fields cost zero bytes: a ping
+// is 3 bytes of payload where gob needs a descriptor-laden stream.
+// Encoding appends into a caller-owned scratch slice and decoding
+// reads out of the frame buffer in place, so steady-state frames
+// allocate nothing beyond the strings and slices the decoded message
+// itself must own. Every decoded count is validated against the bytes
+// actually remaining before any allocation, so a corrupt or hostile
+// frame cannot make the node allocate past the frame it already read.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+// binMsgVersion is the binary codec's format version byte; bump it when
+// the field layout changes (the handshake pins both ends to the same
+// build family, the byte guards against skew within it).
+const binMsgVersion = 1
+
+// Field-presence bits of the binary encoding, in encode order.
+const (
+	binHasKey = 1 << iota
+	binHasAddr
+	binHasTTL
+	binHasHops
+	binHasBudget
+	binHasCode
+	binHasEntry
+	binHasEntries
+	binHasKV
+	binHasDigests
+	binHasAddrs
+	binHasOk
+	binHasErr
+	binHasKeys
+	binHasEntriesByKind
+	binHasBytesByKind
+)
+
+// errBinTruncated reports a frame that declares more content than it
+// carries; errBinTrailing the reverse (bytes after the last field).
+var (
+	errBinTruncated = errors.New("wire: binary message truncated")
+	errBinTrailing  = errors.New("wire: binary message has trailing bytes")
+)
+
+// appendUvarint appends v in unsigned LEB128.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendVarint appends v zigzag-encoded.
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// appendString appends s as uvarint length + bytes.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendEntry appends e's kind and value strings.
+func appendEntry(dst []byte, e overlay.Entry) []byte {
+	dst = appendString(dst, e.Kind)
+	return appendString(dst, e.Value)
+}
+
+// appendTombstone appends t's entry and removal time.
+func appendTombstone(dst []byte, t Tombstone) []byte {
+	dst = appendEntry(dst, t.Entry)
+	return appendVarint(dst, t.At)
+}
+
+// messageFlags computes m's field-presence bitmap.
+func messageFlags(m *Message) uint64 {
+	var flags uint64
+	if m.Key != (keyspace.Key{}) {
+		flags |= binHasKey
+	}
+	if m.Addr != "" {
+		flags |= binHasAddr
+	}
+	if m.TTL != 0 {
+		flags |= binHasTTL
+	}
+	if m.Hops != 0 {
+		flags |= binHasHops
+	}
+	if m.BudgetMicros != 0 {
+		flags |= binHasBudget
+	}
+	if m.Code != 0 {
+		flags |= binHasCode
+	}
+	if m.Entry != (overlay.Entry{}) {
+		flags |= binHasEntry
+	}
+	if len(m.Entries) > 0 {
+		flags |= binHasEntries
+	}
+	if len(m.KV) > 0 {
+		flags |= binHasKV
+	}
+	if len(m.Digests) > 0 {
+		flags |= binHasDigests
+	}
+	if len(m.Addrs) > 0 {
+		flags |= binHasAddrs
+	}
+	if m.Ok {
+		flags |= binHasOk
+	}
+	if m.Err != "" {
+		flags |= binHasErr
+	}
+	if m.Keys != 0 {
+		flags |= binHasKeys
+	}
+	if len(m.EntriesByKind) > 0 {
+		flags |= binHasEntriesByKind
+	}
+	if len(m.BytesByKind) > 0 {
+		flags |= binHasBytesByKind
+	}
+	return flags
+}
+
+// appendMessage appends m's binary encoding to dst and returns the
+// extended slice. It never fails: every Message value has an encoding.
+func appendMessage(dst []byte, m *Message) []byte {
+	flags := messageFlags(m)
+	dst = append(dst, binMsgVersion)
+	dst = appendUvarint(dst, uint64(m.Op))
+	dst = appendUvarint(dst, flags)
+	if flags&binHasKey != 0 {
+		dst = append(dst, m.Key[:]...)
+	}
+	if flags&binHasAddr != 0 {
+		dst = appendString(dst, m.Addr)
+	}
+	if flags&binHasTTL != 0 {
+		dst = appendVarint(dst, int64(m.TTL))
+	}
+	if flags&binHasHops != 0 {
+		dst = appendVarint(dst, int64(m.Hops))
+	}
+	if flags&binHasBudget != 0 {
+		dst = appendVarint(dst, m.BudgetMicros)
+	}
+	if flags&binHasCode != 0 {
+		dst = appendVarint(dst, int64(m.Code))
+	}
+	if flags&binHasEntry != 0 {
+		dst = appendEntry(dst, m.Entry)
+	}
+	if flags&binHasEntries != 0 {
+		dst = appendUvarint(dst, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			dst = appendEntry(dst, e)
+		}
+	}
+	if flags&binHasKV != 0 {
+		dst = appendUvarint(dst, uint64(len(m.KV)))
+		for i := range m.KV {
+			kv := &m.KV[i]
+			dst = append(dst, kv.Key[:]...)
+			dst = appendUvarint(dst, uint64(len(kv.Entries)))
+			for _, e := range kv.Entries {
+				dst = appendEntry(dst, e)
+			}
+			dst = appendUvarint(dst, uint64(len(kv.Tombs)))
+			for _, t := range kv.Tombs {
+				dst = appendTombstone(dst, t)
+			}
+		}
+	}
+	if flags&binHasDigests != 0 {
+		dst = appendUvarint(dst, uint64(len(m.Digests)))
+		for i := range m.Digests {
+			dst = append(dst, m.Digests[i].Key[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, m.Digests[i].Digest)
+		}
+	}
+	if flags&binHasAddrs != 0 {
+		dst = appendUvarint(dst, uint64(len(m.Addrs)))
+		for _, a := range m.Addrs {
+			dst = appendString(dst, a)
+		}
+	}
+	if flags&binHasErr != 0 {
+		dst = appendString(dst, m.Err)
+	}
+	if flags&binHasKeys != 0 {
+		dst = appendVarint(dst, int64(m.Keys))
+	}
+	if flags&binHasEntriesByKind != 0 {
+		dst = appendUvarint(dst, uint64(len(m.EntriesByKind)))
+		for k, v := range m.EntriesByKind {
+			dst = appendString(dst, k)
+			dst = appendVarint(dst, int64(v))
+		}
+	}
+	if flags&binHasBytesByKind != 0 {
+		dst = appendUvarint(dst, uint64(len(m.BytesByKind)))
+		for k, v := range m.BytesByKind {
+			dst = appendString(dst, k)
+			dst = appendVarint(dst, v)
+		}
+	}
+	return dst
+}
+
+// binReader is a bounds-checked cursor over one binary payload.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) remaining() int { return len(r.data) - r.off }
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errBinTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errBinTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// intField decodes a zigzag varint that must fit a platform int.
+func (r *binReader) intField() (int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("wire: binary int field %d overflows", v)
+	}
+	return int(v), nil
+}
+
+// count decodes a collection length and validates it against the bytes
+// actually remaining, given each element needs at least minElem bytes.
+// The check runs before any allocation sized by the count.
+func (r *binReader) count(minElem int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/minElem) {
+		return 0, errBinTruncated
+	}
+	return int(v), nil
+}
+
+func (r *binReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", errBinTruncated
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *binReader) key() (keyspace.Key, error) {
+	var k keyspace.Key
+	if r.remaining() < keyspace.Size {
+		return k, errBinTruncated
+	}
+	copy(k[:], r.data[r.off:])
+	r.off += keyspace.Size
+	return k, nil
+}
+
+func (r *binReader) entry() (overlay.Entry, error) {
+	var e overlay.Entry
+	var err error
+	if e.Kind, err = r.str(); err != nil {
+		return e, err
+	}
+	e.Value, err = r.str()
+	return e, err
+}
+
+func (r *binReader) entries() ([]overlay.Entry, error) {
+	// An entry is two strings: at least two length bytes.
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]overlay.Entry, n)
+	for i := range out {
+		if out[i], err = r.entry(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) tombstones() ([]Tombstone, error) {
+	// A tombstone is an entry plus a varint: at least three bytes.
+	n, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Tombstone, n)
+	for i := range out {
+		if out[i].Entry, err = r.entry(); err != nil {
+			return nil, err
+		}
+		if out[i].At, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeMessage decodes one binary payload into m, overwriting every
+// field (absent fields reset to their zero values so a reused Message
+// carries nothing over between frames).
+func decodeMessage(data []byte, m *Message) error {
+	*m = Message{}
+	if len(data) == 0 {
+		return errBinTruncated
+	}
+	if data[0] != binMsgVersion {
+		return fmt.Errorf("wire: binary message version %d, want %d", data[0], binMsgVersion)
+	}
+	r := binReader{data: data, off: 1}
+	op, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	m.Op = Op(op)
+	flags, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if flags >= 1<<16 {
+		return fmt.Errorf("wire: binary message has unknown field bits %#x", flags&^((1<<16)-1))
+	}
+	if flags&binHasKey != 0 {
+		if m.Key, err = r.key(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasAddr != 0 {
+		if m.Addr, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasTTL != 0 {
+		if m.TTL, err = r.intField(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasHops != 0 {
+		if m.Hops, err = r.intField(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasBudget != 0 {
+		if m.BudgetMicros, err = r.varint(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasCode != 0 {
+		if m.Code, err = r.intField(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasEntry != 0 {
+		if m.Entry, err = r.entry(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasEntries != 0 {
+		if m.Entries, err = r.entries(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasKV != 0 {
+		// A KV element is a key plus two counts.
+		n, err := r.count(keyspace.Size + 2)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			m.KV = make([]KeyEntries, n)
+			for i := range m.KV {
+				if m.KV[i].Key, err = r.key(); err != nil {
+					return err
+				}
+				if m.KV[i].Entries, err = r.entries(); err != nil {
+					return err
+				}
+				if m.KV[i].Tombs, err = r.tombstones(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if flags&binHasDigests != 0 {
+		n, err := r.count(keyspace.Size + 8)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			m.Digests = make([]KeyDigest, n)
+			for i := range m.Digests {
+				if m.Digests[i].Key, err = r.key(); err != nil {
+					return err
+				}
+				if r.remaining() < 8 {
+					return errBinTruncated
+				}
+				m.Digests[i].Digest = binary.BigEndian.Uint64(r.data[r.off:])
+				r.off += 8
+			}
+		}
+	}
+	if flags&binHasAddrs != 0 {
+		n, err := r.count(1)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			m.Addrs = make([]string, n)
+			for i := range m.Addrs {
+				if m.Addrs[i], err = r.str(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m.Ok = flags&binHasOk != 0
+	if flags&binHasErr != 0 {
+		if m.Err, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasKeys != 0 {
+		if m.Keys, err = r.intField(); err != nil {
+			return err
+		}
+	}
+	if flags&binHasEntriesByKind != 0 {
+		n, err := r.count(2)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			m.EntriesByKind = make(map[string]int, n)
+			for i := 0; i < n; i++ {
+				k, err := r.str()
+				if err != nil {
+					return err
+				}
+				v, err := r.intField()
+				if err != nil {
+					return err
+				}
+				m.EntriesByKind[k] = v
+			}
+		}
+	}
+	if flags&binHasBytesByKind != 0 {
+		n, err := r.count(2)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			m.BytesByKind = make(map[string]int64, n)
+			for i := 0; i < n; i++ {
+				k, err := r.str()
+				if err != nil {
+					return err
+				}
+				v, err := r.varint()
+				if err != nil {
+					return err
+				}
+				m.BytesByKind[k] = v
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return errBinTrailing
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package wire
+
+// Negotiation interop tests (ISSUE 10): a binary-capable client must
+// work against every peer generation — binary-capable, gob-pinned
+// (standing in for a pre-handshake node: both answer the handshake
+// without switching), and one whose handshake path fails at transport
+// level — with the pooled fast path degrading to gob, never to an
+// error.
+
+import (
+	"testing"
+	"time"
+)
+
+// startEchoServer boots a listener on tp and returns its address.
+func startEchoServer(t *testing.T, tp *TCPTransport) string {
+	t.Helper()
+	addr, closer, err := tp.Listen("127.0.0.1:0", func(req Message) Message {
+		if req.Op == OpCodecSwitch {
+			// What a pre-handshake node's dispatch would answer if the
+			// frame ever reached it (transport interception normally
+			// keeps it away from handlers).
+			return Message{Op: req.Op, Err: "unknown operation"}
+		}
+		return Message{Op: req.Op, Ok: true, Addr: req.Addr, Entries: req.Entries}
+	})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { closer.Close() })
+	return addr
+}
+
+// roundTrips fires n calls and fails the test on any error or
+// mismatched echo.
+func roundTrips(t *testing.T, client *TCPTransport, addr string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, err := client.Call(addr, Message{Op: OpPing, Addr: "interop"})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !resp.Ok || resp.Addr != "interop" {
+			t.Fatalf("call %d: bad echo %+v", i, resp)
+		}
+	}
+}
+
+func TestCodecNegotiationBinaryToBinary(t *testing.T) {
+	server := NewTCPTransport()
+	addr := startEchoServer(t, server)
+	client := NewTCPTransport()
+	defer client.CloseConnections()
+	roundTrips(t, client, addr, 20)
+	if got := client.codecBinaryConns.Value(); got == 0 {
+		t.Fatal("client negotiated no binary connection")
+	}
+	if got := server.codecBinaryConns.Value(); got == 0 {
+		t.Fatal("server accepted no binary connection")
+	}
+	if got := client.codecFallbacks.Value(); got != 0 {
+		t.Fatalf("unexpected fallbacks: %d", got)
+	}
+}
+
+func TestCodecNegotiationAgainstGobOnlyPeer(t *testing.T) {
+	server := NewTCPTransport()
+	server.Codec = CodecGob // declines the handshake, like an old node
+	addr := startEchoServer(t, server)
+	client := NewTCPTransport()
+	defer client.CloseConnections()
+	roundTrips(t, client, addr, 20)
+	if got := client.codecBinaryConns.Value(); got != 0 {
+		t.Fatalf("client claims %d binary conns against a gob-only peer", got)
+	}
+	if got := client.codecGobConns.Value(); got == 0 {
+		t.Fatal("declined handshake did not count a gob connection")
+	}
+	if got := client.codecFallbacks.Value(); got != 0 {
+		t.Fatalf("a clean decline must not count as a fallback, got %d", got)
+	}
+}
+
+func TestCodecNegotiationGobPinnedClient(t *testing.T) {
+	server := NewTCPTransport()
+	addr := startEchoServer(t, server)
+	client := NewTCPTransport()
+	client.Codec = CodecGob // one-flag A/B: skip the handshake entirely
+	defer client.CloseConnections()
+	roundTrips(t, client, addr, 20)
+	if got := client.codecBinaryConns.Value(); got != 0 {
+		t.Fatalf("gob-pinned client negotiated %d binary conns", got)
+	}
+	if got := server.codecBinaryConns.Value(); got != 0 {
+		t.Fatalf("server switched %d conns without a handshake", got)
+	}
+}
+
+// TestCodecNegotiationMixedPool exercises one client whose pool holds
+// binary and gob connections at the same time: calls to a new peer and
+// a gob-only peer interleave, and every response must route back
+// correctly regardless of which encoding its connection speaks.
+func TestCodecNegotiationMixedPool(t *testing.T) {
+	binServer := NewTCPTransport()
+	binAddr := startEchoServer(t, binServer)
+	gobServer := NewTCPTransport()
+	gobServer.Codec = CodecGob
+	gobAddr := startEchoServer(t, gobServer)
+
+	client := NewTCPTransport()
+	defer client.CloseConnections()
+	for i := 0; i < 25; i++ {
+		roundTrips(t, client, binAddr, 1)
+		roundTrips(t, client, gobAddr, 1)
+	}
+	if client.codecBinaryConns.Value() == 0 || client.codecGobConns.Value() == 0 {
+		t.Fatalf("pool is not mixed: binary=%d gob=%d",
+			client.codecBinaryConns.Value(), client.codecGobConns.Value())
+	}
+}
+
+// TestCodecNegotiationFallbackAfterHandshakeFailure drives the
+// transport-level failure path: the server drops the connection instead
+// of answering the handshake, and the client must fall back to a fresh
+// plain-gob dial — calls succeed, the fallback is counted.
+func TestCodecNegotiationFallbackAfterHandshakeFailure(t *testing.T) {
+	server := NewTCPTransport()
+	server.dropHandshake = true
+	addr := startEchoServer(t, server)
+	client := NewTCPTransport()
+	client.CallTimeout = 2 * time.Second // bound the dead handshake read
+	defer client.CloseConnections()
+	roundTrips(t, client, addr, 10)
+	if got := client.codecFallbacks.Value(); got == 0 {
+		t.Fatal("handshake failure did not count a fallback")
+	}
+	if got := client.codecBinaryConns.Value(); got != 0 {
+		t.Fatalf("client claims %d binary conns after a dropped handshake", got)
+	}
+	if got := client.codecGobConns.Value(); got == 0 {
+		t.Fatal("fallback redial did not count a gob connection")
+	}
+}
+
+// TestCodecNegotiationRichPayloads pushes entry-bearing messages across
+// a negotiated binary connection end to end — the codec unit tests
+// cover the encoding, this covers it composed with framing, pooling and
+// pipelining.
+func TestCodecNegotiationRichPayloads(t *testing.T) {
+	server := NewTCPTransport()
+	addr := startEchoServer(t, server)
+	client := NewTCPTransport()
+	defer client.CloseConnections()
+	for i := 0; i < 10; i++ {
+		req := Message{Op: OpGet, Addr: "interop", Entries: codecMessages()[5].Entries}
+		resp, err := client.Call(addr, req)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(resp.Entries) != len(req.Entries) || resp.Entries[0] != req.Entries[0] {
+			t.Fatalf("call %d: entries did not survive the binary path: %+v", i, resp.Entries)
+		}
+	}
+	if client.codecBinaryConns.Value() == 0 {
+		t.Fatal("rich-payload exchange never negotiated binary")
+	}
+}

@@ -67,8 +67,10 @@ type Options struct {
 
 // Store implements wire.Store on top of a data directory holding a WAL
 // (wal.log) and its compacting snapshot (snapshot.db). The wire node
-// serializes access through its own mutex; Store nonetheless carries
-// its own lock so telemetry snapshots and offline inspection stay safe.
+// serializes access through its store wrapper (one reader-writer lock,
+// or per-stripe locks when opened via OpenSharded); Store nonetheless
+// carries its own lock so telemetry snapshots and offline inspection
+// stay safe.
 type Store struct {
 	mu         sync.Mutex
 	dir        string

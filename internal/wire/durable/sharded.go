@@ -1,0 +1,64 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dhtindex/internal/wire"
+)
+
+// stripesMarker records how many stripes a sharded data directory was
+// created with, so a later open with a different stripe count fails
+// loudly instead of silently splitting each key's history across two
+// stripe layouts.
+const stripesMarker = "STRIPES"
+
+// OpenSharded opens (or creates) a striped durable store rooted at dir:
+// one WAL+snapshot Store per stripe in dir/stripe-NN, assembled into a
+// wire.ShardedStore so handler goroutines touching different stripes
+// append to different WALs without queueing on one store lock. stripes
+// <= 0 selects wire.DefaultStoreStripes. The stripe count is written to
+// a marker file on first open and verified on every later one — a key's
+// stripe is a pure function of the stripe count, so reopening with a
+// different count would strand previously written state in stripes the
+// new layout never reads. Options apply to every stripe; note that
+// SnapshotEvery and FsyncEvery count per stripe, not across the store.
+func OpenSharded(dir string, stripes int, opts Options) (*wire.ShardedStore, error) {
+	if stripes <= 0 {
+		stripes = wire.DefaultStoreStripes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	markerPath := filepath.Join(dir, stripesMarker)
+	if data, err := os.ReadFile(markerPath); err == nil {
+		prev, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil {
+			return nil, fmt.Errorf("durable: stripe marker %s corrupt: %q", markerPath, data)
+		}
+		if prev != stripes {
+			return nil, fmt.Errorf("durable: %s was created with %d stripes, reopened with %d — the stripe count is part of the on-disk layout", dir, prev, stripes)
+		}
+	} else if os.IsNotExist(err) {
+		if werr := os.WriteFile(markerPath, []byte(strconv.Itoa(stripes)+"\n"), 0o644); werr != nil {
+			return nil, fmt.Errorf("durable: write stripe marker: %w", werr)
+		}
+	} else {
+		return nil, fmt.Errorf("durable: read stripe marker: %w", err)
+	}
+	opened := make([]wire.Store, 0, stripes)
+	for i := 0; i < stripes; i++ {
+		s, err := Open(filepath.Join(dir, fmt.Sprintf("stripe-%02d", i)), opts)
+		if err != nil {
+			for _, o := range opened {
+				_ = o.Close()
+			}
+			return nil, fmt.Errorf("durable: stripe %d: %w", i, err)
+		}
+		opened = append(opened, s)
+	}
+	return wire.NewShardedStore(opened), nil
+}

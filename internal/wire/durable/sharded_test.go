@@ -1,0 +1,70 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"dhtindex/internal/keyspace"
+	"dhtindex/internal/overlay"
+)
+
+func TestOpenShardedPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	keys := make([]keyspace.Key, 32)
+	for i := range keys {
+		keys[i] = keyspace.NewKey(fmt.Sprintf("sharded-%d", i))
+		if ok, err := st.Put(keys[i], overlay.Entry{Kind: "k", Value: fmt.Sprint(i)}); err != nil || !ok {
+			t.Fatalf("put %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ok, err := st.Remove(keys[0], overlay.Entry{Kind: "k", Value: "0"}); err != nil || !ok {
+		t.Fatalf("remove: ok=%v err=%v", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != len(keys)-1 {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(keys)-1)
+	}
+	for i := 1; i < len(keys); i++ {
+		got := re.Get(keys[i])
+		if len(got) != 1 || got[i-i].Value != fmt.Sprint(i) {
+			t.Fatalf("key %d after reopen: %+v", i, got)
+		}
+	}
+	// The tombstone recovered too: the removed entry stays suppressed.
+	if ok, _ := re.Put(keys[0], overlay.Entry{Kind: "k", Value: "0"}); ok {
+		t.Fatal("tombstoned entry resurrected by reopen")
+	}
+	if re.RecoveryStats().ReplayedRecords == 0 {
+		t.Fatal("reopen replayed no WAL records")
+	}
+}
+
+func TestOpenShardedRejectsStripeCountChange(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_ = st.Close()
+	if _, err := OpenSharded(dir, 8, Options{}); err == nil {
+		t.Fatal("reopen with a different stripe count succeeded")
+	}
+	// The original count still opens.
+	re, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatalf("reopen with original count: %v", err)
+	}
+	_ = re.Close()
+}

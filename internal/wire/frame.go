@@ -68,23 +68,48 @@ func (s *switchReader) ReadByte() (byte, error)    { return s.buf.ReadByte() }
 // reader goroutine and needs no lock. After any writeFrame or readFrame
 // error the gob streams may be desynchronized from the peer — the
 // connection must be torn down, never reused.
+//
+// A connection starts in gob mode; a successful OpCodecSwitch handshake
+// (always the first frame on a pooled connection, see DESIGN.md §17)
+// flips it to the compact binary payload encoding in binarycodec.go.
+// The frame header is identical in both modes — only the payload bytes
+// change — so the request-ID multiplexing and size-cap enforcement are
+// codec-independent.
 type codec struct {
 	conn   net.Conn
 	maxMsg int64
 
-	wmu sync.Mutex
-	sw  *switchWriter
-	enc *gob.Encoder
+	// bin selects the binary payload encoding. It flips at most once,
+	// between the handshake exchange and all subsequent frames; atomic
+	// because the flipping goroutine is not the writer on the server
+	// side (the ack write and the flip happen in the frame-loop
+	// goroutine while response writers run concurrently only AFTER the
+	// handshake, but the flag itself must still be race-clean).
+	bin atomic.Bool
 
-	br  *bufio.Reader
-	sr  *switchReader
-	dec *gob.Decoder
+	wmu  sync.Mutex
+	sw   *switchWriter
+	enc  *gob.Encoder
+	wbuf []byte // binary-mode frame staging, guarded by wmu
+
+	br   *bufio.Reader
+	sr   *switchReader
+	dec  *gob.Decoder
+	rbuf []byte // binary-mode payload staging, owned by the reader
 
 	// bytesIn/bytesOut aggregate wire bytes into the owning transport's
 	// counters (never nil).
 	bytesIn  *atomic.Int64
 	bytesOut *atomic.Int64
 }
+
+// setBinary flips the connection to the binary payload encoding; called
+// exactly once per connection, after the OpCodecSwitch ack has been
+// written (server) or read (client).
+func (c *codec) setBinary() { c.bin.Store(true) }
+
+// isBinary reports whether the connection speaks the binary encoding.
+func (c *codec) isBinary() bool { return c.bin.Load() }
 
 func newCodec(conn net.Conn, maxMsg int64, bytesIn, bytesOut *atomic.Int64) *codec {
 	sw := &switchWriter{}
@@ -109,6 +134,9 @@ func newCodec(conn net.Conn, maxMsg int64, bytesIn, bytesOut *atomic.Int64) *cod
 // packets). Any error leaves the encoder stream unsynchronized; the
 // caller must discard the connection.
 func (c *codec) writeFrame(id uint64, msg *Message, timeout time.Duration) error {
+	if c.isBinary() {
+		return c.writeBinaryFrame(id, msg, timeout)
+	}
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
 	c.wmu.Lock()
@@ -124,6 +152,38 @@ func (c *codec) writeFrame(id uint64, msg *Message, timeout time.Duration) error
 	if payload > c.maxMsg {
 		// The descriptors for this message are already woven into the
 		// encoder stream; the peer will never see them. Unsynchronized.
+		return fmt.Errorf("wire: frame of %d bytes exceeds cap %d", payload, c.maxMsg)
+	}
+	binary.BigEndian.PutUint64(b[0:8], id)
+	binary.BigEndian.PutUint32(b[8:12], uint32(payload))
+	if timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	if _, err := c.conn.Write(b); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(len(b)))
+	return nil
+}
+
+// writeBinaryFrame is writeFrame's binary-mode path: header and payload
+// are appended into the codec's own scratch slice, which reaches its
+// steady-state capacity after a few frames and then makes the encode
+// side allocation-free.
+func (c *codec) writeBinaryFrame(id uint64, msg *Message, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [frameHeaderSize]byte
+	c.wbuf = append(c.wbuf[:0], hdr[:]...)
+	c.wbuf = appendMessage(c.wbuf, msg)
+	b := c.wbuf
+	payload := int64(len(b) - frameHeaderSize)
+	if payload > c.maxMsg {
+		// Unlike gob, nothing reached the stream — but the caller treats
+		// any writeFrame error as fatal to the connection, so keep the
+		// same contract.
 		return fmt.Errorf("wire: frame of %d bytes exceeds cap %d", payload, c.maxMsg)
 	}
 	binary.BigEndian.PutUint64(b[0:8], id)
@@ -156,6 +216,24 @@ func (c *codec) readFrame(buf *bytes.Buffer) (uint64, Message, error) {
 	n := int64(binary.BigEndian.Uint32(hdr[8:12]))
 	if n > c.maxMsg {
 		return 0, Message{}, fmt.Errorf("wire: frame of %d bytes exceeds cap %d", n, c.maxMsg)
+	}
+	if c.isBinary() {
+		// Binary payloads decode in place from the codec's reader-owned
+		// scratch (the size cap above bounds its growth); scalar-only
+		// frames decode without allocating at all.
+		if int64(cap(c.rbuf)) < n {
+			c.rbuf = make([]byte, n)
+		}
+		p := c.rbuf[:n]
+		if _, err := io.ReadFull(c.br, p); err != nil {
+			return 0, Message{}, err
+		}
+		c.bytesIn.Add(frameHeaderSize + n)
+		var msg Message
+		if err := decodeMessage(p, &msg); err != nil {
+			return id, Message{}, fmt.Errorf("wire: decode frame: %w", err)
+		}
+		return id, msg, nil
 	}
 	buf.Reset()
 	if _, err := io.CopyN(buf, c.br, n); err != nil {

@@ -28,20 +28,10 @@ func (n *Node) handle(req Message) Message {
 	case OpNotify:
 		return n.handleNotify(req)
 	case OpPut:
-		n.mu.Lock()
-		_, err := n.store.Put(req.Key, req.Entry)
-		n.mu.Unlock()
-		if err != nil {
-			// The write never became durable; refuse the ack so the client
-			// retries against a healthy replica instead of trusting a copy
-			// that would not survive a restart.
-			return Message{Op: req.Op, Err: err.Error()}
-		}
-		n.replicateEntry(req.Key, req.Entry, OpPutReplica)
-		return Message{Op: req.Op, Ok: true}
+		return n.handlePut(req)
 	case OpGet:
-		n.mu.Lock()
-		defer n.mu.Unlock()
+		// Store reads take only the key's stripe read-lock — a get never
+		// waits behind routing maintenance or writes to other stripes.
 		return Message{Op: req.Op, Entries: n.store.Get(req.Key), Ok: true}
 	case OpRemove:
 		return n.handleRemove(req)
@@ -142,21 +132,29 @@ func (n *Node) closestPreceding(key keyspace.Key) string {
 // its store (and, for a durable store, re-appending it to the WAL).
 func (n *Node) handleNotify(req Message) Message {
 	cand := req.Addr
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if cand == "" || cand == n.addr {
 		return Message{Op: req.Op, Ok: false}
 	}
+	// The predecessor decision is routing state: it stays under n.mu.
+	// The key handover below walks the store and must NOT hold n.mu —
+	// store access is serialized per key stripe instead.
+	n.mu.Lock()
 	changed := false
 	if n.pred == "" || idOf(cand).BetweenOpen(idOf(n.pred), n.id) {
 		changed = n.pred != cand
 		n.pred = cand
 	}
-	if n.pred != cand {
+	accepted := n.pred == cand
+	var due bool
+	if accepted {
+		n.notifySeen++
+		due = n.cfg.RepairEvery > 0 && n.notifySeen%n.cfg.RepairEvery == 0
+	}
+	n.mu.Unlock()
+	if !accepted {
 		return Message{Op: req.Op, Ok: false}
 	}
-	n.notifySeen++
-	if !changed && (n.cfg.RepairEvery <= 0 || n.notifySeen%n.cfg.RepairEvery != 0) {
+	if !changed && !due {
 		return Message{Op: req.Op, Ok: true}
 	}
 	// Hand over keys the new predecessor is responsible for. Keys that
@@ -166,17 +164,21 @@ func (n *Node) handleNotify(req Message) Message {
 	// strip the replicas faster than the repair loop restores them.
 	var kv []KeyEntries
 	predID := idOf(cand)
-	for _, k := range n.localKeysLocked() {
+	for _, k := range n.localKeys() {
 		if k.Between(predID, n.id) {
 			continue
 		}
-		entries := n.store.Get(k)
-		out := make([]overlay.Entry, len(entries))
-		copy(out, entries)
-		// Tombstones travel with the handover so the new owner keeps
-		// suppressing removed entries instead of resurrecting them from
-		// a stale replica.
-		kv = append(kv, KeyEntries{Key: k, Entries: out, Tombs: n.store.Tombstones(k)})
+		var item KeyEntries
+		// One View per key: the entries and tombstones shipped for a key
+		// are a consistent pair even while writers hit other stripes.
+		_ = n.store.View(k, func(s Store) error {
+			item = KeyEntries{Key: k, Entries: s.Get(k), Tombs: s.Tombstones(k)}
+			return nil
+		})
+		if len(item.Entries) == 0 && len(item.Tombs) == 0 {
+			continue // raced with a concurrent delete; nothing to hand over
+		}
+		kv = append(kv, item)
 	}
 	if n.cfg.ReplicationFactor == 0 {
 		for _, item := range kv {
@@ -261,14 +263,67 @@ func (n *Node) routeForeign(foreign []KeyEntries) (groups map[string][]KeyEntrie
 	return groups, order, self, nil
 }
 
+// handlePut stores one entry at its owner. Like the batch path, the
+// handler defends against stale routing: a put for a key outside this
+// node's (pred, self] range — the client resolved this node as owner
+// while the ring was routing around an unresponsive peer, or churn
+// landed between routing and arrival — is re-routed to the true owner
+// instead of being stored where no lookup will find it once the ring
+// heals. Client puts carry no TTL, so the forward arms the node's own
+// routing TTL; disagreeing ownership views decrement it and cannot
+// loop a put forever. A forward failure NACKs the put: no ack is ever
+// issued for an entry resting on a node that disclaims the key.
+func (n *Node) handlePut(req Message) Message {
+	_, foreign := n.splitForeign([]KeyEntries{{Key: req.Key}})
+	if len(foreign) > 0 {
+		ttl := req.TTL
+		if ttl == 0 {
+			ttl = n.cfg.TTL
+		}
+		if ttl <= 0 {
+			return Message{Op: req.Op, Err: ErrTTLExceeded.Error()}
+		}
+		_, order, _, rerr := n.routeForeign(foreign)
+		if rerr != nil {
+			return Message{Op: req.Op, Err: rerr.Error()}
+		}
+		if len(order) > 0 {
+			target := order[0]
+			resp, err := n.cfg.Transport.Call(target, Message{
+				Op: OpPut, Key: req.Key, Entry: req.Entry, TTL: ttl - 1,
+			})
+			if err == nil && resp.Err != "" {
+				err = errors.New(resp.Err)
+			}
+			if err != nil {
+				return Message{Op: req.Op, Err: err.Error()}
+			}
+			// The true owner stored and replicated the entry.
+			return Message{Op: req.Op, Ok: true}
+		}
+		// Routing resolved the key back to this node: the predecessor
+		// pointer, not the client, was stale. Store locally.
+	}
+	_, err := n.store.Put(req.Key, req.Entry)
+	if err != nil {
+		// The write never became durable; refuse the ack so the client
+		// retries against a healthy replica instead of trusting a copy
+		// that would not survive a restart.
+		return Message{Op: req.Op, Err: err.Error()}
+	}
+	n.replicateEntry(req.Key, req.Entry, OpPutReplica)
+	return Message{Op: req.Op, Ok: true}
+}
+
 // handlePutBatch stores a batch of entries in one round. Clients route
 // batches one-hop from their membership view, so the handler first
 // splits off any keys this node does not own and forwards them to their
 // Chord-routed owners with a decremented TTL (disagreeing views cannot
-// loop a batch forever). The locally-owned remainder is applied under a
-// single acquisition of the node lock — atomic with respect to every
-// other store mutator — and each put goes through the Store seam, so a
-// durable store WALs every entry before the ack. The first store or
+// loop a batch forever). The locally-owned remainder is applied per key
+// as one atomic critical section each (store.Update) — atomic with
+// respect to every other mutator of that key — and each put goes
+// through the Store seam, so a durable store WALs every entry before
+// the ack. The first store or
 // forward failure NACKs the batch: puts are idempotent, so the client
 // retries the whole batch and the already-applied prefix deduplicates.
 // Successful batches replicate to the successor set as one OpPutReplica
@@ -305,9 +360,9 @@ func (n *Node) handlePutBatch(req Message) Message {
 	return Message{Op: req.Op, Ok: true}
 }
 
-// handleRemoveBatch deletes a batch of (key, entry) pairs under one
-// lock acquisition. The response's Keys field carries how many entries
-// were actually removed. An origin batch (OpRemoveBatch) forwards keys
+// handleRemoveBatch deletes a batch of (key, entry) pairs, each key's
+// removals under that key's own critical section. The response's Keys
+// field carries how many entries were actually removed. An origin batch (OpRemoveBatch) forwards keys
 // this node does not own to their Chord-routed owners like
 // handlePutBatch (summing their removed counts into the response) and
 // propagates its local deletions to the replica set as one KV-carrying
@@ -332,24 +387,30 @@ func (n *Node) handleRemoveBatch(req Message) Message {
 			fwdGroups, fwdOrder = groups, order
 		}
 	}
-	n.mu.Lock()
 	removed := 0
 	var firstErr error
 	for _, item := range kv {
-		for _, e := range item.Entries {
-			ok, err := n.store.Remove(item.Key, e)
-			if err != nil && firstErr == nil {
-				firstErr = err
+		item := item
+		err := n.store.Update(item.Key, func(s Store) error {
+			var uerr error
+			for _, e := range item.Entries {
+				ok, err := s.Remove(item.Key, e)
+				if err != nil && uerr == nil {
+					uerr = err
+				}
+				if err == nil {
+					n.tomb.created.Inc()
+				}
+				if ok {
+					removed++
+				}
 			}
-			if err == nil {
-				n.tomb.created.Inc()
-			}
-			if ok {
-				removed++
-			}
+			return uerr
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	n.mu.Unlock()
 	if firstErr != nil {
 		return Message{Op: req.Op, Err: firstErr.Error(), Keys: removed}
 	}
@@ -393,9 +454,7 @@ func (n *Node) replicateKV(kv []KeyEntries, op Op) {
 }
 
 func (n *Node) handleRemove(req Message) Message {
-	n.mu.Lock()
 	removed, err := n.store.Remove(req.Key, req.Entry)
-	n.mu.Unlock()
 	if err != nil {
 		return Message{Op: req.Op, Err: err.Error()}
 	}
@@ -408,8 +467,6 @@ func (n *Node) handleRemove(req Message) Message {
 }
 
 func (n *Node) handleStats(req Message) Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	resp := Message{
 		Op:            req.Op,
 		Ok:            true,

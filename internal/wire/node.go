@@ -84,6 +84,14 @@ type Config struct {
 	// an answer other than this node means the peer is on a divergent
 	// ring and a merge is coordinated (default 8; negative disables).
 	MergeProbeEvery int
+	// Codec selects the wire payload encoding when Transport is a
+	// *TCPTransport (default CodecBinary via CodecDefault: the compact
+	// binary codec, negotiated per connection with gob fallback —
+	// DESIGN.md §17). Set CodecGob to pin the node's transport to gob,
+	// the A/B baseline for soaks and benches. Ignored for other
+	// transports, and for a shared TCPTransport the last node started
+	// wins — give each A/B arm its own transport instance.
+	Codec Codec
 }
 
 func (c Config) withDefaults() Config {
@@ -105,9 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.FingerFixesPerRound == 0 {
 		c.FingerFixesPerRound = 16
 	}
-	if c.Store == nil {
-		c.Store = NewMemStore()
-	}
+	// A nil Store becomes the default striped MemStore in Start
+	// (asConcurrentStore); withDefaults leaves it alone so Start can
+	// tell "defaulted" from "supplied" when wrapping.
 	if c.TombstoneTTL == 0 {
 		c.TombstoneTTL = 5 * time.Minute
 	}
@@ -133,6 +141,12 @@ type Node struct {
 	merge  mergeCounters
 	tomb   tombstoneCounters
 
+	// mu guards ROUTING state only: ring pointers, fingers, the
+	// known-peers set and lifecycle flags. The data store is NOT under
+	// it — store synchronizes itself (ConcurrentStore, see sharded.go),
+	// so concurrent gets, digest scans and mutators stop contending
+	// with routing and with each other. Compound read-modify-write
+	// sections over one key's state go through store.Update.
 	mu         sync.Mutex
 	pred       string
 	succs      []string // succs[0] is the immediate successor (never empty)
@@ -140,11 +154,13 @@ type Node struct {
 	notifySeen int      // notifies from the current predecessor (handover cadence)
 	fingers    [keyspace.Bits]string
 	fingerIdx  int
-	store      Store
 	known      map[string]bool // bounded known-peers set (merge probing)
 	rng        *rand.Rand      // seeded from the node id: probe sampling, eviction
 	stopped    bool
 	leftTo     string // peer that accepted the Leave hand-off
+
+	// store is the node's synchronized data plane (not guarded by mu).
+	store ConcurrentStore
 
 	listener io.Closer
 	stop     chan struct{}
@@ -164,12 +180,15 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:    cfg,
-		store:  cfg.Store,
+		store:  asConcurrentStore(cfg.Store),
 		stop:   make(chan struct{}),
 		repair: newRepairCounters(),
 		merge:  newMergeCounters(),
 		tomb:   newTombstoneCounters(),
 		known:  make(map[string]bool),
+	}
+	if tp, ok := cfg.Transport.(*TCPTransport); ok && cfg.Codec != CodecDefault {
+		tp.Codec = cfg.Codec
 	}
 	if cfg.Retry != nil {
 		n.retry = NewRetryingTransport(cfg.Transport, *cfg.Retry)
@@ -258,11 +277,24 @@ func (n *Node) Leave() error {
 	n.mu.Lock()
 	succs := make([]string, len(n.succs))
 	copy(succs, n.succs)
-	var kv []KeyEntries
-	for _, k := range n.localKeysLocked() {
-		kv = append(kv, KeyEntries{Key: k, Entries: n.store.Get(k), Tombs: n.store.Tombstones(k)})
-	}
 	n.mu.Unlock()
+	var kv []KeyEntries
+	for _, k := range n.localKeys() {
+		var item KeyEntries
+		// Per-key snapshot under the key's read lock: entries and
+		// tombstones of one key travel as one consistent unit. (The
+		// maintenance loop is already down; handlers may still race a
+		// straggling replica write, which the next owner's repair loop
+		// reconciles like any other late copy.)
+		_ = n.store.View(k, func(s Store) error {
+			item = KeyEntries{Key: k, Entries: s.Get(k), Tombs: s.Tombstones(k)}
+			return nil
+		})
+		if len(item.Entries) == 0 && len(item.Tombs) == 0 {
+			continue
+		}
+		kv = append(kv, item)
+	}
 	var handoffErr error
 	if len(kv) > 0 {
 		// The immediate successor may be dead too — that can be exactly
@@ -342,9 +374,7 @@ func (n *Node) maintenanceLoop() {
 // gcTombstones collects deletion records older than TombstoneTTL.
 func (n *Node) gcTombstones() {
 	cutoff := time.Now().Add(-n.cfg.TombstoneTTL).UnixNano()
-	n.mu.Lock()
 	collected, err := n.store.GCTombstones(cutoff)
-	n.mu.Unlock()
 	if err == nil && collected > 0 {
 		n.tomb.gcd.Add(int64(collected))
 	}
@@ -502,30 +532,39 @@ func (n *Node) fixFingers(count int) {
 // both directions: tombstones riding with the transfer are entombed
 // first (each kills its matching live entry), and entries suppressed by
 // a local tombstone are refused — a stale copy arriving by transfer or
-// replication must not resurrect a removal. The first store failure is
-// returned (remaining items are still attempted): a durable store that
-// cannot append its WAL must not silently ack a transfer, or the sender
-// would drop its only copy.
+// replication must not resurrect a removal. Each key adopts as one
+// atomic critical section (store.Update), so the entomb-then-put order
+// cannot interleave with another mutator of the same key; distinct keys
+// adopt independently. The first store failure is returned (remaining
+// items are still attempted): a durable store that cannot append its
+// WAL must not silently ack a transfer, or the sender would drop its
+// only copy.
 func (n *Node) adoptKeys(kv []KeyEntries) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	var firstErr error
 	for _, item := range kv {
-		if len(item.Tombs) > 0 {
-			fresh, err := n.store.Entomb(item.Key, item.Tombs)
-			if err != nil && firstErr == nil {
-				firstErr = err
+		item := item
+		err := n.store.Update(item.Key, func(s Store) error {
+			var uerr error
+			if len(item.Tombs) > 0 {
+				fresh, err := s.Entomb(item.Key, item.Tombs)
+				if err != nil {
+					uerr = err
+				}
+				n.tomb.merged.Add(int64(fresh))
 			}
-			n.tomb.merged.Add(int64(fresh))
-		}
-		for _, e := range item.Entries {
-			added, err := n.store.Put(item.Key, e)
-			if err != nil && firstErr == nil {
-				firstErr = err
+			for _, e := range item.Entries {
+				added, err := s.Put(item.Key, e)
+				if err != nil && uerr == nil {
+					uerr = err
+				}
+				if !added && err == nil && s.Tombstoned(item.Key, e) {
+					n.tomb.suppressed.Inc()
+				}
 			}
-			if !added && err == nil && n.store.Tombstoned(item.Key, e) {
-				n.tomb.suppressed.Inc()
-			}
+			return uerr
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr
@@ -650,8 +689,4 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 }
 
 // KeyCount returns the number of distinct keys stored locally.
-func (n *Node) KeyCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.store.Len()
-}
+func (n *Node) KeyCount() int { return n.store.Len() }

@@ -224,6 +224,14 @@ func (p *connPool) get(ctx context.Context, addr string) (*persistConn, error) {
 	p.mu.Unlock()
 
 	conn, err := net.DialTimeout("tcp", addr, p.t.dialTimeout())
+	var c *codec
+	if err == nil {
+		// Codec negotiation happens here, between the dial landing and
+		// the read loop starting: the handshake is strictly the first
+		// exchange on the connection, so both ends flip codecs (or agree
+		// to stay on gob) before any request frame exists.
+		conn, c, err = p.t.negotiate(conn, addr)
+	}
 
 	p.mu.Lock()
 	p.dialing[addr]--
@@ -239,7 +247,7 @@ func (p *connPool) get(ctx context.Context, addr string) (*persistConn, error) {
 		t:       p.t,
 		addr:    addr,
 		conn:    conn,
-		c:       newCodec(conn, p.t.maxMessageSize(), &p.t.bytesIn, &p.t.bytesOut),
+		c:       c,
 		pending: make(map[uint64]chan poolResult),
 	}
 	p.peers[addr] = append(p.peers[addr], pc)

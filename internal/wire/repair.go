@@ -146,23 +146,31 @@ func stateDigest(entries []overlay.Entry, tombs []Tombstone) uint64 {
 	return h.Sum64()
 }
 
-// ownedStateLocked collects the keys this node owns (live entries or
-// tombstones) and their digests. Callers hold n.mu.
-func (n *Node) ownedStateLocked(pred string) []KeyDigest {
-	keys := n.localKeysLocked()
+// ownedState collects the keys this node owns (live entries or
+// tombstones) and their digests. Each key's digest is computed under
+// that key's read lock, so a digest always describes a consistent
+// (entries, tombstones) pair even while writers hit other keys.
+func (n *Node) ownedState(pred string) []KeyDigest {
+	keys := n.localKeys()
 	var owned []KeyDigest
 	for _, k := range keys {
 		if pred != "" && !k.Between(idOf(pred), n.id) {
 			continue // a replica held for another owner
 		}
-		owned = append(owned, KeyDigest{Key: k, Digest: stateDigest(n.store.Get(k), n.store.Tombstones(k))})
+		var d uint64
+		_ = n.store.View(k, func(s Store) error {
+			d = stateDigest(s.Get(k), s.Tombstones(k))
+			return nil
+		})
+		owned = append(owned, KeyDigest{Key: k, Digest: d})
 	}
 	return owned
 }
 
-// localKeysLocked lists every key the store holds state for — live
-// entries or tombstones. Callers hold n.mu.
-func (n *Node) localKeysLocked() []keyspace.Key {
+// localKeys lists every key the store holds state for — live entries or
+// tombstones. The store serializes the iteration itself; n.mu is not
+// involved.
+func (n *Node) localKeys() []keyspace.Key {
 	var keys []keyspace.Key
 	seen := make(map[keyspace.Key]bool)
 	n.store.ForEach(func(k keyspace.Key, _ []overlay.Entry) bool {
@@ -187,6 +195,16 @@ func (n *Node) repairOnce() {
 	n.dropStaleCopies()
 }
 
+// RepairNow runs one synchronous anti-entropy round (replica digest
+// sync, then stale-copy drop with misplaced-key forwarding) outside the
+// background cadence. Harnesses and operators use it to force
+// convergence at a known point — e.g. re-homing entries that landed on
+// an interim owner while overload shedding made the ring route around
+// a busy node — instead of waiting out Config.RepairEvery. Safe to call
+// concurrently with the maintenance loop: repair rounds are idempotent
+// and every store mutation runs in a per-key critical section.
+func (n *Node) RepairNow() { n.repairOnce() }
+
 // syncReplicas digest-syncs the locally-owned keys with the first
 // ReplicationFactor successors and ships only the divergent ones. A
 // replica's answer may carry tombstones the owner has not seen; they
@@ -196,8 +214,9 @@ func (n *Node) syncReplicas() {
 	n.mu.Lock()
 	succs := make([]string, len(n.succs))
 	copy(succs, n.succs)
-	owned := n.ownedStateLocked(n.pred)
+	pred := n.pred
 	n.mu.Unlock()
+	owned := n.ownedState(pred)
 	if len(owned) == 0 {
 		return
 	}
@@ -220,27 +239,35 @@ func (n *Node) syncReplicas() {
 		if len(resp.Digests) == 0 {
 			continue // replica already converged
 		}
-		n.mu.Lock()
+		// Index the replica's pushed-back tombstones by key so each key's
+		// entomb and snapshot happen inside ONE critical section: the
+		// shipped state is guaranteed to include the merged tombstones.
+		pushTombs := make(map[keyspace.Key][]Tombstone, len(resp.KV))
 		for _, item := range resp.KV {
-			// Tombstone push-back: the replica witnessed removals this
-			// owner missed. Entomb them first — shipping without them
-			// would resurrect the entries on every replica.
-			if len(item.Tombs) == 0 {
-				continue
-			}
-			if fresh, terr := n.store.Entomb(item.Key, item.Tombs); terr == nil {
-				n.tomb.merged.Add(int64(fresh))
+			if len(item.Tombs) > 0 {
+				pushTombs[item.Key] = item.Tombs
 			}
 		}
 		kv := make([]KeyEntries, 0, len(resp.Digests))
 		for _, want := range resp.Digests {
-			kv = append(kv, KeyEntries{
-				Key:     want.Key,
-				Entries: n.store.Get(want.Key),
-				Tombs:   n.store.Tombstones(want.Key),
+			want := want
+			_ = n.store.Update(want.Key, func(s Store) error {
+				// Tombstone push-back: the replica witnessed removals this
+				// owner missed. Entomb them first — shipping without them
+				// would resurrect the entries on every replica.
+				if ts := pushTombs[want.Key]; len(ts) > 0 {
+					if fresh, terr := s.Entomb(want.Key, ts); terr == nil {
+						n.tomb.merged.Add(int64(fresh))
+					}
+				}
+				kv = append(kv, KeyEntries{
+					Key:     want.Key,
+					Entries: s.Get(want.Key),
+					Tombs:   s.Tombstones(want.Key),
+				})
+				return nil
 			})
 		}
-		n.mu.Unlock()
 		if sresp, serr := n.cfg.Transport.Call(succ, Message{Op: OpRepairSync, KV: kv}); serr == nil && remoteError(sresp) == nil {
 			n.repair.pushes.Add(int64(len(kv)))
 		}
@@ -275,15 +302,23 @@ func (n *Node) dropStaleCopies() {
 	}
 	windowFrom := idOf(start)
 
-	n.mu.Lock()
 	var stale []KeyEntries
-	for _, k := range n.localKeysLocked() {
+	for _, k := range n.localKeys() {
 		if k.Between(windowFrom, n.id) {
 			continue // owed: owned or within the replica window
 		}
-		stale = append(stale, KeyEntries{Key: k, Entries: n.store.Get(k), Tombs: n.store.Tombstones(k)})
+		var item KeyEntries
+		// Per-key snapshot under the key's read lock: the forwarded copy
+		// and the digest compared before the drop describe one moment.
+		_ = n.store.View(k, func(s Store) error {
+			item = KeyEntries{Key: k, Entries: s.Get(k), Tombs: s.Tombstones(k)}
+			return nil
+		})
+		if len(item.Entries) == 0 && len(item.Tombs) == 0 {
+			continue
+		}
+		stale = append(stale, item)
 	}
-	n.mu.Unlock()
 
 	// Group the misplaced keys by their routed owner so each owner
 	// receives ONE OpTransfer carrying every key it now owes, instead of
@@ -312,17 +347,21 @@ func (n *Node) dropStaleCopies() {
 			continue // owner unreachable; keep the copies and retry later
 		}
 		n.repair.forwards.Add(int64(len(group)))
-		n.mu.Lock()
 		for _, item := range group {
+			item := item
 			// Drop only if unchanged since the snapshot — an entry written
 			// in the meantime has not been forwarded and must not be lost.
-			if stateDigest(n.store.Get(item.Key), n.store.Tombstones(item.Key)) == stateDigest(item.Entries, item.Tombs) {
-				if n.store.Replace(item.Key, nil, nil) == nil {
-					n.repair.drops.Inc()
+			// The compare and the delete share one critical section so a
+			// write cannot slip between them.
+			_ = n.store.Update(item.Key, func(s Store) error {
+				if stateDigest(s.Get(item.Key), s.Tombstones(item.Key)) == stateDigest(item.Entries, item.Tombs) {
+					if s.Replace(item.Key, nil, nil) == nil {
+						n.repair.drops.Inc()
+					}
 				}
-			}
+				return nil
+			})
 		}
-		n.mu.Unlock()
 	}
 }
 
@@ -335,8 +374,6 @@ func (n *Node) dropStaleCopies() {
 // this replica's tombstones for those keys so the owner can entomb
 // removals it missed before shipping the merged state back.
 func (n *Node) handleRepairSync(req Message) Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if len(req.KV) > 0 {
 		for _, item := range req.KV {
 			if err := n.store.Replace(item.Key, item.Entries, item.Tombs); err != nil {
@@ -350,12 +387,18 @@ func (n *Node) handleRepairSync(req Message) Message {
 	var want []KeyDigest
 	var push []KeyEntries
 	for _, d := range req.Digests {
-		if stateDigest(n.store.Get(d.Key), n.store.Tombstones(d.Key)) != d.Digest {
-			want = append(want, KeyDigest{Key: d.Key})
-			if ts := n.store.Tombstones(d.Key); len(ts) > 0 {
-				push = append(push, KeyEntries{Key: d.Key, Tombs: ts})
+		d := d
+		// Per-key View: the digest and the pushed-back tombstones for a
+		// key come from one consistent snapshot.
+		_ = n.store.View(d.Key, func(s Store) error {
+			if stateDigest(s.Get(d.Key), s.Tombstones(d.Key)) != d.Digest {
+				want = append(want, KeyDigest{Key: d.Key})
+				if ts := s.Tombstones(d.Key); len(ts) > 0 {
+					push = append(push, KeyEntries{Key: d.Key, Tombs: ts})
+				}
 			}
-		}
+			return nil
+		})
 	}
 	return Message{Op: req.Op, Ok: true, Digests: want, KV: push}
 }

@@ -11,10 +11,14 @@ import (
 
 // Store is a node's local entry store: the map from ring keys to the
 // entry sets this node currently holds (owned keys plus replica
-// copies). The node serializes all access through its own mutex, so
-// implementations need not be safe for concurrent use by themselves —
-// but they may be called from the node's handler goroutines and its
-// maintenance loop interleaved, one call at a time.
+// copies). Implementations need not be safe for concurrent use by
+// themselves: the node wraps whatever Config.Store supplies in a
+// ConcurrentStore (asConcurrentStore) that serializes access — a nil
+// Config.Store becomes a ShardedStore striping MemStores by key, and a
+// supplied store gets a single reader-writer lock. Handler goroutines
+// and the maintenance loop therefore interleave calls one at a time per
+// key stripe, never concurrently against the same underlying Store
+// stripe.
 //
 // Two implementations exist: MemStore (the default, a plain RAM map
 // that dies with the process) and the disk-backed WAL+snapshot store in

@@ -56,6 +56,16 @@ type TCPTransport struct {
 	// IdleTimeout reaps pooled connections with no traffic (default
 	// DefaultIdleTimeout). Server connections idle out on the same knob.
 	IdleTimeout time.Duration
+	// Codec selects the payload encoding negotiated on pooled
+	// connections (default CodecBinary; see DESIGN.md §17). CodecGob
+	// pins both roles to gob: outbound connections skip the handshake
+	// and inbound handshakes are declined, giving the A/B baseline.
+	Codec Codec
+
+	// dropHandshake makes the server side close the connection instead
+	// of answering an OpCodecSwitch frame, simulating a peer whose
+	// handshake path fails at transport level (interop tests only).
+	dropHandshake bool
 
 	poolOnce sync.Once
 	connPool *connPool
@@ -68,6 +78,9 @@ type TCPTransport struct {
 	poolIdleReaps    *telemetry.Counter
 	respEncodeErrors *telemetry.Counter
 	poolInFlight     *telemetry.Gauge
+	codecBinaryConns *telemetry.Counter
+	codecGobConns    *telemetry.Counter
+	codecFallbacks   *telemetry.Counter
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -127,7 +140,8 @@ func (t *TCPTransport) Instrument(reg *telemetry.Registry) {
 	}
 	t.ensureMetrics()
 	reg.Attach(t.poolDials, t.poolReuses, t.poolEvictions, t.poolIdleReaps,
-		t.respEncodeErrors, t.poolInFlight)
+		t.respEncodeErrors, t.poolInFlight,
+		t.codecBinaryConns, t.codecGobConns, t.codecFallbacks)
 	reg.GaugeFunc("wire_pool_conns",
 		"Currently pooled persistent connections.",
 		func() float64 { return float64(len(t.pool().snapshot())) })
@@ -149,7 +163,21 @@ func (t *TCPTransport) ensureMetrics() {
 			"Server responses that failed to encode or send; the connection is closed so the client fails fast.")
 		t.poolInFlight = telemetry.NewGauge("wire_pool_in_flight",
 			"Calls currently awaiting a response over pooled connections.")
+		t.codecBinaryConns = telemetry.NewCounter("wire_codec_binary_conns_total",
+			"Connections switched to the compact binary codec (each end counts its own side).")
+		t.codecGobConns = telemetry.NewCounter("wire_codec_gob_conns_total",
+			"Pooled client connections left on gob: codec pinned to gob, or the peer declined the handshake.")
+		t.codecFallbacks = telemetry.NewCounter("wire_codec_fallbacks_total",
+			"Codec handshakes that failed at transport level; the dial was retried as a plain gob connection.")
 	})
+}
+
+// codecChoice resolves the configured codec (CodecDefault → binary).
+func (t *TCPTransport) codecChoice() Codec {
+	if t.Codec == CodecGob {
+		return CodecGob
+	}
+	return CodecBinary
 }
 
 // pool lazily creates the client connection pool.
@@ -322,6 +350,61 @@ func (t *TCPTransport) dialCall(addr string, req Message) (Message, error) {
 	return resp, nil
 }
 
+// negotiate runs the client half of the per-connection codec handshake
+// on a freshly dialed pooled connection, before its read loop starts.
+// It returns the connection (possibly a redial) and its codec, switched
+// to binary when the peer accepted. A peer that declines — or answers
+// with the "unknown operation" error a pre-handshake node produces —
+// leaves the connection on gob; a handshake that fails in transit
+// abandons the connection and redials once as plain gob, because the
+// codec streams on the first connection can no longer be trusted.
+func (t *TCPTransport) negotiate(conn net.Conn, addr string) (net.Conn, *codec, error) {
+	c := newCodec(conn, t.maxMessageSize(), &t.bytesIn, &t.bytesOut)
+	if t.codecChoice() != CodecBinary {
+		t.codecGobConns.Inc()
+		return conn, c, nil
+	}
+	ok, err := t.handshake(conn, c)
+	if err == nil {
+		if ok {
+			c.setBinary()
+			t.codecBinaryConns.Inc()
+		} else {
+			t.codecGobConns.Inc()
+		}
+		return conn, c, nil
+	}
+	_ = conn.Close()
+	t.codecFallbacks.Inc()
+	conn2, derr := net.DialTimeout("tcp", addr, t.dialTimeout())
+	if derr != nil {
+		return nil, nil, derr
+	}
+	t.codecGobConns.Inc()
+	return conn2, newCodec(conn2, t.maxMessageSize(), &t.bytesIn, &t.bytesOut), nil
+}
+
+// handshake sends the OpCodecSwitch frame under request ID 0 (the
+// pool's real IDs start at 1, so the reserved ID can never collide) and
+// reads the peer's ack synchronously — safe because the connection's
+// read loop has not started yet.
+func (t *TCPTransport) handshake(conn net.Conn, c *codec) (bool, error) {
+	req := Message{Op: OpCodecSwitch}
+	if err := c.writeFrame(0, &req, t.callTimeout()); err != nil {
+		return false, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(t.callTimeout())); err != nil {
+		return false, err
+	}
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	_, resp, err := c.readFrame(buf)
+	if err != nil {
+		return false, err
+	}
+	return resp.Ok, nil
+}
+
 // CloseConnections tears down every pooled client connection. Pending
 // calls on them error out with ErrUnreachable; subsequent Calls redial.
 // Use it when shutting a process down or when a test needs a clean
@@ -397,6 +480,25 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		id, req, err := c.readFrame(buf)
 		if err != nil {
 			return // client went away, idled out, or sent garbage
+		}
+		if req.Op == OpCodecSwitch {
+			// Codec negotiation is answered by the transport itself,
+			// inline: it is always the first frame on a connection that
+			// sends it, so no concurrent response writers exist and the
+			// flip below cannot interleave with a gob frame.
+			if s.t.dropHandshake {
+				return
+			}
+			resp := Message{Ok: s.t.codecChoice() == CodecBinary}
+			if werr := c.writeFrame(id, &resp, s.callTimeout); werr != nil {
+				s.t.respEncodeErrors.Inc()
+				return
+			}
+			if resp.Ok {
+				c.setBinary()
+				s.t.codecBinaryConns.Inc()
+			}
+			continue
 		}
 		inflight.Add(1)
 		go func(id uint64, req Message) {
